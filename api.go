@@ -1,0 +1,146 @@
+// Package rdlroute is a from-scratch Go implementation of "Via-based
+// Redistribution Layer Routing for InFO Packages with Irregular Pad
+// Structures" (Wen, Cai, Hsu, Chang — DAC 2020): a pre-assignment router
+// for via-based multi-chip multi-layer InFO wafer-level packages.
+//
+// The flow has five stages (paper Fig. 3): preprocessing of the fan-out
+// region, weighted-MPSC-based concurrent routing, octagonal-tile routing
+// graph construction with via insertion, sequential A*-search routing, and
+// LP-based layout optimization. The package also ships the evaluation
+// baseline Lin-ext, a Table-I benchmark generator, and a design-rule
+// checker.
+//
+// Quick start:
+//
+//	d, _ := rdlroute.GenerateBenchmark("dense1")
+//	res, err := rdlroute.Route(d, rdlroute.DefaultOptions())
+//	if err != nil { ... }
+//	fmt.Printf("routability %.1f%% wirelength %.0f\n",
+//		res.Routability, res.Wirelength)
+package rdlroute
+
+import (
+	"io"
+
+	"rdlroute/internal/baseline"
+	"rdlroute/internal/congest"
+	"rdlroute/internal/design"
+	"rdlroute/internal/drc"
+	"rdlroute/internal/layout"
+	"rdlroute/internal/router"
+	"rdlroute/internal/viz"
+)
+
+// Core data-model types.
+type (
+	// Design is a complete routing instance: chips, pads, nets, obstacles,
+	// design rules and the RDL layer stack.
+	Design = design.Design
+	// Chip is a die whose shadow is a fan-in region.
+	Chip = design.Chip
+	// IOPad is a rectangular pad on the top RDL.
+	IOPad = design.IOPad
+	// BumpPad is an octagonal pad on the bottom RDL.
+	BumpPad = design.BumpPad
+	// Net is a pre-assigned pad pair.
+	Net = design.Net
+	// PadRef identifies a net endpoint.
+	PadRef = design.PadRef
+	// Rules carries the minimum-spacing, wire-width and via-width rules.
+	Rules = design.Rules
+	// Obstacle is a rectangular blockage on one wire layer.
+	Obstacle = design.Obstacle
+	// GenSpec parameterizes the benchmark generator.
+	GenSpec = design.GenSpec
+	// Stats summarizes a design like a Table-I row.
+	Stats = design.Stats
+)
+
+// Routing types.
+type (
+	// Options tune the five-stage routing flow.
+	Options = router.Options
+	// Result carries routability, wirelength, runtime and per-stage
+	// counters for one routing run.
+	Result = router.Result
+	// Layout is a (possibly partial) routing result.
+	Layout = layout.Layout
+	// WireRoute is one wire polyline of a net on one layer.
+	WireRoute = layout.Route
+	// Via is an octagonal inter-layer via.
+	Via = layout.Via
+	// Violation is one design-rule violation found by Check.
+	Violation = drc.Violation
+	// BaselineOptions tune the Lin-ext baseline flow.
+	BaselineOptions = baseline.Options
+	// BaselineResult carries the Lin-ext metrics.
+	BaselineResult = baseline.Result
+)
+
+// DefaultOptions returns the paper's experimental configuration
+// (α, β, γ, δ = 0.1, 1, 1, 2 and 30×30 global cells).
+func DefaultOptions() Options { return router.DefaultOptions() }
+
+// Route runs the five-stage via-based RDL routing flow on the design.
+func Route(d *Design, opts Options) (*Result, error) { return router.Route(d, opts) }
+
+// DefaultBaselineOptions returns the Lin-ext configuration used by the
+// benchmark harness.
+func DefaultBaselineOptions() BaselineOptions { return baseline.DefaultOptions() }
+
+// RouteLinExt runs the Lin-ext baseline (Lin et al. ICCAD'16 concurrent
+// routing extended with A* sequential routing; no flexible vias).
+func RouteLinExt(d *Design, opts BaselineOptions) (*BaselineResult, error) {
+	return baseline.Route(d, opts)
+}
+
+// Check runs the design-rule checker on a layout and returns every
+// violation (empty means clean).
+func Check(l *Layout) []Violation { return drc.Check(l) }
+
+// GenerateBenchmark builds one of the paper's benchmark circuits
+// (dense1..dense5) with the published Table-I statistics.
+func GenerateBenchmark(name string) (*Design, error) {
+	spec, err := design.DenseSpec(name)
+	if err != nil {
+		return nil, err
+	}
+	return design.Generate(spec)
+}
+
+// BenchmarkSuite returns the generator specs of all five Table-I circuits.
+func BenchmarkSuite() []GenSpec { return design.DenseSuite() }
+
+// Generate builds a synthetic design from a generator spec.
+func Generate(spec GenSpec) (*Design, error) { return design.Generate(spec) }
+
+// RenderOptions tune SVG rendering of a layout.
+type RenderOptions = viz.Options
+
+// DefaultRenderOptions renders every layer at quarter scale.
+func DefaultRenderOptions() RenderOptions { return viz.DefaultOptions() }
+
+// RenderSVG writes the layout as a self-contained SVG image.
+func RenderSVG(w io.Writer, l *Layout, opts RenderOptions) error {
+	return viz.SVG(w, l, opts)
+}
+
+// ParseDesign reads a design from the text netlist format.
+func ParseDesign(r io.Reader) (*Design, error) { return design.Parse(r) }
+
+// WriteDesign writes a design in the text netlist format.
+func WriteDesign(w io.Writer, d *Design) error { return design.Format(w, d) }
+
+// WriteLayout writes a routing result in the text layout format; pair it
+// with the design netlist to reload it later.
+func WriteLayout(w io.Writer, l *Layout) error { return layout.Format(w, l) }
+
+// ParseLayout reads a routing result written by WriteLayout against its
+// design.
+func ParseLayout(r io.Reader, d *Design) (*Layout, error) { return layout.Parse(r, d) }
+
+// CongestionMap is the per-global-cell track-utilization view of a layout.
+type CongestionMap = congest.Map
+
+// BuildCongestion computes the congestion map with a cells×cells grid.
+func BuildCongestion(l *Layout, cells int) *CongestionMap { return congest.Build(l, cells) }

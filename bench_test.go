@@ -1,0 +1,175 @@
+package rdlroute_test
+
+// One benchmark per table/figure of the paper's evaluation section, backed
+// by internal/bench. Regenerate everything with:
+//
+//	go test -bench . -benchmem
+//
+// Table I rows additionally report routability and wirelength as custom
+// benchmark metrics so the harness output mirrors the paper's table.
+
+import (
+	"testing"
+
+	"rdlroute"
+	"rdlroute/internal/bench"
+	"rdlroute/internal/design"
+	"rdlroute/internal/router"
+)
+
+var denseNames = []string{"dense1", "dense2", "dense3", "dense4", "dense5"}
+
+// BenchmarkTable1Ours regenerates the "Ours" columns of Table I.
+func BenchmarkTable1Ours(b *testing.B) {
+	for _, name := range denseNames {
+		b.Run(name, func(b *testing.B) {
+			spec, err := design.DenseSpec(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				d, err := design.Generate(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := router.Route(d, router.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Routability, "routability%")
+				b.ReportMetric(res.Wirelength, "wirelength")
+			}
+		})
+	}
+}
+
+// BenchmarkTable1LinExt regenerates the "Lin-ext" columns of Table I.
+func BenchmarkTable1LinExt(b *testing.B) {
+	for _, name := range denseNames {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := rdlroute.GenerateBenchmark(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := rdlroute.RouteLinExt(d, rdlroute.DefaultBaselineOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Routability, "routability%")
+				b.ReportMetric(res.Wirelength, "wirelength")
+			}
+		})
+	}
+}
+
+// BenchmarkFig2LayerCount regenerates the Figure 2 experiment: minimum RDL
+// count for the entangled three-net pattern (ours 2, Lin-ext 3).
+func BenchmarkFig2LayerCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.OursMinLayers), "ours-layers")
+		b.ReportMetric(float64(res.LinMinLayers), "linext-layers")
+	}
+}
+
+// BenchmarkFig5WeightedMPSC regenerates the Figure 5 experiment: nets
+// surviving detailed routing under unweighted vs Eq.(2)-weighted MPSC.
+func BenchmarkFig5WeightedMPSC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := bench.RunFig5()
+		b.ReportMetric(float64(res.UnweightedSurvive), "unweighted-routed")
+		b.ReportMetric(float64(res.WeightedSurvive), "weighted-routed")
+	}
+}
+
+// BenchmarkFig7LPOpt regenerates the Figure 7 experiment: wirelength
+// before vs after LP-based layout optimization on dense1.
+func BenchmarkFig7LPOpt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig7([]string{"dense1"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Before, "wl-before")
+		b.ReportMetric(rows[0].After, "wl-after")
+		b.ReportMetric(rows[0].Reduction, "reduction%")
+	}
+}
+
+// BenchmarkAblationWeights compares weighted vs unweighted MPSC (paper's
+// Section IV analysis of the weighted layer assignment).
+func BenchmarkAblationWeights(b *testing.B) {
+	benchAblation(b, "unweighted-mpsc")
+}
+
+// BenchmarkAblationNoLP disables stage 5 (LP optimization's contribution).
+func BenchmarkAblationNoLP(b *testing.B) {
+	benchAblation(b, "no-lp")
+}
+
+// BenchmarkAblationNoVias disables stage-3 via insertion (the 3D routing
+// graph's contribution).
+func BenchmarkAblationNoVias(b *testing.B) {
+	benchAblation(b, "no-via-insertion")
+}
+
+func benchAblation(b *testing.B, config string) {
+	var mut func(*router.Options)
+	for _, ab := range bench.Ablations() {
+		if ab.Label == config {
+			mut = ab.Mut
+		}
+	}
+	if mut == nil {
+		b.Fatalf("unknown ablation %q", config)
+	}
+	spec, err := design.DenseSpec("dense1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		d, err := design.Generate(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := router.DefaultOptions()
+		mut(&opts)
+		res, err := router.Route(d, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Routability, "routability%")
+		b.ReportMetric(res.Wirelength, "wirelength")
+	}
+}
+
+// BenchmarkLPIterations verifies the Section III-E-4 convergence claim:
+// the iterative LP solving stays within ~50 iterations.
+func BenchmarkLPIterations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunLPIters([]string{"dense1"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].Iterations), "lp-iterations")
+	}
+}
+
+// BenchmarkGraphSize measures the octagonal-tile routing graph size
+// against an equivalent uniform-lattice node count (the tile model's
+// resource-integration argument).
+func BenchmarkGraphSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunGraphSize([]string{"dense1"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].TileNodes), "tile-nodes")
+		b.ReportMetric(float64(rows[0].GridNodes), "grid-nodes")
+		b.ReportMetric(rows[0].Ratio, "ratio")
+	}
+}

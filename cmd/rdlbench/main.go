@@ -1,0 +1,141 @@
+// Command rdlbench regenerates the paper's evaluation artifacts: Table I
+// (ours vs Lin-ext on dense1..dense5), the Figure 2 layer-count
+// experiment, the Figure 5 weighted-MPSC experiment, the Figure 7 LP
+// wirelength experiment, the LP convergence measurement, and ablations.
+//
+// Usage:
+//
+//	rdlbench -table1            # full Table I (dense1..dense5; minutes)
+//	rdlbench -table1 -quick     # dense1..dense3 only
+//	rdlbench -fig2 -fig5 -fig7
+//	rdlbench -ablation -lpiters
+//	rdlbench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rdlroute/internal/bench"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "regenerate Table I (ours vs Lin-ext)")
+		fig2     = flag.Bool("fig2", false, "regenerate the Figure 2 layer-count experiment")
+		fig5     = flag.Bool("fig5", false, "regenerate the Figure 5 weighted-MPSC experiment")
+		fig7     = flag.Bool("fig7", false, "regenerate the Figure 7 LP wirelength experiment")
+		ablation = flag.Bool("ablation", false, "run the design-choice ablations")
+		lpiters  = flag.Bool("lpiters", false, "measure LP repair-loop iterations (III-E-4)")
+		gsize    = flag.Bool("graphsize", false, "compare tile-graph vs uniform-grid node counts")
+		all      = flag.Bool("all", false, "run everything")
+		quick    = flag.Bool("quick", false, "restrict circuit sweeps to dense1..dense3")
+	)
+	flag.Parse()
+	if *all {
+		*table1, *fig2, *fig5, *fig7, *ablation, *lpiters, *gsize = true, true, true, true, true, true, true
+	}
+	if !*table1 && !*fig2 && !*fig5 && !*fig7 && !*ablation && !*lpiters && !*gsize {
+		flag.Usage()
+		os.Exit(2)
+	}
+	names := []string{"dense1", "dense2", "dense3", "dense4", "dense5"}
+	if *quick {
+		names = names[:3]
+	}
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdlbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *table1 {
+		fmt.Println("== Table I: pre-assignment routing, ours vs Lin-ext ==")
+		rows, err := bench.RunTable1(names)
+		die(err)
+		fmt.Print(bench.FormatTable1(rows))
+		for _, r := range rows {
+			if r.OursDRC > 0 || r.LinDRC > 0 {
+				fmt.Printf("WARNING %s: DRC violations ours=%d lin=%d\n", r.Stats.Name, r.OursDRC, r.LinDRC)
+			}
+		}
+		fmt.Println()
+	}
+	if *fig2 {
+		fmt.Println("== Figure 2: flexible vias reduce the required RDL count ==")
+		res, err := bench.RunFig2()
+		die(err)
+		fmt.Printf("entangled 3-net pattern: ours completes with %d RDLs; Lin-ext needs %d RDLs\n",
+			res.OursMinLayers, res.LinMinLayers)
+		fmt.Println("(paper: 2 vs 3)")
+		fmt.Println()
+	}
+	if *fig5 {
+		fmt.Println("== Figure 5: weighted vs unweighted MPSC layer assignment ==")
+		res := bench.RunFig5()
+		fmt.Printf("unweighted MPSC: assigns %d nets, %d survive detailed routing\n",
+			res.UnweightedAssigned, res.UnweightedSurvive)
+		fmt.Printf("weighted MPSC (Eq.2): assigns %d nets, %d survive detailed routing\n",
+			res.WeightedAssigned, res.WeightedSurvive)
+		fmt.Println("(paper: the unweighted assignment loses 2 of 3 nets in the congested channel)")
+		fmt.Println()
+	}
+	var metrics []bench.MetricsRow
+	needMetrics := *fig7 || *lpiters || *gsize
+	if needMetrics {
+		var err error
+		metrics, err = bench.RunMetrics(names)
+		die(err)
+	}
+	if *fig7 {
+		fmt.Println("== Figure 7: LP-based layout optimization ==")
+		fmt.Printf("%-8s %12s %12s %10s %6s\n", "circuit", "wl before", "wl after", "reduction", "iters")
+		for _, m := range metrics {
+			r := m.Fig7
+			fmt.Printf("%-8s %12.0f %12.0f %9.2f%% %6d\n", r.Name, r.Before, r.After, r.Reduction, r.Iterations)
+		}
+		fmt.Println()
+	}
+	if *ablation {
+		fmt.Println("== Ablations (Section IV analysis) ==")
+		abNames := names
+		if len(abNames) > 2 && !*quick {
+			abNames = names[:2]
+		}
+		rows, err := bench.RunAblations(abNames)
+		die(err)
+		fmt.Printf("%-8s %-18s %12s %12s %6s %6s %8s\n",
+			"circuit", "config", "routability", "wirelength", "conc", "drc", "time")
+		for _, r := range rows {
+			fmt.Printf("%-8s %-18s %11.1f%% %12.0f %6d %6d %7.2fs\n",
+				r.Name, r.Config, r.Routability, r.Wirelength, r.Concurrent, r.DRC, r.Seconds)
+		}
+		fmt.Println()
+	}
+	if *lpiters {
+		fmt.Println("== LP convergence (Section III-E-4: ≤ ~50 iterations) ==")
+		for _, m := range metrics {
+			r := m.LPIter
+			fmt.Printf("%-8s %d iterations over %d components\n", r.Name, r.Iterations, r.Components)
+		}
+		fmt.Println()
+	}
+	if *gsize {
+		fmt.Println("== Octagonal tile graph vs uniform grid (graph size) ==")
+		fmt.Printf("%-8s %12s %12s %8s\n", "circuit", "tile nodes", "grid nodes", "ratio")
+		for _, m := range metrics {
+			r := m.Graph
+			fmt.Printf("%-8s %12d %12d %8.3f\n", r.Name, r.TileNodes, r.GridNodes, r.Ratio)
+		}
+		fmt.Println()
+		fmt.Println("== Wirelength quality (vs octilinear lower bound) ==")
+		fmt.Printf("%-8s %12s %12s %8s %8s %8s\n", "circuit", "lower bound", "actual", "mean", "p95", "max")
+		for _, m := range metrics {
+			r := m.Quality
+			fmt.Printf("%-8s %12.0f %12.0f %8.3f %8.3f %8.3f\n",
+				r.Name, r.LowerBound, r.Actual, r.MeanDetour, r.P95, r.MaxDetour)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Command rdlroute routes an InFO package design with the paper's
+// five-stage via-based flow (or the Lin-ext baseline) and reports
+// routability, wirelength, via count and runtime.
+//
+// Usage:
+//
+//	rdlroute -bench dense1                # generate + route a Table-I circuit
+//	rdlroute -in design.rdl -check        # route a netlist file and run DRC
+//	rdlroute -bench dense2 -flow linext   # run the baseline instead
+//	rdlroute -bench dense1 -no-lp         # ablation: disable stage 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rdlroute"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input design file (text netlist)")
+		bench  = flag.String("bench", "", "generate a named benchmark (dense1..dense5) instead of reading a file")
+		flow   = flag.String("flow", "ours", `routing flow: "ours" or "linext"`)
+		check  = flag.Bool("check", false, "run the design-rule checker on the result")
+		noLP   = flag.Bool("no-lp", false, "disable LP-based layout optimization")
+		noW    = flag.Bool("no-weights", false, "disable Eq.(2) chord weights (unweighted MPSC)")
+		noVias = flag.Bool("no-via-insertion", false, "disable stage-3 via insertion")
+		cells  = flag.Int("cells", 30, "global cells per axis")
+		svg    = flag.String("svg", "", "write the routed layout as SVG to this file")
+		layer  = flag.Int("svg-layer", -1, "restrict the SVG to one wire layer (-1 = all)")
+		out    = flag.String("out", "", "write the routing result (text layout format) to this file")
+		heat   = flag.Bool("congest", false, "print per-layer congestion heatmaps")
+		ripup  = flag.Int("ripup", 0, "rip-up-and-reroute rounds (extension beyond the paper; 0 = off)")
+	)
+	flag.Parse()
+
+	var d *rdlroute.Design
+	var err error
+	switch {
+	case *bench != "":
+		d, err = rdlroute.GenerateBenchmark(*bench)
+	case *in != "":
+		var f *os.File
+		if f, err = os.Open(*in); err == nil {
+			d, err = rdlroute.ParseDesign(f)
+			f.Close()
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "rdlroute: need -in or -bench")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdlroute:", err)
+		os.Exit(1)
+	}
+
+	var lay *rdlroute.Layout
+	switch *flow {
+	case "ours":
+		opts := rdlroute.DefaultOptions()
+		opts.EnableLP = !*noLP
+		opts.UseWeights = !*noW
+		opts.EnableVias = !*noVias
+		opts.GlobalCells = *cells
+		opts.RipUpRounds = *ripup
+		res, err := rdlroute.Route(d, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdlroute:", err)
+			os.Exit(1)
+		}
+		lay = res.Layout
+		fmt.Printf("design      %s\n", d.Name)
+		fmt.Printf("flow        ours (via-based, 5 stages)\n")
+		fmt.Printf("routability %.1f%% (%d/%d nets)\n", res.Routability, res.RoutedNets, res.TotalNets)
+		fmt.Printf("wirelength  %.0f (before LP: %.0f)\n", res.Wirelength, res.WirelengthBeforeLP)
+		fmt.Printf("stages      concurrent=%d sequential=%d (corridor=%d fallback=%d)\n",
+			res.ConcurrentRouted, res.SequentialRouted, res.CorridorRouted, res.FallbackRouted)
+		fmt.Printf("graph       %d octagonal tiles\n", res.TileCount)
+		fmt.Printf("lp          %d iterations, %d components\n", res.LPIterations, res.LPComponents)
+		fmt.Printf("vias        %d\n", res.Layout.ViaCount())
+		fmt.Printf("runtime     %v\n", res.Runtime)
+	case "linext":
+		res, err := rdlroute.RouteLinExt(d, rdlroute.DefaultBaselineOptions())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdlroute:", err)
+			os.Exit(1)
+		}
+		lay = res.Layout
+		fmt.Printf("design      %s\n", d.Name)
+		fmt.Printf("flow        Lin-ext (single-layer nets, fixed pad vias)\n")
+		fmt.Printf("routability %.1f%% (%d/%d nets)\n", res.Routability, res.RoutedNets, res.TotalNets)
+		fmt.Printf("wirelength  %.0f\n", res.Wirelength)
+		fmt.Printf("stages      concurrent=%d sequential=%d\n", res.ConcurrentRouted, res.SequentialRouted)
+		fmt.Printf("runtime     %v\n", res.Runtime)
+	default:
+		fmt.Fprintf(os.Stderr, "rdlroute: unknown flow %q\n", *flow)
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdlroute:", err)
+			os.Exit(1)
+		}
+		if err := rdlroute.WriteLayout(f, lay); err != nil {
+			fmt.Fprintln(os.Stderr, "rdlroute:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("routes      %s\n", *out)
+	}
+
+	if *heat {
+		m := rdlroute.BuildCongestion(lay, 24)
+		for l := 0; l < d.WireLayers; l++ {
+			if err := m.Render(os.Stdout, l); err != nil {
+				fmt.Fprintln(os.Stderr, "rdlroute:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *svg != "" {
+		f, err := os.Create(*svg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdlroute:", err)
+			os.Exit(1)
+		}
+		opts := rdlroute.DefaultRenderOptions()
+		opts.Layer = *layer
+		if err := rdlroute.RenderSVG(f, lay, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "rdlroute:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("svg         %s\n", *svg)
+	}
+
+	if *check {
+		vs := rdlroute.Check(lay)
+		if len(vs) == 0 {
+			fmt.Println("drc         clean")
+		} else {
+			fmt.Printf("drc         %d violations\n", len(vs))
+			for i, v := range vs {
+				if i >= 20 {
+					fmt.Printf("  ... and %d more\n", len(vs)-20)
+					break
+				}
+				fmt.Printf("  %v\n", v)
+			}
+			os.Exit(1)
+		}
+	}
+}

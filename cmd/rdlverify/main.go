@@ -1,0 +1,77 @@
+// Command rdlverify checks a saved routing result against its design: it
+// re-runs the full design-rule checker (spacing, crossing, angle rules and
+// connectivity) and reports the Table-I metrics of the stored layout.
+//
+// Usage:
+//
+//	rdlroute -bench dense1 -out routes.rdl      # produce a result
+//	rdlgen   -name dense1 -o design.rdl
+//	rdlverify -design design.rdl -routes routes.rdl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rdlroute"
+)
+
+func main() {
+	var (
+		designPath = flag.String("design", "", "design netlist file")
+		routesPath = flag.String("routes", "", "routing result file (from rdlroute -out)")
+		maxPrint   = flag.Int("max-violations", 20, "maximum violations to print")
+	)
+	flag.Parse()
+	if *designPath == "" || *routesPath == "" {
+		fmt.Fprintln(os.Stderr, "rdlverify: need -design and -routes")
+		os.Exit(2)
+	}
+	df, err := os.Open(*designPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdlverify:", err)
+		os.Exit(1)
+	}
+	d, err := rdlroute.ParseDesign(df)
+	df.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdlverify:", err)
+		os.Exit(1)
+	}
+	if err := d.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "rdlverify: design invalid:", err)
+		os.Exit(1)
+	}
+	rf, err := os.Open(*routesPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdlverify:", err)
+		os.Exit(1)
+	}
+	lay, err := rdlroute.ParseLayout(rf, d)
+	rf.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdlverify:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("design      %s (%d nets, %d wire layers)\n", d.Name, len(d.Nets), d.WireLayers)
+	fmt.Printf("routes      %d polylines, %d vias\n", len(lay.Routes), len(lay.Vias))
+	fmt.Printf("routability %.1f%% (%d/%d nets)\n", lay.Routability(), lay.RoutedCount(), len(d.Nets))
+	fmt.Printf("wirelength  %.0f\n", lay.Wirelength())
+
+	vs := rdlroute.Check(lay)
+	if len(vs) == 0 {
+		fmt.Println("drc         clean")
+		return
+	}
+	fmt.Printf("drc         %d violations\n", len(vs))
+	for i, v := range vs {
+		if i >= *maxPrint {
+			fmt.Printf("  ... and %d more\n", len(vs)-*maxPrint)
+			break
+		}
+		fmt.Printf("  %v\n", v)
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+// Ablation study: routes the dense1 benchmark with each of the paper's
+// design choices disabled in turn — Eq. (2) chord weights, the LP
+// optimization stage, stage-3 via insertion, and the whole concurrent
+// stage — quantifying what each contributes (Section IV's analysis).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rdlroute"
+)
+
+func main() {
+	d, err := rdlroute.GenerateBenchmark("dense1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rows := []struct {
+		label string
+		mut   func(*rdlroute.Options)
+	}{
+		{"full flow (paper)", func(o *rdlroute.Options) {}},
+		{"unweighted MPSC", func(o *rdlroute.Options) { o.UseWeights = false }},
+		{"no LP optimization", func(o *rdlroute.Options) { o.EnableLP = false }},
+		{"no via insertion", func(o *rdlroute.Options) { o.EnableVias = false }},
+		{"no concurrent stage", func(o *rdlroute.Options) { o.EnableStage2 = false }},
+	}
+	fmt.Printf("%-22s %12s %12s %10s %8s\n", "configuration", "routability", "wirelength", "runtime", "drc")
+	for _, row := range rows {
+		opts := rdlroute.DefaultOptions()
+		row.mut(&opts)
+		res, err := rdlroute.Route(d, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "clean"
+		if vs := rdlroute.Check(res.Layout); len(vs) > 0 {
+			status = fmt.Sprintf("%d bad", len(vs))
+		}
+		fmt.Printf("%-22s %11.1f%% %12.0f %10v %8s\n",
+			row.label, res.Routability, res.Wirelength, res.Runtime.Round(1e6), status)
+	}
+}

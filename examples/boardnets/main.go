@@ -1,0 +1,64 @@
+// Chip-to-board routing with the full formulation: a package with
+// inter-chip nets, chip-to-board nets (I/O pad → bump pad), mid-layer
+// obstacles and pre-assigned blockage vias (the formulation's O and V_p
+// sets). Routes it and writes an SVG of the result.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rdlroute"
+)
+
+func main() {
+	d, err := rdlroute.Generate(rdlroute.GenSpec{
+		Name:       "boardnets-demo",
+		Chips:      4,
+		IOPads:     64,
+		BumpPads:   144,
+		WireLayers: 5,
+		Seed:       7,
+		BoardFrac:  0.4, // 40% of nets terminate on bump pads
+		Obstacles:  8,
+		FixedVias:  10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rdlroute.Route(d, rdlroute.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	inter, board := 0, 0
+	for ni, n := range d.Nets {
+		if !res.Layout.Routed(ni) {
+			continue
+		}
+		if n.InterChip() {
+			inter++
+		} else {
+			board++
+		}
+	}
+	fmt.Printf("routability %.1f%%: %d inter-chip + %d chip-to-board nets routed\n",
+		res.Routability, inter, board)
+	fmt.Printf("wirelength %.0f, %d vias, %v\n",
+		res.Wirelength, res.Layout.ViaCount(), res.Runtime)
+	if vs := rdlroute.Check(res.Layout); len(vs) != 0 {
+		log.Fatalf("DRC violations: %v", vs[0])
+	}
+	fmt.Println("design rules clean")
+
+	f, err := os.Create("boardnets.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := rdlroute.RenderSVG(f, res.Layout, rdlroute.DefaultRenderOptions()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("layout written to boardnets.svg")
+}

@@ -1,0 +1,52 @@
+// Irregular pad structures: generates two variants of the same package —
+// one with purely peripheral pads and one with a third of the pads pulled
+// into the chip interior (the irregular structure the paper targets) —
+// and shows how the flow degrades gracefully: interior pads are excluded
+// from the weighted-MPSC concurrent stage and picked up by the sequential
+// A*-search stage on the octagonal tile graph.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rdlroute"
+)
+
+func main() {
+	variants := []struct {
+		label        string
+		interiorFrac float64
+	}{
+		{"peripheral-only", 0.001},
+		{"irregular (30% interior)", 0.30},
+	}
+	for _, v := range variants {
+		d, err := rdlroute.Generate(rdlroute.GenSpec{
+			Name:         "irregular-demo",
+			Chips:        3,
+			IOPads:       60,
+			BumpPads:     100,
+			WireLayers:   3,
+			Seed:         42,
+			InteriorFrac: v.interiorFrac,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rdlroute.Route(d, rdlroute.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "clean"
+		if vs := rdlroute.Check(res.Layout); len(vs) > 0 {
+			status = fmt.Sprintf("%d violations", len(vs))
+		}
+		fmt.Printf("%-26s routability %5.1f%%  concurrent %2d  sequential %2d  wl %7.0f  drc %s\n",
+			v.label, res.Routability, res.ConcurrentRouted, res.SequentialRouted,
+			res.Wirelength, status)
+	}
+	fmt.Println("\nInterior pads cannot escape to a chip boundary, so they skip the")
+	fmt.Println("fan-out concurrent stage; the sequential stage routes them through")
+	fmt.Println("the octagonal-tile graph with flexible vias.")
+}

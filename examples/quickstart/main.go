@@ -1,0 +1,36 @@
+// Quickstart: generate the paper's dense1 benchmark, route it with the
+// five-stage via-based flow, and print the Table-I-style metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rdlroute"
+)
+
+func main() {
+	d, err := rdlroute.GenerateBenchmark("dense1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := d.Stats()
+	fmt.Printf("circuit %s: %d chips, |Q|=%d, |G|=%d, |N|=%d, |Lw|=%d, |Lv|=%d\n",
+		s.Name, s.Chips, s.Q, s.G, s.N, s.WireLayers, s.ViaLayers)
+
+	res, err := rdlroute.Route(d, rdlroute.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("routability  %.1f%% (%d/%d nets)\n", res.Routability, res.RoutedNets, res.TotalNets)
+	fmt.Printf("wirelength   %.0f µm (before LP optimization: %.0f µm)\n",
+		res.Wirelength, res.WirelengthBeforeLP)
+	fmt.Printf("vias         %d\n", res.Layout.ViaCount())
+	fmt.Printf("runtime      %v\n", res.Runtime)
+
+	if vs := rdlroute.Check(res.Layout); len(vs) == 0 {
+		fmt.Println("design rules clean")
+	} else {
+		fmt.Printf("%d design-rule violations (first: %v)\n", len(vs), vs[0])
+	}
+}

@@ -1,0 +1,105 @@
+// Two-chip inter-chip routing: builds a package by hand — two dies with
+// facing and outer pad rows — routes it, and walks the resulting layout
+// (per-layer wires and vias), showing how to consume the routing result
+// programmatically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rdlroute"
+	"rdlroute/internal/geom"
+)
+
+func main() {
+	d := buildPackage()
+	if err := d.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := rdlroute.Route(d, rdlroute.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("routed %d/%d nets (%.1f%%), wirelength %.0f\n",
+		res.RoutedNets, res.TotalNets, res.Routability, res.Wirelength)
+	fmt.Printf("stage split: %d concurrent (weighted MPSC), %d sequential (A* on tiles)\n",
+		res.ConcurrentRouted, res.SequentialRouted)
+
+	// Walk the result: wirelength per layer and via usage per net.
+	perLayer := make([]float64, d.WireLayers)
+	for i := range res.Layout.Routes {
+		r := &res.Layout.Routes[i]
+		perLayer[r.Layer] += r.Len()
+	}
+	for l, wl := range perLayer {
+		fmt.Printf("  layer %d: %.0f µm of wire\n", l, wl)
+	}
+	viasPerNet := map[int]int{}
+	for _, v := range res.Layout.Vias {
+		viasPerNet[v.Net]++
+	}
+	for ni := range d.Nets {
+		if res.Layout.Routed(ni) {
+			fmt.Printf("  net %2d: wirelength %6.0f, vias %d\n",
+				ni, res.Layout.NetWirelength(ni), viasPerNet[ni])
+		}
+	}
+	if vs := rdlroute.Check(res.Layout); len(vs) != 0 {
+		log.Fatalf("DRC violations: %v", vs[0])
+	}
+	fmt.Println("design rules clean")
+}
+
+// buildPackage assembles a 2-chip, 3-wire-layer package with 12 nets. All
+// coordinates are multiples of 12 (the routing-lattice pitch).
+func buildPackage() *rdlroute.Design {
+	d := &rdlroute.Design{
+		Name:       "twochip",
+		Outline:    geom.RectWH(0, 0, 1800, 1200),
+		WireLayers: 3,
+		Rules:      rdlroute.Rules{Spacing: 5, WireWidth: 4, ViaWidth: 16},
+		Chips: []rdlroute.Chip{
+			{Name: "cpu", Box: geom.RectWH(180, 360, 480, 480)},
+			{Name: "mem", Box: geom.RectWH(1140, 360, 480, 480)},
+		},
+	}
+	id := 0
+	pad := func(chip int, x, y int64) int {
+		d.IOPads = append(d.IOPads, rdlroute.IOPad{
+			ID: id, Chip: chip, Center: geom.Pt(x, y), HalfW: 8,
+		})
+		id++
+		return id - 1
+	}
+	net := func(a, b int) {
+		d.Nets = append(d.Nets, rdlroute.Net{
+			ID: len(d.Nets),
+			P1: rdlroute.PadRef{Kind: 0, Index: a},
+			P2: rdlroute.PadRef{Kind: 0, Index: b},
+		})
+	}
+	// Facing bus: cpu east edge ↔ mem west edge, straight across.
+	for i := 0; i < 6; i++ {
+		y := int64(420 + 72*i)
+		net(pad(0, 648, y), pad(1, 1152, y))
+	}
+	// Crossed pairs on the outer edges: these force layers or detours.
+	var left, right []int
+	for i := 0; i < 3; i++ {
+		y := int64(456 + 96*i)
+		left = append(left, pad(0, 192, y))
+		right = append(right, pad(1, 1608, y))
+	}
+	for i := 0; i < 3; i++ {
+		net(left[i], right[2-i])
+	}
+	// One top-edge pair.
+	net(pad(0, 420, 828), pad(1, 1380, 828))
+	// One bottom-edge pair.
+	net(pad(0, 420, 372), pad(1, 1380, 372))
+	// An interior (non-peripheral) pair: handled by the sequential stage.
+	net(pad(0, 420, 600), pad(1, 1380, 600))
+	return d
+}

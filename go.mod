@@ -1,0 +1,3 @@
+module rdlroute
+
+go 1.22

@@ -1,0 +1,266 @@
+// Package baseline implements Lin-ext, the comparison flow of the paper's
+// evaluation: the concurrent routing method of Lin et al. (ICCAD'16) —
+// a per-chip concentric-circle layer assignment without congestion
+// weighting — extended with A*-search sequential routing. Its two
+// structural limitations (reproduced faithfully) are:
+//
+//   - no flexible vias: every net is routed entirely within one wire
+//     layer, reaching it through fixed via stacks that punch through all
+//     RDLs at the pad positions (committed up front for every net pad);
+//   - the concentric-circle model considers only the nets around one chip
+//     at a time and ignores fan-out congestion.
+package baseline
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/lattice"
+	"rdlroute/internal/layout"
+	"rdlroute/internal/mpsc"
+)
+
+// Options tune the baseline.
+type Options struct {
+	Pitch   int64
+	ViaCost float64
+}
+
+// DefaultOptions returns the configuration used in the benchmark harness.
+func DefaultOptions() Options {
+	return Options{Pitch: design.Grid}
+}
+
+// Result mirrors the router's metrics for the baseline flow.
+type Result struct {
+	Layout           *layout.Layout
+	Routability      float64
+	Wirelength       float64
+	RoutedNets       int
+	TotalNets        int
+	ConcurrentRouted int
+	SequentialRouted int
+	Runtime          time.Duration
+}
+
+// Route runs Lin-ext on the design.
+func Route(d *design.Design, opts Options) (*Result, error) {
+	start := time.Now()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Pitch == 0 {
+		opts.Pitch = design.Grid
+	}
+	la, err := lattice.New(d, opts.Pitch)
+	if err != nil {
+		return nil, err
+	}
+	lay := layout.New(d)
+	res := &Result{Layout: lay, TotalNets: len(d.Nets)}
+
+	// Fixed via stacks at every net pad, punching down through the RDLs as
+	// far as legal (a stack stops where it would collide with a bump pad
+	// or an obstacle — the physical structure the previous works assume).
+	reach := map[design.PadRef]int{}
+	if d.WireLayers > 1 {
+		for ni, n := range d.Nets {
+			for _, ref := range []design.PadRef{n.P1, n.P2} {
+				if ref.Kind != design.IOKind {
+					continue
+				}
+				c := d.IOPads[ref.Index].Center
+				r := 0
+				for r < d.WireLayers-1 && la.StackFree(c, r, r+1, ni) {
+					la.CommitStack(c, r, r+1, ni)
+					lay.AddStack(ni, c, r, r+1)
+					r++
+				}
+				reach[ref] = r
+			}
+		}
+	}
+	netReach := func(ni int) int {
+		n := d.Nets[ni]
+		r := d.WireLayers - 1
+		for _, ref := range []design.PadRef{n.P1, n.P2} {
+			if ref.Kind != design.IOKind {
+				continue // bump pads live on the bottom layer directly
+			}
+			rr, ok := reach[ref]
+			if !ok {
+				return 0
+			}
+			if rr < r {
+				r = rr
+			}
+		}
+		return r
+	}
+
+	assigned := concentricAssign(d)
+
+	// Concurrent stage: route each layer's assignment, chip by chip.
+	routedSet := map[int]bool{}
+	for l := 0; l < d.WireLayers; l++ {
+		for _, ni := range assigned[l] {
+			if routedSet[ni] {
+				continue
+			}
+			if l > netReach(ni) {
+				continue // pad stacks do not reach this layer
+			}
+			if routeSingleLayer(d, la, lay, ni, l, opts) {
+				routedSet[ni] = true
+				res.ConcurrentRouted++
+			}
+		}
+	}
+
+	// Sequential stage: remaining nets try every layer in turn.
+	var rest []int
+	for ni := range d.Nets {
+		if !routedSet[ni] {
+			rest = append(rest, ni)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		di := directLen(d, rest[i])
+		dj := directLen(d, rest[j])
+		return di < dj
+	})
+	for _, ni := range rest {
+		for l := 0; l <= netReach(ni) && l < d.WireLayers; l++ {
+			if routeSingleLayer(d, la, lay, ni, l, opts) {
+				routedSet[ni] = true
+				res.SequentialRouted++
+				break
+			}
+		}
+	}
+
+	res.RoutedNets = lay.RoutedCount()
+	res.Routability = lay.Routability()
+	res.Wirelength = lay.Wirelength()
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+func directLen(d *design.Design, ni int) float64 {
+	n := d.Nets[ni]
+	return geom.OctDist(d.PadCenter(n.P1), d.PadCenter(n.P2))
+}
+
+// routeSingleLayer routes a net entirely on one wire layer (its pads reach
+// the layer through their fixed stacks). Chip-to-board nets terminate on a
+// bump pad and therefore only route on the bottom layer.
+func routeSingleLayer(d *design.Design, la *lattice.Lattice, lay *layout.Layout, ni, l int, opts Options) bool {
+	n := d.Nets[ni]
+	if n.P1.Kind != design.IOKind {
+		return false
+	}
+	if n.P2.Kind == design.BumpKind && l != d.WireLayers-1 {
+		return false
+	}
+	from := d.IOPads[n.P1.Index].Center
+	to := d.PadCenter(n.P2)
+	mask := make([]bool, d.WireLayers)
+	mask[l] = true
+	path, _, ok := la.Route(lattice.Request{
+		Net: ni, From: from, To: to,
+		FromLayer: l, ToLayer: l,
+		LayerMask: mask, ViaCost: opts.ViaCost,
+	})
+	if !ok {
+		return false
+	}
+	la.Commit(path, ni)
+	lay.AddPath(ni, path)
+	lay.MarkRouted(ni)
+	return true
+}
+
+// concentricAssign performs the per-chip concentric-circle layer
+// assignment: for each wire layer, walk the chips and pick a maximum
+// planar subset of that chip's unassigned nets on a circular model ordered
+// by angle around the chip center (unweighted — Lin's model has no
+// congestion term).
+func concentricAssign(d *design.Design) [][]int {
+	assigned := make([][]int, d.WireLayers)
+	done := map[int]bool{}
+	for l := 0; l < d.WireLayers; l++ {
+		for chip := range d.Chips {
+			picked := planarAroundChip(d, chip, done)
+			for _, ni := range picked {
+				done[ni] = true
+				assigned[l] = append(assigned[l], ni)
+			}
+		}
+	}
+	return assigned
+}
+
+// planarAroundChip builds the chip's circular model and returns a maximum
+// planar subset of its incident unassigned nets.
+func planarAroundChip(d *design.Design, chip int, done map[int]bool) []int {
+	center := d.Chips[chip].Box.Center()
+	type ev struct {
+		net   int
+		angle float64
+		seq   int
+	}
+	var evs []ev
+	seq := 0
+	for ni, n := range d.Nets {
+		if done[ni] || !n.InterChip() {
+			continue
+		}
+		p1 := d.IOPads[n.P1.Index]
+		p2 := d.IOPads[n.P2.Index]
+		if p1.Chip != chip && p2.Chip != chip {
+			continue
+		}
+		// Endpoint angles on the chip's concentric circle: the pad on this
+		// chip by its own angle, the far pad by its direction from the
+		// chip center.
+		evs = append(evs, ev{ni, angleOf(center, p1.Center), seq})
+		seq++
+		evs = append(evs, ev{ni, angleOf(center, p2.Center), seq})
+		seq++
+	}
+	if len(evs) == 0 {
+		return nil
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].angle != evs[j].angle {
+			return evs[i].angle < evs[j].angle
+		}
+		return evs[i].seq < evs[j].seq
+	})
+	pos := map[int][]int{}
+	for i, e := range evs {
+		pos[e.net] = append(pos[e.net], i)
+	}
+	var chords []mpsc.Chord
+	for net, ps := range pos {
+		if len(ps) != 2 {
+			continue
+		}
+		chords = append(chords, mpsc.Chord{A: ps[0], B: ps[1], W: 1, Tag: net})
+	}
+	sort.Slice(chords, func(i, j int) bool { return chords[i].Tag < chords[j].Tag })
+	picked, _ := mpsc.MaxPlanarSubset(len(evs), chords)
+	var out []int
+	for _, ci := range picked {
+		out = append(out, chords[ci].Tag)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func angleOf(p, q geom.Point) float64 {
+	return math.Atan2(float64(q.Y-p.Y), float64(q.X-p.X))
+}

@@ -1,0 +1,177 @@
+package baseline
+
+import (
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/drc"
+	"rdlroute/internal/geom"
+)
+
+// crossing4 builds two chips with four mutually-entangled nets: two
+// straight pairs and two crossing pairs, so single-layer routing cannot
+// complete everything on one layer.
+func crossing4(layers int) *design.Design {
+	d := &design.Design{
+		Name:       "crossing4",
+		Outline:    geom.RectWH(0, 0, 1440, 960),
+		WireLayers: layers,
+		Rules:      design.Rules{Spacing: 5, WireWidth: 4, ViaWidth: 16},
+		Chips: []design.Chip{
+			{Name: "a", Box: geom.RectWH(120, 288, 360, 360)},
+			{Name: "b", Box: geom.RectWH(960, 288, 360, 360)},
+		},
+	}
+	id := 0
+	pad := func(chip int, x, y int64) int {
+		d.IOPads = append(d.IOPads, design.IOPad{ID: id, Chip: chip, Center: geom.Pt(x, y), HalfW: 8})
+		id++
+		return id - 1
+	}
+	ys := []int64{336, 420, 504, 588}
+	var left, right []int
+	for _, y := range ys {
+		left = append(left, pad(0, 468, y))
+		right = append(right, pad(1, 972, y))
+	}
+	// Entangled assignment: 0→3, 1→2, 2→1, 3→0 (full reversal: every pair
+	// of nets crosses).
+	for i := range ys {
+		d.Nets = append(d.Nets, design.Net{
+			ID: i,
+			P1: design.PadRef{Kind: design.IOKind, Index: left[i]},
+			P2: design.PadRef{Kind: design.IOKind, Index: right[len(ys)-1-i]},
+		})
+	}
+	return d
+}
+
+func TestBaselineCrossingNets(t *testing.T) {
+	// With full reversal all four channel-straight paths mutually cross;
+	// the baseline must resolve this with layers or detours around the
+	// chips while keeping every net on a single layer.
+	d := crossing4(2)
+	res, err := Route(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := drc.Check(res.Layout); len(vs) != 0 {
+		t.Errorf("baseline produced violations: %v", vs[0])
+	}
+	// With 4 layers everything fits.
+	d4 := crossing4(4)
+	res4, err := Route(d4, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.Routability != 100 {
+		t.Errorf("4-layer baseline routability = %v, want 100", res4.Routability)
+	}
+	if vs := drc.Check(res4.Layout); len(vs) != 0 {
+		t.Errorf("4-layer baseline violations: %v", vs[0])
+	}
+}
+
+func TestBaselineParallelNetsShareLayer(t *testing.T) {
+	// Non-crossing parallel nets should all land on the first layer via
+	// the concentric model.
+	d := &design.Design{
+		Name:       "parallel",
+		Outline:    geom.RectWH(0, 0, 1440, 960),
+		WireLayers: 2,
+		Rules:      design.Rules{Spacing: 5, WireWidth: 4, ViaWidth: 16},
+		Chips: []design.Chip{
+			{Name: "a", Box: geom.RectWH(120, 288, 360, 360)},
+			{Name: "b", Box: geom.RectWH(960, 288, 360, 360)},
+		},
+	}
+	id := 0
+	pad := func(chip int, x, y int64) int {
+		d.IOPads = append(d.IOPads, design.IOPad{ID: id, Chip: chip, Center: geom.Pt(x, y), HalfW: 8})
+		id++
+		return id - 1
+	}
+	for i := 0; i < 4; i++ {
+		y := int64(336 + 60*i)
+		p1 := pad(0, 468, y)
+		p2 := pad(1, 972, y)
+		d.Nets = append(d.Nets, design.Net{
+			ID: i,
+			P1: design.PadRef{Kind: design.IOKind, Index: p1},
+			P2: design.PadRef{Kind: design.IOKind, Index: p2},
+		})
+	}
+	res, err := Route(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Routability != 100 {
+		t.Fatalf("routability = %v", res.Routability)
+	}
+	if res.ConcurrentRouted < 4 {
+		t.Errorf("concurrent stage routed %d of 4 parallel nets", res.ConcurrentRouted)
+	}
+	if vs := drc.Check(res.Layout); len(vs) != 0 {
+		t.Errorf("violations: %v", vs[0])
+	}
+	// All wires on layer 0 (single-layer nets, concentric assignment).
+	for _, r := range res.Layout.Routes {
+		if r.Layer != 0 {
+			t.Errorf("net %d wire on layer %d, want 0", r.Net, r.Layer)
+		}
+	}
+}
+
+func TestBaselineSingleLayerNets(t *testing.T) {
+	// Every net's wires stay within exactly one layer (the no-flexible-via
+	// restriction), with only the pad stacks changing layers.
+	d := crossing4(4)
+	res, err := Route(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layerOf := map[int]int{}
+	for _, r := range res.Layout.Routes {
+		if l, ok := layerOf[r.Net]; ok && l != r.Layer {
+			t.Errorf("net %d has wires on layers %d and %d", r.Net, l, r.Layer)
+		}
+		layerOf[r.Net] = r.Layer
+	}
+}
+
+func TestBaselineChipToBoardNets(t *testing.T) {
+	// Board nets route on the bottom layer through the pad's full stack.
+	d, err := design.Generate(design.GenSpec{
+		Name: "board", Chips: 2, IOPads: 20, BumpPads: 36,
+		WireLayers: 3, Seed: 9, BoardFrac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := drc.Check(res.Layout); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs[0])
+	}
+	boardRouted := 0
+	for ni, n := range d.Nets {
+		if n.P2.Kind != design.BumpKind || !res.Layout.Routed(ni) {
+			continue
+		}
+		boardRouted++
+		if !res.Layout.Connected(ni) {
+			t.Errorf("board net %d routed but disconnected", ni)
+		}
+		// Its wires must all be on the bottom layer.
+		for _, r := range res.Layout.Routes {
+			if r.Net == ni && r.Layer != d.WireLayers-1 {
+				t.Errorf("board net %d has wire on layer %d", ni, r.Layer)
+			}
+		}
+	}
+	if boardRouted == 0 {
+		t.Error("baseline routed no chip-to-board nets")
+	}
+}

@@ -1,0 +1,192 @@
+// Package congest computes per-global-cell track utilization of a routed
+// layout — the congestion view designers use to judge a result and the
+// quantity the paper's Eq. (1) overflow rates estimate ahead of time. It
+// also renders an ASCII heatmap for the CLI.
+package congest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"rdlroute/internal/geom"
+	"rdlroute/internal/layout"
+)
+
+// Map is the congestion map of one layout: utilization per wire layer and
+// global cell, where utilization 1.0 means the cell's area is fully
+// packed with wires at minimum pitch.
+type Map struct {
+	CellsX, CellsY int
+	Layers         int
+	outline        geom.Rect
+	util           []float64 // [layer][cy][cx] flattened
+}
+
+// Build computes the map with a cells×cells grid.
+func Build(l *layout.Layout, cells int) *Map {
+	if cells < 1 {
+		cells = 1
+	}
+	d := l.D
+	m := &Map{
+		CellsX: cells, CellsY: cells,
+		Layers:  d.WireLayers,
+		outline: d.Outline,
+		util:    make([]float64, d.WireLayers*cells*cells),
+	}
+	pitch := float64(d.Rules.WireWidth + d.Rules.Spacing)
+	cw := float64(d.Outline.W()) / float64(cells)
+	ch := float64(d.Outline.H()) / float64(cells)
+	cellArea := cw * ch
+	if cellArea <= 0 {
+		return m
+	}
+	for i := range l.Routes {
+		r := &l.Routes[i]
+		r.Segments(func(s geom.Segment) {
+			m.addSegment(r.Layer, s, pitch, cellArea)
+		})
+	}
+	return m
+}
+
+// addSegment distributes a wire segment's pitch-weighted area over the
+// cells it crosses.
+func (m *Map) addSegment(layer int, s geom.Segment, pitch, cellArea float64) {
+	if s.Degenerate() {
+		return
+	}
+	b := s.BBox()
+	cx0, cy0 := m.cellOf(geom.Pt(b.X0, b.Y0))
+	cx1, cy1 := m.cellOf(geom.Pt(b.X1, b.Y1))
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			cl := m.clipLen(s, cx, cy)
+			if cl <= 0 {
+				continue
+			}
+			m.util[(layer*m.CellsY+cy)*m.CellsX+cx] += cl * pitch / cellArea
+		}
+	}
+}
+
+func (m *Map) cellOf(p geom.Point) (cx, cy int) {
+	w := m.outline.W()
+	h := m.outline.H()
+	cx = int((p.X - m.outline.X0) * int64(m.CellsX) / (w + 1))
+	cy = int((p.Y - m.outline.Y0) * int64(m.CellsY) / (h + 1))
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cx >= m.CellsX {
+		cx = m.CellsX - 1
+	}
+	if cy >= m.CellsY {
+		cy = m.CellsY - 1
+	}
+	return
+}
+
+// clipLen returns the length of the segment inside the cell (Liang-Barsky
+// parametric clipping).
+func (m *Map) clipLen(s geom.Segment, cx, cy int) float64 {
+	w := float64(m.outline.W()) / float64(m.CellsX)
+	h := float64(m.outline.H()) / float64(m.CellsY)
+	x0 := float64(m.outline.X0) + float64(cx)*w
+	y0 := float64(m.outline.Y0) + float64(cy)*h
+	x1, y1 := x0+w, y0+h
+
+	ax, ay := float64(s.A.X), float64(s.A.Y)
+	dx := float64(s.B.X) - ax
+	dy := float64(s.B.Y) - ay
+	t0, t1 := 0.0, 1.0
+	clip := func(p, q float64) bool {
+		if p == 0 {
+			return q >= 0
+		}
+		t := q / p
+		if p < 0 {
+			if t > t1 {
+				return false
+			}
+			if t > t0 {
+				t0 = t
+			}
+		} else {
+			if t < t0 {
+				return false
+			}
+			if t < t1 {
+				t1 = t
+			}
+		}
+		return true
+	}
+	if !clip(-dx, ax-x0) || !clip(dx, x1-ax) || !clip(-dy, ay-y0) || !clip(dy, y1-ay) {
+		return 0
+	}
+	if t1 <= t0 {
+		return 0
+	}
+	return (t1 - t0) * math.Hypot(dx, dy)
+}
+
+// Utilization returns the cell's utilization on a layer.
+func (m *Map) Utilization(layer, cx, cy int) float64 {
+	return m.util[(layer*m.CellsY+cy)*m.CellsX+cx]
+}
+
+// Peak returns the most congested cell of a layer.
+func (m *Map) Peak(layer int) (cx, cy int, u float64) {
+	for y := 0; y < m.CellsY; y++ {
+		for x := 0; x < m.CellsX; x++ {
+			if v := m.Utilization(layer, x, y); v > u {
+				u = v
+				cx, cy = x, y
+			}
+		}
+	}
+	return
+}
+
+// Mean returns a layer's mean utilization.
+func (m *Map) Mean(layer int) float64 {
+	total := 0.0
+	for y := 0; y < m.CellsY; y++ {
+		for x := 0; x < m.CellsX; x++ {
+			total += m.Utilization(layer, x, y)
+		}
+	}
+	return total / float64(m.CellsX*m.CellsY)
+}
+
+// heat maps utilization to a density character.
+var heat = []byte(" .:-=+*#%@")
+
+// Render writes an ASCII heatmap of a layer (row 0 at the top = max y).
+func (m *Map) Render(w io.Writer, layer int) error {
+	bw := bufio.NewWriter(w)
+	_, _, peak := m.Peak(layer)
+	fmt.Fprintf(bw, "layer %d utilization (peak %.2f, mean %.3f)\n", layer, peak, m.Mean(layer))
+	for y := m.CellsY - 1; y >= 0; y-- {
+		for x := 0; x < m.CellsX; x++ {
+			u := m.Utilization(layer, x, y)
+			idx := 0
+			if u > 1e-9 {
+				// Any nonzero utilization is visible; full scale at 1.0.
+				idx = 1 + int(u*float64(len(heat)-2))
+				if idx >= len(heat) {
+					idx = len(heat) - 1
+				}
+			}
+			bw.WriteByte(heat[idx])
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,126 @@
+package congest
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/lattice"
+	"rdlroute/internal/layout"
+)
+
+func dsn() *design.Design {
+	return &design.Design{
+		Name:       "c",
+		Outline:    geom.RectWH(0, 0, 400, 400),
+		WireLayers: 2,
+		Rules:      design.Rules{Spacing: 5, WireWidth: 4, ViaWidth: 16},
+	}
+}
+
+func TestEmptyLayoutZero(t *testing.T) {
+	m := Build(layout.New(dsn()), 4)
+	for l := 0; l < 2; l++ {
+		if _, _, u := m.Peak(l); u != 0 {
+			t.Errorf("layer %d peak = %v on empty layout", l, u)
+		}
+	}
+}
+
+func TestSingleWireUtilization(t *testing.T) {
+	l := layout.New(dsn())
+	// Horizontal wire across the middle of the bottom-left cell only:
+	// cell is 200×200 (2×2 grid), wire spans x 0..200 at y=100.
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(0, 100)},
+		{Layer: 0, Pt: geom.Pt(200, 100)},
+	})
+	m := Build(l, 2)
+	// Utilization = len·pitch/area = 200·9/40000 = 0.045.
+	got := m.Utilization(0, 0, 0)
+	if math.Abs(got-0.045) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.045", got)
+	}
+	// The other cells stay empty.
+	if m.Utilization(0, 1, 1) != 0 || m.Utilization(1, 0, 0) != 0 {
+		t.Error("wire leaked into wrong cells/layers")
+	}
+}
+
+func TestSegmentSplitAcrossCells(t *testing.T) {
+	l := layout.New(dsn())
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(100, 100)},
+		{Layer: 0, Pt: geom.Pt(300, 100)}, // crosses the x=200 cell border
+	})
+	m := Build(l, 2)
+	left := m.Utilization(0, 0, 0)
+	right := m.Utilization(0, 1, 0)
+	if math.Abs(left-right) > 1e-9 {
+		t.Errorf("split should be even: %v vs %v", left, right)
+	}
+	total := (left + right) * 40000 / 9
+	if math.Abs(total-200) > 1e-6 {
+		t.Errorf("total length = %v, want 200", total)
+	}
+}
+
+func TestDiagonalLength(t *testing.T) {
+	l := layout.New(dsn())
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 1, Pt: geom.Pt(0, 0)},
+		{Layer: 1, Pt: geom.Pt(100, 100)},
+	})
+	m := Build(l, 1)
+	got := m.Utilization(1, 0, 0) * 400 * 400 / 9
+	if math.Abs(got-100*geom.Sqrt2) > 1e-6 {
+		t.Errorf("diagonal length = %v, want %v", got, 100*geom.Sqrt2)
+	}
+}
+
+func TestPeakAndMean(t *testing.T) {
+	l := layout.New(dsn())
+	for i := 0; i < 5; i++ {
+		y := int64(40 + 12*i)
+		l.AddPath(i, []lattice.PathStep{
+			{Layer: 0, Pt: geom.Pt(0, y)},
+			{Layer: 0, Pt: geom.Pt(190, y)},
+		})
+	}
+	m := Build(l, 2)
+	cx, cy, u := m.Peak(0)
+	if cx != 0 || cy != 0 {
+		t.Errorf("peak cell = (%d,%d), want (0,0)", cx, cy)
+	}
+	if u <= 0 || m.Mean(0) <= 0 || m.Mean(0) > u {
+		t.Errorf("peak %v / mean %v inconsistent", u, m.Mean(0))
+	}
+}
+
+func TestRender(t *testing.T) {
+	l := layout.New(dsn())
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(0, 150)},
+		{Layer: 0, Pt: geom.Pt(400, 150)},
+	})
+	var buf bytes.Buffer
+	m := Build(l, 4)
+	if err := m.Render(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5 { // header + 4 rows
+		t.Fatalf("render lines = %d: %q", len(lines), buf.String())
+	}
+	// The wire is at y=100 → second cell row from the bottom → second line
+	// from the bottom of the map body must be the non-blank one.
+	if strings.TrimSpace(lines[3]) == "" {
+		t.Error("expected congestion in the second row from the bottom")
+	}
+	if strings.TrimSpace(lines[1]) != "" {
+		t.Error("top rows should be empty")
+	}
+}

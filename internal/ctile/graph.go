@@ -1,0 +1,240 @@
+package ctile
+
+import (
+	"math"
+
+	"rdlroute/internal/geom"
+	"rdlroute/internal/graphs"
+)
+
+// ViaSite is an inserted via column: a position where the router may
+// change layers, usable between wire layers [L0, L1] (paper III-C-3).
+type ViaSite struct {
+	Cell   int
+	P      geom.Point
+	L0, L1 int
+}
+
+// InsertVias performs the paper's via insertion: for every global cell,
+// place a via at the center of the largest tile in the cell and project it
+// through upper and lower layers until a blockage (a layer where the point
+// is not in free space) stops it.
+func (m *Model) InsertVias() []ViaSite {
+	var sites []ViaSite
+	for c := 0; c < m.CellsX*m.CellsY; c++ {
+		bestLayer, bestIdx := -1, -1
+		bestArea := 0.0
+		for l := 0; l < m.D.WireLayers; l++ {
+			for i, t := range m.Tiles(l, c) {
+				if a := t.Area(); a > bestArea {
+					bestArea = a
+					bestLayer, bestIdx = l, i
+				}
+			}
+		}
+		if bestLayer < 0 {
+			continue
+		}
+		p := m.Tiles(bestLayer, c)[bestIdx].Center()
+		l0, l1 := bestLayer, bestLayer
+		for l0 > 0 {
+			if _, ok := m.TileAt(l0-1, p); !ok {
+				break
+			}
+			l0--
+		}
+		for l1 < m.D.WireLayers-1 {
+			if _, ok := m.TileAt(l1+1, p); !ok {
+				break
+			}
+			l1++
+		}
+		if l1 > l0 {
+			sites = append(sites, ViaSite{Cell: c, P: p, L0: l0, L1: l1})
+		}
+	}
+	return sites
+}
+
+// minTouch is the minimum shared-boundary extent for two tiles to count as
+// connected (a wire must fit through).
+func (m *Model) minTouch() int64 { return m.D.Rules.WireWidth }
+
+// adjacent reports whether two tiles on the same layer touch along a
+// usable boundary. Both tiles must be canonical (as stored by Tiles).
+func (m *Model) adjacent(a geom.Oct8, abb geom.Rect, b geom.Oct8, bbb geom.Rect) bool {
+	if !abb.Expand(1).Intersects(bbb) {
+		return false
+	}
+	in := a.Grow(1).IntersectOct(b).Canonical()
+	if in.XLo > in.XHi || in.YLo > in.YHi || in.SLo > in.SHi || in.DLo > in.DHi {
+		return false
+	}
+	return geom.Max64(in.XHi-in.XLo, in.YHi-in.YLo) >= m.minTouch()
+}
+
+// snapshot freezes tile ids for one search.
+type snapshot struct {
+	m       *Model
+	offsets [][]int // [layer][cell] -> base id
+	total   int
+	sites   map[int][]ViaSite // by cell
+}
+
+func (m *Model) snapshot(sites []ViaSite) *snapshot {
+	s := &snapshot{m: m, sites: map[int][]ViaSite{}}
+	s.offsets = make([][]int, m.D.WireLayers)
+	id := 0
+	for l := 0; l < m.D.WireLayers; l++ {
+		s.offsets[l] = make([]int, m.CellsX*m.CellsY)
+		for c := 0; c < m.CellsX*m.CellsY; c++ {
+			s.offsets[l][c] = id
+			id += len(m.Tiles(l, c))
+		}
+	}
+	s.total = id
+	for _, v := range sites {
+		s.sites[v.Cell] = append(s.sites[v.Cell], v)
+	}
+	return s
+}
+
+func (s *snapshot) id(r TileRef) int { return s.offsets[r.Layer][r.Cell] + r.Idx }
+
+func (s *snapshot) ref(id int) TileRef {
+	// Binary search over layers then cells.
+	for l := 0; l < len(s.offsets); l++ {
+		cells := s.offsets[l]
+		var top int
+		if l+1 < len(s.offsets) {
+			top = s.offsets[l+1][0]
+		} else {
+			top = s.total
+		}
+		if id >= top {
+			continue
+		}
+		lo, hi := 0, len(cells)-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if cells[mid] <= id {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return TileRef{Layer: l, Cell: lo, Idx: id - cells[lo]}
+	}
+	return TileRef{}
+}
+
+// neighborCells returns cells within one ring of c plus c itself.
+func (m *Model) neighborCells(c int) []int {
+	cx, cy := c%m.CellsX, c/m.CellsX
+	var out []int
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			nx, ny := cx+dx, cy+dy
+			if nx < 0 || ny < 0 || nx >= m.CellsX || ny >= m.CellsY {
+				continue
+			}
+			out = append(out, ny*m.CellsX+nx)
+		}
+	}
+	return out
+}
+
+// TileNear returns the tile on the layer closest to p (searching p's cell
+// and its ring), for terminals whose exact point sits inside a pad's
+// clearance blockage.
+func (m *Model) TileNear(layer int, p geom.Point) (TileRef, bool) {
+	if r, ok := m.TileAt(layer, p); ok {
+		return r, true
+	}
+	cells := m.cellsTouching(geom.RectOf(p, p))
+	if len(cells) == 0 {
+		return TileRef{}, false
+	}
+	best := TileRef{}
+	bestD := math.Inf(1)
+	found := false
+	for _, c := range m.neighborCells(cells[0]) {
+		for i, t := range m.Tiles(layer, c) {
+			d := t.BBox().DistToPoint(p)
+			if d < bestD {
+				bestD = d
+				best = TileRef{layer, c, i}
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// FindCorridor runs A* on the octagonal-tile routing graph from the tile
+// near (from, fromLayer) to the tile near (to, toLayer), changing layers
+// only at the inserted via sites. It returns the tile path.
+func (m *Model) FindCorridor(from geom.Point, fromLayer int, to geom.Point, toLayer int, sites []ViaSite, viaCost float64) ([]TileRef, bool) {
+	startRef, ok1 := m.TileNear(fromLayer, from)
+	goalRef, ok2 := m.TileNear(toLayer, to)
+	if !ok1 || !ok2 {
+		return nil, false
+	}
+	s := m.snapshot(sites)
+	goalID := s.id(goalRef)
+
+	expand := func(u int, emit func(int, float64)) {
+		r := s.ref(u)
+		region := m.Region(r)
+		rbb := m.TileBBs(r.Layer, r.Cell)[r.Idx]
+		center := region.Center()
+		// Same-layer adjacencies.
+		for _, c := range m.neighborCells(r.Cell) {
+			tiles := m.Tiles(r.Layer, c)
+			bbs := m.TileBBs(r.Layer, c)
+			for i := range tiles {
+				if c == r.Cell && i == r.Idx {
+					continue
+				}
+				if m.adjacent(region, rbb, tiles[i], bbs[i]) {
+					emit(s.id(TileRef{r.Layer, c, i}), geom.OctDist(center, tiles[i].Center()))
+				}
+			}
+		}
+		// Via moves at sites inside this tile.
+		for _, v := range s.sites[r.Cell] {
+			if !region.Contains(v.P) {
+				continue
+			}
+			for _, nl := range []int{r.Layer - 1, r.Layer + 1} {
+				if nl < v.L0 || nl > v.L1 || nl < 0 || nl >= m.D.WireLayers {
+					continue
+				}
+				if nr, ok := m.TileAt(nl, v.P); ok {
+					emit(s.id(nr), viaCost)
+				}
+			}
+		}
+	}
+	h := func(u int) float64 {
+		r := s.ref(u)
+		d := geom.OctDist(m.Region(r).Center(), to)
+		dl := r.Layer - toLayer
+		if dl < 0 {
+			dl = -dl
+		}
+		return d*0.5 + float64(dl)*viaCost*0.5
+	}
+	path, _, ok := graphs.AStar(s.total,
+		[]graphs.StartState{{State: s.id(startRef)}},
+		func(u int) bool { return u == goalID },
+		expand, h)
+	if !ok {
+		return nil, false
+	}
+	out := make([]TileRef, len(path))
+	for i, id := range path {
+		out[i] = s.ref(id)
+	}
+	return out, true
+}

@@ -1,0 +1,278 @@
+// Package ctile implements the paper's Routing Graph Construction stage
+// (Section III-C): global cells, frame partitioning by corner extension,
+// the octagonal tile model for free-space decomposition under
+// X-architecture blockages, tile adjacency, per-cell via insertion, and
+// the incremental re-partitioning performed after each sequentially routed
+// net.
+package ctile
+
+import (
+	"sort"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+)
+
+// Tile is one octagonal free-space tile on a wire layer.
+type Tile struct {
+	Region geom.Oct8
+	Layer  int
+	Cell   int // owning global cell index
+}
+
+// Model is the tile decomposition of a design's free routing space.
+type Model struct {
+	D      *design.Design
+	CellsX int
+	CellsY int
+	clear  int64 // blockage growth radius: spacing + wireWidth/2
+
+	// blockers[layer][cell]: clearance-grown blockage shapes clipped to cell.
+	blockers [][][]geom.Oct8
+	// tiles[layer][cell]: current decomposition; nil means dirty.
+	tiles [][][]geom.Oct8
+	// tileBB mirrors tiles with cached bounding boxes for quick rejects.
+	tileBB [][][]geom.Rect
+	// minDim: tiles thinner than this in bounding box are dropped (too
+	// narrow for any wire).
+	minDim int64
+}
+
+// NewModel builds the decomposition over the design with a cells×cells
+// global-cell grid (the paper uses 30×30), seeded with the design's static
+// shapes: obstacles on their layers, I/O pads on the top layer, bump pads
+// on the bottom layer.
+func NewModel(d *design.Design, cells int) *Model {
+	if cells < 1 {
+		cells = 1
+	}
+	m := &Model{
+		D:      d,
+		CellsX: cells,
+		CellsY: cells,
+		clear:  d.Rules.Spacing + d.Rules.WireWidth/2,
+		minDim: d.Rules.WireWidth,
+	}
+	n := cells * cells
+	m.blockers = make([][][]geom.Oct8, d.WireLayers)
+	m.tiles = make([][][]geom.Oct8, d.WireLayers)
+	m.tileBB = make([][][]geom.Rect, d.WireLayers)
+	for l := range m.blockers {
+		m.blockers[l] = make([][]geom.Oct8, n)
+		m.tiles[l] = make([][]geom.Oct8, n)
+		m.tileBB[l] = make([][]geom.Rect, n)
+	}
+	for _, o := range d.Obstacles {
+		m.addBlocker(o.Layer, geom.OctFromRect(o.Box).Grow(m.clear))
+	}
+	for _, p := range d.IOPads {
+		m.addBlocker(0, geom.OctFromRect(p.Box()).Grow(m.clear))
+	}
+	for _, p := range d.BumpPads {
+		m.addBlocker(d.WireLayers-1, p.Oct().Grow(m.clear))
+	}
+	for _, v := range d.FixedVias {
+		oct := v.Oct(d.Rules).Grow(m.clear)
+		m.addBlocker(v.Slab, oct)
+		m.addBlocker(v.Slab+1, oct)
+	}
+	return m
+}
+
+// cellBox returns the rectangle of global cell c.
+func (m *Model) cellBox(c int) geom.Rect {
+	cx := c % m.CellsX
+	cy := c / m.CellsX
+	w := m.D.Outline.W()
+	h := m.D.Outline.H()
+	x0 := m.D.Outline.X0 + w*int64(cx)/int64(m.CellsX)
+	x1 := m.D.Outline.X0 + w*int64(cx+1)/int64(m.CellsX)
+	y0 := m.D.Outline.Y0 + h*int64(cy)/int64(m.CellsY)
+	y1 := m.D.Outline.Y0 + h*int64(cy+1)/int64(m.CellsY)
+	return geom.Rect{X0: x0, Y0: y0, X1: x1, Y1: y1}
+}
+
+// cellsTouching returns the indices of global cells intersecting the box.
+func (m *Model) cellsTouching(b geom.Rect) []int {
+	w := m.D.Outline.W()
+	h := m.D.Outline.H()
+	cx0 := int((b.X0 - m.D.Outline.X0) * int64(m.CellsX) / (w + 1))
+	cx1 := int((b.X1 - m.D.Outline.X0) * int64(m.CellsX) / (w + 1))
+	cy0 := int((b.Y0 - m.D.Outline.Y0) * int64(m.CellsY) / (h + 1))
+	cy1 := int((b.Y1 - m.D.Outline.Y0) * int64(m.CellsY) / (h + 1))
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	cx0, cx1 = clamp(cx0, m.CellsX-1), clamp(cx1, m.CellsX-1)
+	cy0, cy1 = clamp(cy0, m.CellsY-1), clamp(cy1, m.CellsY-1)
+	var out []int
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			out = append(out, cy*m.CellsX+cx)
+		}
+	}
+	return out
+}
+
+// addBlocker records a grown blockage shape and dirties affected cells.
+func (m *Model) addBlocker(layer int, shape geom.Oct8) {
+	if layer < 0 || layer >= len(m.blockers) {
+		return
+	}
+	bb := shape.BBox()
+	for _, c := range m.cellsTouching(bb) {
+		if shape.Intersects(geom.OctFromRect(m.cellBox(c))) {
+			m.blockers[layer][c] = append(m.blockers[layer][c], shape)
+			m.tiles[layer][c] = nil // dirty
+		}
+	}
+}
+
+// AddWire inserts a committed wire's clearance band and re-partitions the
+// frames it crosses (the incremental update of Section III-D).
+func (m *Model) AddWire(layer int, seg geom.Segment) {
+	m.addBlocker(layer, geom.OctAroundSegment(seg, m.clear+m.D.Rules.WireWidth/2))
+}
+
+// AddVia inserts a committed via's clearance shape on both wire layers it
+// lands on.
+func (m *Model) AddVia(slab int, center geom.Point) {
+	oct := geom.RegularOct(center, m.D.Rules.ViaWidth).Grow(m.clear)
+	m.addBlocker(slab, oct)
+	m.addBlocker(slab+1, oct)
+}
+
+// Tiles returns the (lazily rebuilt) tile set of one layer and cell. Tiles
+// are stored in canonical form.
+func (m *Model) Tiles(layer, cell int) []geom.Oct8 {
+	if t := m.tiles[layer][cell]; t != nil {
+		return t
+	}
+	t := m.buildCell(layer, cell)
+	m.tiles[layer][cell] = t
+	bb := make([]geom.Rect, len(t))
+	for i := range t {
+		bb[i] = geom.Rect{X0: t[i].XLo, Y0: t[i].YLo, X1: t[i].XHi, Y1: t[i].YHi}
+	}
+	m.tileBB[layer][cell] = bb
+	return t
+}
+
+// TileBBs returns the cached bounding boxes parallel to Tiles.
+func (m *Model) TileBBs(layer, cell int) []geom.Rect {
+	m.Tiles(layer, cell)
+	return m.tileBB[layer][cell]
+}
+
+// buildCell performs frame partitioning then octagonal-tile subtraction
+// for one (layer, cell).
+func (m *Model) buildCell(layer, cell int) []geom.Oct8 {
+	box := m.cellBox(cell)
+	blockers := m.blockers[layer][cell]
+
+	// Frame partitioning: extend vertical and horizontal lines from the
+	// corner points (bounding boxes) of blockers across the cell.
+	xs := []int64{box.X0, box.X1}
+	ys := []int64{box.Y0, box.Y1}
+	for _, b := range blockers {
+		bb := b.BBox()
+		for _, x := range []int64{bb.X0, bb.X1} {
+			if x > box.X0 && x < box.X1 {
+				xs = append(xs, x)
+			}
+		}
+		for _, y := range []int64{bb.Y0, bb.Y1} {
+			if y > box.Y0 && y < box.Y1 {
+				ys = append(ys, y)
+			}
+		}
+	}
+	xs = uniq(xs)
+	ys = uniq(ys)
+
+	var tiles []geom.Oct8
+	for yi := 0; yi+1 < len(ys); yi++ {
+		for xi := 0; xi+1 < len(xs); xi++ {
+			frame := geom.Rect{X0: xs[xi], Y0: ys[yi], X1: xs[xi+1], Y1: ys[yi+1]}
+			if frame.W() < m.minDim && frame.H() < m.minDim {
+				continue
+			}
+			pieces := []geom.Oct8{geom.OctFromRect(frame)}
+			for _, b := range blockers {
+				if len(pieces) == 0 {
+					break
+				}
+				var next []geom.Oct8
+				for _, p := range pieces {
+					next = append(next, p.SubtractOct(b)...)
+				}
+				pieces = next
+			}
+			for _, p := range pieces {
+				bb := p.BBox()
+				if bb.W() < m.minDim && bb.H() < m.minDim {
+					continue
+				}
+				tiles = append(tiles, p)
+			}
+		}
+	}
+	sort.Slice(tiles, func(i, j int) bool {
+		bi, bj := tiles[i].BBox(), tiles[j].BBox()
+		if bi.Y0 != bj.Y0 {
+			return bi.Y0 < bj.Y0
+		}
+		return bi.X0 < bj.X0
+	})
+	return tiles
+}
+
+// TileRef addresses one tile.
+type TileRef struct {
+	Layer, Cell, Idx int
+}
+
+// TileAt returns the tile containing p on the layer, if any.
+func (m *Model) TileAt(layer int, p geom.Point) (TileRef, bool) {
+	if !m.D.Outline.Contains(p) {
+		return TileRef{}, false
+	}
+	for _, c := range m.cellsTouching(geom.RectOf(p, p)) {
+		for i, t := range m.Tiles(layer, c) {
+			if t.Contains(p) {
+				return TileRef{layer, c, i}, true
+			}
+		}
+	}
+	return TileRef{}, false
+}
+
+// Region returns the tile's region.
+func (m *Model) Region(r TileRef) geom.Oct8 { return m.Tiles(r.Layer, r.Cell)[r.Idx] }
+
+// TileCount returns the number of tiles on the layer (rebuilding as
+// needed) — the graph-size statistic the octagonal model is about.
+func (m *Model) TileCount(layer int) int {
+	total := 0
+	for c := 0; c < m.CellsX*m.CellsY; c++ {
+		total += len(m.Tiles(layer, c))
+	}
+	return total
+}
+
+func uniq(v []int64) []int64 {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,561 @@
+package design
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"rdlroute/internal/geom"
+)
+
+// GenSpec parameterizes the benchmark generator. The generator stands in
+// for the paper's proprietary industrial circuits: it reproduces the
+// published per-circuit statistics (Table I) and the irregular pad
+// structure (jittered pitches, jittered insets, and a fraction of pads
+// pulled off the chip periphery), with pre-assigned inter-chip nets.
+type GenSpec struct {
+	Name         string
+	Chips        int
+	IOPads       int // |Q|; nets are |Q|/2 pre-assigned pad pairs
+	BumpPads     int // |G|
+	WireLayers   int // |L_w|
+	Seed         int64
+	InteriorFrac float64 // fraction of I/O pads placed off-periphery (default 0.12)
+
+	// BoardFrac converts this fraction of the pre-assigned nets into
+	// chip-to-board connections (I/O pad ↔ nearest free bump pad).
+	BoardFrac float64
+	// Obstacles places this many netless rectangular blockages on the
+	// middle wire layers (requires ≥ 3 wire layers).
+	Obstacles int
+	// FixedVias places this many netless pre-assigned blockage vias
+	// (the formulation's V_p) in the fan-out region.
+	FixedVias int
+}
+
+// Generator geometry constants, in database units (≈ µm). Every placed
+// coordinate is a multiple of Grid so pads land on the routing lattice;
+// irregularity comes from grid-quantized pitch remainders and inset jitter.
+const (
+	genSpacing   = 5
+	genWireWidth = 4
+	genViaWidth  = 16
+	genPadHalfW  = 8
+	genPadPitch  = 60  // minimum center-to-center pad pitch (corner-turn safe)
+	genChipGap   = 420 // fan-out channel between adjacent chips (35·Grid)
+	genMargin    = 264 // outline margin around the chip array (22·Grid)
+	genBumpW     = 40
+
+	// Grid is the coordinate quantum; the routing lattice uses the same
+	// pitch, so pad centers are lattice nodes.
+	Grid = 12
+)
+
+// snap12 rounds v down to a multiple of Grid.
+func snap12(v int64) int64 { return v - v%Grid }
+
+// ceil12 rounds v up to a multiple of Grid.
+func ceil12(v int64) int64 { return (v + Grid - 1) / Grid * Grid }
+
+// DenseSuite returns specs reproducing the statistics of the paper's five
+// benchmark circuits (Table I).
+func DenseSuite() []GenSpec {
+	return []GenSpec{
+		{Name: "dense1", Chips: 2, IOPads: 44, BumpPads: 324, WireLayers: 3, Seed: 1},
+		{Name: "dense2", Chips: 3, IOPads: 92, BumpPads: 784, WireLayers: 3, Seed: 2},
+		{Name: "dense3", Chips: 5, IOPads: 160, BumpPads: 308, WireLayers: 5, Seed: 3},
+		{Name: "dense4", Chips: 6, IOPads: 222, BumpPads: 684, WireLayers: 5, Seed: 4},
+		{Name: "dense5", Chips: 9, IOPads: 522, BumpPads: 1444, WireLayers: 5, Seed: 5},
+	}
+}
+
+// DenseSpec returns the spec of the named benchmark circuit.
+func DenseSpec(name string) (GenSpec, error) {
+	for _, s := range DenseSuite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return GenSpec{}, fmt.Errorf("design: unknown benchmark %q", name)
+}
+
+// Generate builds a Design from the spec. The result is deterministic for
+// a given spec (including Seed) and always passes Validate.
+func Generate(spec GenSpec) (*Design, error) {
+	if spec.Chips < 1 || spec.IOPads < 2 || spec.WireLayers < 1 {
+		return nil, fmt.Errorf("design: bad spec %+v", spec)
+	}
+	if spec.InteriorFrac == 0 {
+		spec.InteriorFrac = 0.12
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(spec.Name))
+		seed = int64(h.Sum64())
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	d := &Design{
+		Name:       spec.Name,
+		WireLayers: spec.WireLayers,
+		Rules: Rules{
+			Spacing:   genSpacing,
+			WireWidth: genWireWidth,
+			ViaWidth:  genViaWidth,
+		},
+	}
+
+	// Distribute pads over chips.
+	padsPerChip := make([]int, spec.Chips)
+	base := spec.IOPads / spec.Chips
+	rem := spec.IOPads % spec.Chips
+	for i := range padsPerChip {
+		padsPerChip[i] = base
+		if i < rem {
+			padsPerChip[i]++
+		}
+	}
+
+	// Chip side from its pad count: peripheral ring must fit the pads at
+	// the nominal pitch with slack for jitter.
+	sides := make([]int64, spec.Chips)
+	for i, n := range padsPerChip {
+		perimPads := n - int(float64(n)*spec.InteriorFrac)
+		ring := int64(perimPads)*genPadPitch + 4*genPadPitch
+		side := ceil12(ring / 4)
+		if side < 168 {
+			side = 168
+		}
+		sides[i] = side
+	}
+
+	// Place chips on a grid.
+	cols := int(math.Ceil(math.Sqrt(float64(spec.Chips))))
+	rows := (spec.Chips + cols - 1) / cols
+	colW := make([]int64, cols)
+	rowH := make([]int64, rows)
+	for i := 0; i < spec.Chips; i++ {
+		r, c := i/cols, i%cols
+		colW[c] = geom.Max64(colW[c], sides[i])
+		rowH[r] = geom.Max64(rowH[r], sides[i])
+	}
+	xOff := make([]int64, cols)
+	yOff := make([]int64, rows)
+	x := int64(genMargin)
+	for c := 0; c < cols; c++ {
+		xOff[c] = x
+		x += colW[c] + genChipGap
+	}
+	y := int64(genMargin)
+	for r := 0; r < rows; r++ {
+		yOff[r] = y
+		y += rowH[r] + genChipGap
+	}
+	totalW := x - genChipGap + genMargin
+	totalH := y - genChipGap + genMargin
+	d.Outline = geom.RectWH(0, 0, totalW, totalH)
+
+	for i := 0; i < spec.Chips; i++ {
+		r, c := i/cols, i%cols
+		// Center the chip in its grid slot, on the coordinate grid.
+		cx := xOff[c] + snap12((colW[c]-sides[i])/2)
+		cy := yOff[r] + snap12((rowH[r]-sides[i])/2)
+		d.Chips = append(d.Chips, Chip{
+			Name: fmt.Sprintf("chip%d", i),
+			Box:  geom.RectWH(cx, cy, sides[i], sides[i]),
+		})
+	}
+
+	// Place I/O pads: a jittered peripheral ring plus interior pads.
+	padID := 0
+	for ci, chip := range d.Chips {
+		n := padsPerChip[ci]
+		interior := int(float64(n) * spec.InteriorFrac)
+		perim := n - interior
+		placePerimeterPads(d, rng, ci, chip.Box, perim, &padID)
+		placeInteriorPads(d, rng, ci, chip.Box, interior, &padID)
+	}
+
+	if got := len(d.IOPads); got != spec.IOPads {
+		return nil, fmt.Errorf("design: placed %d of %d I/O pads (chips too small for pitch)", got, spec.IOPads)
+	}
+
+	// Bump pads on a grid over the whole package bottom, at a pitch that
+	// respects the bump-to-bump spacing rule (≥ bump width + spacing).
+	if spec.BumpPads > 0 {
+		const minBumpPitch = genBumpW + genSpacing + 3 // 48, grid-aligned
+		maxCols := int((totalW-genMargin)/minBumpPitch) - 1
+		maxRows := int((totalH-genMargin)/minBumpPitch) - 1
+		if maxCols < 1 || maxRows < 1 || maxCols*maxRows < spec.BumpPads {
+			return nil, fmt.Errorf("design: outline %dx%d cannot fit %d bump pads at pitch %d",
+				totalW, totalH, spec.BumpPads, minBumpPitch)
+		}
+		gcols := int(math.Ceil(math.Sqrt(float64(spec.BumpPads) * float64(totalW) / float64(totalH))))
+		if gcols > maxCols {
+			gcols = maxCols
+		}
+		if gcols < 1 {
+			gcols = 1
+		}
+		grows := (spec.BumpPads + gcols - 1) / gcols
+		if grows > maxRows {
+			grows = maxRows
+			gcols = (spec.BumpPads + grows - 1) / grows
+		}
+		px := (totalW - genMargin) / int64(gcols+1)
+		py := (totalH - genMargin) / int64(grows+1)
+		id := 0
+		for r := 1; r <= grows && id < spec.BumpPads; r++ {
+			for c := 1; c <= gcols && id < spec.BumpPads; c++ {
+				d.BumpPads = append(d.BumpPads, BumpPad{
+					ID:     id,
+					Center: geom.Pt(snap12(genMargin/2+int64(c)*px), snap12(genMargin/2+int64(r)*py)),
+					W:      genBumpW,
+				})
+				id++
+			}
+		}
+	}
+
+	// Pre-assigned inter-chip nets: pair pads of distinct chips, preferring
+	// neighboring chips so the fan-out channels carry realistic congestion.
+	pairPads(d, rng, spec.Chips, padsPerChip)
+
+	if spec.BoardFrac > 0 {
+		convertBoardNets(d, spec.BoardFrac)
+	}
+	if spec.Obstacles > 0 {
+		if err := placeObstacles(d, rng, spec.Obstacles); err != nil {
+			return nil, err
+		}
+	}
+	if spec.FixedVias > 0 {
+		placeFixedVias(d, rng, spec.FixedVias)
+	}
+
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("design: generated instance invalid: %w", err)
+	}
+	return d, nil
+}
+
+// convertBoardNets re-targets a fraction of the nets at bump pads: the
+// second endpoint becomes the nearest bump pad not yet used by a net,
+// making them chip-to-board connections.
+func convertBoardNets(d *Design, frac float64) {
+	n := int(frac * float64(len(d.Nets)))
+	used := map[int]bool{}
+	for ni := 0; ni < len(d.Nets) && n > 0; ni++ {
+		p1 := d.PadCenter(d.Nets[ni].P1)
+		best, bestD := -1, int64(1<<62)
+		for bi, b := range d.BumpPads {
+			if used[bi] {
+				continue
+			}
+			dd := geom.Manhattan(p1, b.Center)
+			if dd < bestD {
+				bestD = dd
+				best = bi
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		d.Nets[ni].P2 = PadRef{Kind: BumpKind, Index: best}
+		n--
+	}
+}
+
+// placeObstacles drops netless blockages on the middle wire layers, clear
+// of each other (they share no layer with pads or bumps).
+func placeObstacles(d *Design, rng *rand.Rand, n int) error {
+	if d.WireLayers < 3 {
+		return fmt.Errorf("design: obstacles need ≥ 3 wire layers, have %d", d.WireLayers)
+	}
+	inner := d.Outline.Expand(-genMargin)
+	for k := 0; k < n; k++ {
+		for try := 0; try < 200; try++ {
+			w := int64(48 + 12*rng.Intn(6))
+			h := int64(48 + 12*rng.Intn(6))
+			x := ceil12(inner.X0) + snap12(int64(rng.Intn(int(inner.W()))))
+			y := ceil12(inner.Y0) + snap12(int64(rng.Intn(int(inner.H()))))
+			box := geom.RectWH(x, y, w, h)
+			if !d.Outline.ContainsRect(box) {
+				continue
+			}
+			layer := 1 + rng.Intn(d.WireLayers-2)
+			ok := true
+			for _, o := range d.Obstacles {
+				if o.Layer == layer && o.Box.Expand(d.Rules.Spacing+12).Intersects(box) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				d.Obstacles = append(d.Obstacles, Obstacle{Layer: layer, Box: box})
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// placeFixedVias drops netless pre-assigned vias in the fan-out region,
+// clear of chips, bumps, obstacles and each other.
+func placeFixedVias(d *Design, rng *rand.Rand, n int) {
+	if d.WireLayers < 2 {
+		return
+	}
+	minViaGap := d.Rules.ViaWidth + d.Rules.Spacing + 3
+	inner := d.Outline.Expand(-genMargin / 2)
+	for k := 0; k < n; k++ {
+		for try := 0; try < 300; try++ {
+			x := ceil12(inner.X0) + snap12(int64(rng.Intn(int(inner.W()))))
+			y := ceil12(inner.Y0) + snap12(int64(rng.Intn(int(inner.H()))))
+			p := geom.Pt(x, y)
+			slab := rng.Intn(d.WireLayers - 1)
+			ok := true
+			for _, c := range d.Chips {
+				if c.Box.Expand(36).Contains(p) {
+					ok = false
+					break
+				}
+			}
+			if ok && slab+1 == d.WireLayers-1 {
+				for _, b := range d.BumpPads {
+					if geom.Manhattan(b.Center, p) < b.W/2+minViaGap+24 {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				for _, o := range d.Obstacles {
+					if (o.Layer == slab || o.Layer == slab+1) &&
+						o.Box.Expand(minViaGap+12).Contains(p) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				for _, v := range d.FixedVias {
+					dx := geom.Abs64(v.Center.X - p.X)
+					dy := geom.Abs64(v.Center.Y - p.Y)
+					if dx < minViaGap+12 && dy < minViaGap+12 {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				d.FixedVias = append(d.FixedVias, FixedVia{Net: -1, Center: p, Slab: slab})
+				break
+			}
+		}
+	}
+}
+
+// placePerimeterPads walks the chip boundary ring and drops pads at
+// grid-quantized positions with a jittered inset — the paper's irregular
+// structure with every center on the routing lattice.
+func placePerimeterPads(d *Design, rng *rand.Rand, chip int, box geom.Rect, n int, padID *int) {
+	if n <= 0 {
+		return
+	}
+	const minInset = Grid // ≥ pad half-width + clearance, grid-aligned
+	ringW := box.W() - 2*minInset
+	ringH := box.H() - 2*minInset
+	ringLen := 2*ringW + 2*ringH
+	pitch := ringLen / int64(n)
+	pos := snap12(int64(rng.Intn(int(geom.Max64(pitch, 1)))))
+	minGap := int64(2*genPadHalfW + genSpacing + 1)
+	clearOf := func(pt geom.Point) bool {
+		for _, q := range d.IOPads {
+			if q.Chip != chip {
+				continue
+			}
+			dx := geom.Abs64(q.Center.X - pt.X)
+			dy := geom.Abs64(q.Center.Y - pt.Y)
+			if dx < minGap && dy < minGap {
+				return false
+			}
+		}
+		return true
+	}
+	for k := 0; k < n; k++ {
+		p := snap12(pos) % ringLen
+		// Inset jitter pulls some pads one grid step off the boundary ring.
+		extra := int64(rng.Intn(2)) * Grid
+		// Nudge along the ring until the pad clears its predecessors
+		// (corner turns can bring ring-distant pads close in 2D).
+		var pt geom.Point
+		placed := false
+		for try := 0; try < 100; try++ {
+			pt = ringPoint(box, minInset, extra, p%ringLen)
+			if clearOf(pt) {
+				placed = true
+				break
+			}
+			extra = 0
+			p += Grid
+		}
+		if placed {
+			d.IOPads = append(d.IOPads, IOPad{ID: *padID, Chip: chip, Center: pt, HalfW: genPadHalfW})
+			*padID++
+		}
+		pos += pitch
+	}
+}
+
+// ringPoint maps a 1D ring coordinate (on the minInset ring) to a point on
+// the chip boundary ring, pushed inward by extra perpendicular to its edge.
+func ringPoint(box geom.Rect, inset, extra, p int64) geom.Point {
+	x0, y0 := box.X0+inset, box.Y0+inset
+	x1, y1 := box.X1-inset, box.Y1-inset
+	w := x1 - x0
+	h := y1 - y0
+	switch {
+	case p < w: // south edge, west→east
+		return geom.Pt(x0+p, y0+extra)
+	case p < w+h: // east edge, south→north
+		return geom.Pt(x1-extra, y0+(p-w))
+	case p < 2*w+h: // north edge, east→west
+		return geom.Pt(x1-(p-w-h), y1-extra)
+	default: // west edge, north→south
+		return geom.Pt(x0+extra, y1-(p-2*w-h))
+	}
+}
+
+// placeInteriorPads drops pads on an inner ring, clear of the peripheral
+// ring, respecting pad-to-pad spacing by rejection sampling.
+func placeInteriorPads(d *Design, rng *rand.Rand, chip int, box geom.Rect, n int, padID *int) {
+	if n <= 0 {
+		return
+	}
+	inner := box.Expand(-(genPadHalfW + 50))
+	if inner.Empty() || inner.W() < 2*genPadHalfW || inner.H() < 2*genPadHalfW {
+		inner = box.Expand(-(genPadHalfW + 10))
+	}
+	minGap := int64(2*genPadHalfW + genSpacing + 2)
+	for k := 0; k < n; k++ {
+		var pt geom.Point
+		ok := false
+		for attempt := 0; attempt < 200; attempt++ {
+			pt = geom.Pt(
+				ceil12(inner.X0)+snap12(int64(rng.Intn(int(inner.W()+1)))),
+				ceil12(inner.Y0)+snap12(int64(rng.Intn(int(inner.H()+1)))),
+			)
+			ok = true
+			for _, q := range d.IOPads {
+				if q.Chip != chip {
+					continue
+				}
+				dx := geom.Abs64(q.Center.X - pt.X)
+				dy := geom.Abs64(q.Center.Y - pt.Y)
+				if dx < minGap && dy < minGap {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		if !ok {
+			// Dense chip: give up on this interior pad and place it on the
+			// periphery instead.
+			placePerimeterPads(d, rng, chip, box, 1, padID)
+			continue
+		}
+		d.IOPads = append(d.IOPads, IOPad{ID: *padID, Chip: chip, Center: pt, HalfW: genPadHalfW})
+		*padID++
+	}
+}
+
+// pairPads builds |Q|/2 pre-assigned nets pairing pads of distinct chips.
+func pairPads(d *Design, rng *rand.Rand, chips int, padsPerChip []int) {
+	byChip := make([][]int, chips)
+	for i, p := range d.IOPads {
+		byChip[p.Chip] = append(byChip[p.Chip], i)
+	}
+	for c := range byChip {
+		rng.Shuffle(len(byChip[c]), func(i, j int) {
+			byChip[c][i], byChip[c][j] = byChip[c][j], byChip[c][i]
+		})
+	}
+	netID := 0
+	take := func(c int) (int, bool) {
+		if len(byChip[c]) == 0 {
+			return 0, false
+		}
+		idx := byChip[c][len(byChip[c])-1]
+		byChip[c] = byChip[c][:len(byChip[c])-1]
+		return idx, true
+	}
+	// Round-robin pairing between chip c and its successor ring neighbor;
+	// leftovers paired greedily across any two distinct chips.
+	if chips == 1 {
+		// Single-chip designs pair pads within the chip (degenerate but legal).
+		for len(byChip[0]) >= 2 {
+			a, _ := take(0)
+			b, _ := take(0)
+			d.Nets = append(d.Nets, Net{ID: netID, P1: PadRef{IOKind, a}, P2: PadRef{IOKind, b}})
+			netID++
+		}
+		return
+	}
+	for c := 0; c < chips; c++ {
+		next := (c + 1) % chips
+		for len(byChip[c]) > 0 && len(byChip[next]) > 0 && len(byChip[c])+boolToInt(c == next) > padsPerChip[c]/2 {
+			a, ok1 := take(c)
+			b, ok2 := take(next)
+			if !ok1 || !ok2 {
+				break
+			}
+			d.Nets = append(d.Nets, Net{ID: netID, P1: PadRef{IOKind, a}, P2: PadRef{IOKind, b}})
+			netID++
+		}
+	}
+	// Pair the remainder across chips.
+	for {
+		c1 := -1
+		for c := 0; c < chips; c++ {
+			if len(byChip[c]) > 0 {
+				c1 = c
+				break
+			}
+		}
+		if c1 == -1 {
+			break
+		}
+		c2 := -1
+		for c := chips - 1; c >= 0; c-- {
+			if c != c1 && len(byChip[c]) > 0 {
+				c2 = c
+				break
+			}
+		}
+		if c2 == -1 {
+			// Only one chip has leftovers: pair within it.
+			if len(byChip[c1]) < 2 {
+				break
+			}
+			c2 = c1
+		}
+		a, _ := take(c1)
+		b, _ := take(c2)
+		d.Nets = append(d.Nets, Net{ID: netID, P1: PadRef{IOKind, a}, P2: PadRef{IOKind, b}})
+		netID++
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

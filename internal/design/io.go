@@ -1,0 +1,190 @@
+package design
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rdlroute/internal/geom"
+)
+
+// Format writes the design in the package's line-based text format:
+//
+//	design <name>
+//	outline <x0> <y0> <x1> <y1>
+//	rules <spacing> <wirewidth> <viawidth>
+//	layers wire <n>
+//	chip <name> <x0> <y0> <x1> <y1>
+//	iopad <id> <chip> <cx> <cy> <halfw>
+//	bumppad <id> <cx> <cy> <w>
+//	obstacle <layer> <x0> <y0> <x1> <y1>
+//	fixedvia <net|-1> <slab> <cx> <cy>
+//	net <id> <io|bump> <idx> <io|bump> <idx>
+//
+// Lines starting with '#' and blank lines are ignored on read.
+func Format(w io.Writer, d *Design) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "design %s\n", d.Name)
+	fmt.Fprintf(bw, "outline %d %d %d %d\n", d.Outline.X0, d.Outline.Y0, d.Outline.X1, d.Outline.Y1)
+	fmt.Fprintf(bw, "rules %d %d %d\n", d.Rules.Spacing, d.Rules.WireWidth, d.Rules.ViaWidth)
+	fmt.Fprintf(bw, "layers wire %d\n", d.WireLayers)
+	for _, c := range d.Chips {
+		fmt.Fprintf(bw, "chip %s %d %d %d %d\n", c.Name, c.Box.X0, c.Box.Y0, c.Box.X1, c.Box.Y1)
+	}
+	for _, p := range d.IOPads {
+		fmt.Fprintf(bw, "iopad %d %d %d %d %d\n", p.ID, p.Chip, p.Center.X, p.Center.Y, p.HalfW)
+	}
+	for _, p := range d.BumpPads {
+		fmt.Fprintf(bw, "bumppad %d %d %d %d\n", p.ID, p.Center.X, p.Center.Y, p.W)
+	}
+	for _, o := range d.Obstacles {
+		fmt.Fprintf(bw, "obstacle %d %d %d %d %d\n", o.Layer, o.Box.X0, o.Box.Y0, o.Box.X1, o.Box.Y1)
+	}
+	for _, v := range d.FixedVias {
+		fmt.Fprintf(bw, "fixedvia %d %d %d %d\n", v.Net, v.Slab, v.Center.X, v.Center.Y)
+	}
+	for _, n := range d.Nets {
+		fmt.Fprintf(bw, "net %d %s %d %s %d\n", n.ID, n.P1.Kind, n.P1.Index, n.P2.Kind, n.P2.Index)
+	}
+	return bw.Flush()
+}
+
+// Parse reads a design in the Format text format.
+func Parse(r io.Reader) (*Design, error) {
+	d := &Design{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(msg string) error { return fmt.Errorf("design: line %d: %s: %q", lineNo, msg, line) }
+		ints := func(from, n int) ([]int64, error) {
+			if len(f) < from+n {
+				return nil, fail("too few fields")
+			}
+			out := make([]int64, n)
+			for i := 0; i < n; i++ {
+				v, err := strconv.ParseInt(f[from+i], 10, 64)
+				if err != nil {
+					return nil, fail("bad integer " + f[from+i])
+				}
+				out[i] = v
+			}
+			return out, nil
+		}
+		switch f[0] {
+		case "design":
+			if len(f) < 2 {
+				return nil, fail("missing name")
+			}
+			d.Name = f[1]
+		case "outline":
+			v, err := ints(1, 4)
+			if err != nil {
+				return nil, err
+			}
+			d.Outline = geom.Rect{X0: v[0], Y0: v[1], X1: v[2], Y1: v[3]}
+		case "rules":
+			v, err := ints(1, 3)
+			if err != nil {
+				return nil, err
+			}
+			d.Rules = Rules{Spacing: v[0], WireWidth: v[1], ViaWidth: v[2]}
+		case "layers":
+			if len(f) != 3 || f[1] != "wire" {
+				return nil, fail("expected 'layers wire <n>'")
+			}
+			n, err := strconv.Atoi(f[2])
+			if err != nil {
+				return nil, fail("bad layer count")
+			}
+			d.WireLayers = n
+		case "chip":
+			if len(f) != 6 {
+				return nil, fail("expected 'chip <name> <x0> <y0> <x1> <y1>'")
+			}
+			v, err := ints(2, 4)
+			if err != nil {
+				return nil, err
+			}
+			d.Chips = append(d.Chips, Chip{Name: f[1], Box: geom.Rect{X0: v[0], Y0: v[1], X1: v[2], Y1: v[3]}})
+		case "iopad":
+			v, err := ints(1, 5)
+			if err != nil {
+				return nil, err
+			}
+			d.IOPads = append(d.IOPads, IOPad{
+				ID: int(v[0]), Chip: int(v[1]),
+				Center: geom.Pt(v[2], v[3]), HalfW: v[4],
+			})
+		case "bumppad":
+			v, err := ints(1, 4)
+			if err != nil {
+				return nil, err
+			}
+			d.BumpPads = append(d.BumpPads, BumpPad{ID: int(v[0]), Center: geom.Pt(v[1], v[2]), W: v[3]})
+		case "obstacle":
+			v, err := ints(1, 5)
+			if err != nil {
+				return nil, err
+			}
+			d.Obstacles = append(d.Obstacles, Obstacle{
+				Layer: int(v[0]),
+				Box:   geom.Rect{X0: v[1], Y0: v[2], X1: v[3], Y1: v[4]},
+			})
+		case "fixedvia":
+			v, err := ints(1, 4)
+			if err != nil {
+				return nil, err
+			}
+			d.FixedVias = append(d.FixedVias, FixedVia{
+				Net: int(v[0]), Slab: int(v[1]), Center: geom.Pt(v[2], v[3]),
+			})
+		case "net":
+			if len(f) != 6 {
+				return nil, fail("expected 'net <id> <kind> <idx> <kind> <idx>'")
+			}
+			id, err := strconv.Atoi(f[1])
+			if err != nil {
+				return nil, fail("bad net id")
+			}
+			p1, err := parseRef(f[2], f[3])
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			p2, err := parseRef(f[4], f[5])
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			d.Nets = append(d.Nets, Net{ID: id, P1: p1, P2: p2})
+		default:
+			return nil, fail("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func parseRef(kind, idx string) (PadRef, error) {
+	i, err := strconv.Atoi(idx)
+	if err != nil {
+		return PadRef{}, fmt.Errorf("bad pad index %q", idx)
+	}
+	switch kind {
+	case "io":
+		return PadRef{IOKind, i}, nil
+	case "bump":
+		return PadRef{BumpKind, i}, nil
+	default:
+		return PadRef{}, fmt.Errorf("bad pad kind %q", kind)
+	}
+}

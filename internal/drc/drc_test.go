@@ -1,0 +1,187 @@
+package drc
+
+import (
+	"strings"
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/lattice"
+	"rdlroute/internal/layout"
+)
+
+func dsn() *design.Design {
+	return &design.Design{
+		Name:       "t",
+		Outline:    geom.RectWH(0, 0, 600, 600),
+		WireLayers: 2,
+		Rules:      design.Rules{Spacing: 5, WireWidth: 4, ViaWidth: 16},
+		Chips:      []design.Chip{{Name: "c", Box: geom.RectWH(0, 0, 600, 600)}},
+		IOPads: []design.IOPad{
+			{ID: 0, Chip: 0, Center: geom.Pt(48, 48), HalfW: 8},
+			{ID: 1, Chip: 0, Center: geom.Pt(480, 48), HalfW: 8},
+			{ID: 2, Chip: 0, Center: geom.Pt(48, 240), HalfW: 8},
+			{ID: 3, Chip: 0, Center: geom.Pt(480, 240), HalfW: 8},
+		},
+		Nets: []design.Net{
+			{ID: 0, P1: design.PadRef{Kind: design.IOKind, Index: 0}, P2: design.PadRef{Kind: design.IOKind, Index: 1}},
+			{ID: 1, P1: design.PadRef{Kind: design.IOKind, Index: 2}, P2: design.PadRef{Kind: design.IOKind, Index: 3}},
+		},
+	}
+}
+
+func kinds(vs []Violation) map[string]int {
+	m := map[string]int{}
+	for _, v := range vs {
+		m[v.Kind]++
+	}
+	return m
+}
+
+func TestCleanLayout(t *testing.T) {
+	l := layout.New(dsn())
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 48)}, {Layer: 0, Pt: geom.Pt(480, 48)},
+	})
+	l.MarkRouted(0)
+	l.AddPath(1, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 240)}, {Layer: 0, Pt: geom.Pt(480, 240)},
+	})
+	l.MarkRouted(1)
+	if vs := Check(l); len(vs) != 0 {
+		t.Errorf("clean layout reported %v", vs)
+	}
+}
+
+func TestDetectsCrossing(t *testing.T) {
+	l := layout.New(dsn())
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(100, 100)}, {Layer: 0, Pt: geom.Pt(340, 340)},
+	})
+	l.AddPath(1, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(100, 340)}, {Layer: 0, Pt: geom.Pt(340, 100)},
+	})
+	vs := Check(l)
+	if kinds(vs)["crossing"] == 0 {
+		t.Errorf("crossing not detected: %v", vs)
+	}
+}
+
+func TestDifferentLayersDoNotCross(t *testing.T) {
+	l := layout.New(dsn())
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(100, 100)}, {Layer: 0, Pt: geom.Pt(340, 340)},
+	})
+	l.AddPath(1, []lattice.PathStep{
+		{Layer: 1, Pt: geom.Pt(100, 340)}, {Layer: 1, Pt: geom.Pt(340, 100)},
+	})
+	vs := Check(l)
+	if len(vs) != 0 {
+		t.Errorf("cross-layer crossing misreported: %v", vs)
+	}
+}
+
+func TestDetectsSpacing(t *testing.T) {
+	l := layout.New(dsn())
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 100)}, {Layer: 0, Pt: geom.Pt(480, 100)},
+	})
+	// Net 1 parallel 8 apart: edge gap = 8−4 = 4 < 5.
+	l.AddPath(1, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 108)}, {Layer: 0, Pt: geom.Pt(480, 108)},
+	})
+	vs := Check(l)
+	if kinds(vs)["spacing"] == 0 {
+		t.Errorf("spacing violation not detected: %v", vs)
+	}
+	// 9 apart is exactly legal (gap = 5).
+	l2 := layout.New(dsn())
+	l2.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 100)}, {Layer: 0, Pt: geom.Pt(480, 100)},
+	})
+	l2.AddPath(1, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 109)}, {Layer: 0, Pt: geom.Pt(480, 109)},
+	})
+	if vs := Check(l2); len(vs) != 0 {
+		t.Errorf("legal spacing misreported: %v", vs)
+	}
+}
+
+func TestDetectsIllegalTurnAndNonOctilinear(t *testing.T) {
+	l := layout.New(dsn())
+	// 45° interior angle: east then southwest.
+	l.Routes = append(l.Routes, layout.Route{
+		Net: 0, Layer: 0,
+		Pts: []geom.Point{geom.Pt(100, 100), geom.Pt(200, 100), geom.Pt(150, 50)},
+	})
+	vs := Check(l)
+	if kinds(vs)["turn"] == 0 {
+		t.Errorf("illegal turn not detected: %v", vs)
+	}
+	l2 := layout.New(dsn())
+	l2.Routes = append(l2.Routes, layout.Route{
+		Net: 0, Layer: 0,
+		Pts: []geom.Point{geom.Pt(100, 100), geom.Pt(220, 160)},
+	})
+	if kinds(Check(l2))["octilinear"] == 0 {
+		t.Error("non-octilinear segment not detected")
+	}
+}
+
+func TestViaSpacing(t *testing.T) {
+	l := layout.New(dsn())
+	l.AddStack(0, geom.Pt(120, 120), 0, 1)
+	l.AddStack(1, geom.Pt(136, 120), 0, 1) // centers 16 apart: gap 0 < 5
+	vs := Check(l)
+	k := kinds(vs)
+	if k["spacing"] == 0 && k["crossing"] == 0 {
+		t.Errorf("via-via violation not detected: %v", vs)
+	}
+	l2 := layout.New(dsn())
+	l2.AddStack(0, geom.Pt(120, 120), 0, 1)
+	l2.AddStack(1, geom.Pt(144, 120), 0, 1) // 24 apart: gap 8 ≥ 5
+	if vs := Check(l2); len(vs) != 0 {
+		t.Errorf("legal via spacing misreported: %v", vs)
+	}
+}
+
+func TestWireTooCloseToForeignPad(t *testing.T) {
+	l := layout.New(dsn())
+	// Net 0 wire at y=254 grazes pad 2 (net 1's pad at (48,240), halfW 8):
+	// wire edge y=252, pad edge y=248, gap 4 < 5.
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(24, 254)}, {Layer: 0, Pt: geom.Pt(480, 254)},
+	})
+	vs := Check(l)
+	if kinds(vs)["spacing"] == 0 {
+		t.Errorf("wire-to-foreign-pad violation not detected: %v", vs)
+	}
+}
+
+func TestConnectivityViolation(t *testing.T) {
+	l := layout.New(dsn())
+	l.MarkRouted(0) // marked but nothing routed
+	vs := Check(l)
+	found := false
+	for _, v := range vs {
+		if v.Kind == "connectivity" && strings.Contains(v.Detail, "net 0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("connectivity violation not reported: %v", vs)
+	}
+}
+
+func TestObstacleSpacing(t *testing.T) {
+	d := dsn()
+	d.Obstacles = append(d.Obstacles, design.Obstacle{Layer: 0, Box: geom.RectWH(200, 90, 60, 60)})
+	l := layout.New(d)
+	// Wire at y=84: obstacle edge at y=90, wire edge at 86: gap 4 < 5.
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 84)}, {Layer: 0, Pt: geom.Pt(480, 84)},
+	})
+	if kinds(Check(l))["spacing"] == 0 {
+		t.Error("wire-to-obstacle violation not detected")
+	}
+}

@@ -1,0 +1,71 @@
+// Package dsu implements a disjoint-set union (union-find) structure with
+// path compression and union by rank. It backs the fan-out grid merging,
+// Kruskal-style connectivity checks, and the LP optimizer's
+// independent-component decomposition.
+package dsu
+
+// DSU is a disjoint-set forest over the elements 0..n−1.
+type DSU struct {
+	parent []int
+	rank   []int
+	count  int // number of disjoint sets
+}
+
+// New returns a DSU with n singleton sets.
+func New(n int) *DSU {
+	d := &DSU{
+		parent: make([]int, n),
+		rank:   make([]int, n),
+		count:  n,
+	}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+// Len returns the number of elements.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Count returns the current number of disjoint sets.
+func (d *DSU) Count() int { return d.count }
+
+// Find returns the representative of x's set.
+func (d *DSU) Find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]] // path halving
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened (false when they were already joined).
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.rank[rx] < d.rank[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = rx
+	if d.rank[rx] == d.rank[ry] {
+		d.rank[rx]++
+	}
+	d.count--
+	return true
+}
+
+// Same reports whether x and y belong to the same set.
+func (d *DSU) Same(x, y int) bool { return d.Find(x) == d.Find(y) }
+
+// Groups returns the members of every set, keyed by representative.
+func (d *DSU) Groups() map[int][]int {
+	g := make(map[int][]int, d.count)
+	for i := range d.parent {
+		r := d.Find(i)
+		g[r] = append(g[r], i)
+	}
+	return g
+}

@@ -1,0 +1,76 @@
+package dsu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicUnionFind(t *testing.T) {
+	d := New(5)
+	if d.Count() != 5 || d.Len() != 5 {
+		t.Fatalf("initial count/len = %d/%d", d.Count(), d.Len())
+	}
+	if !d.Union(0, 1) {
+		t.Error("first union must merge")
+	}
+	if d.Union(1, 0) {
+		t.Error("repeat union must not merge")
+	}
+	if !d.Same(0, 1) || d.Same(0, 2) {
+		t.Error("Same after one union")
+	}
+	d.Union(2, 3)
+	d.Union(0, 3)
+	if d.Count() != 2 {
+		t.Errorf("count = %d, want 2", d.Count())
+	}
+	if !d.Same(1, 2) {
+		t.Error("transitive connectivity")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	d := New(6)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Union(3, 4)
+	g := d.Groups()
+	if len(g) != 3 {
+		t.Fatalf("groups = %d, want 3", len(g))
+	}
+	sizes := map[int]int{}
+	for _, members := range g {
+		sizes[len(members)]++
+	}
+	if sizes[1] != 1 || sizes[2] != 1 || sizes[3] != 1 {
+		t.Errorf("group sizes = %v", sizes)
+	}
+}
+
+func TestUnionCountInvariant(t *testing.T) {
+	// Count always equals n − number of successful unions.
+	f := func(pairs []uint16) bool {
+		const n = 64
+		d := New(n)
+		merges := 0
+		for i := 0; i+1 < len(pairs); i += 2 {
+			a := int(pairs[i]) % n
+			b := int(pairs[i+1]) % n
+			if d.Union(a, b) {
+				merges++
+			}
+		}
+		if d.Count() != n-merges {
+			return false
+		}
+		// Groups partition the elements.
+		total := 0
+		for _, m := range d.Groups() {
+			total += len(m)
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package fanout
+
+import (
+	"math"
+	"sort"
+)
+
+// buildCircle constructs the circular model: the boundary walk of a closed
+// shape enclosing the MST (an Euler tour of the thickened tree). Each
+// candidate access point is emitted exactly once, at the tour position
+// matching its angular sector around its grid's center, so the resulting
+// position sequence reflects the geometry of the fan-out region.
+func (a *Analysis) buildCircle() {
+	type padEntry struct {
+		cand  int // candidate index
+		end   int // 1 or 2
+		angle float64
+		seq   int // tiebreaker for deterministic order
+	}
+	padsAt := make(map[int][]padEntry)
+	seq := 0
+	for ci := range a.Candidates {
+		c := &a.Candidates[ci]
+		center1 := a.Grids[c.AP1.Grid].Box.Center()
+		padsAt[c.AP1.Grid] = append(padsAt[c.AP1.Grid], padEntry{ci, 1, angleOf(center1, c.AP1.Point), seq})
+		seq++
+		center2 := a.Grids[c.AP2.Grid].Box.Center()
+		padsAt[c.AP2.Grid] = append(padsAt[c.AP2.Grid], padEntry{ci, 2, angleOf(center2, c.AP2.Point), seq})
+		seq++
+	}
+
+	pos := 0
+	visited := make([]bool, len(a.Grids))
+	emit := func(e padEntry) {
+		c := &a.Candidates[e.cand]
+		if e.end == 1 {
+			c.Pos1 = pos
+		} else {
+			c.Pos2 = pos
+		}
+		pos++
+	}
+
+	// norm maps an angle into (base, base+2π].
+	norm := func(angle, base float64) float64 {
+		for angle <= base {
+			angle += 2 * math.Pi
+		}
+		return angle
+	}
+
+	type event struct {
+		angle float64
+		isPad bool
+		pad   padEntry
+		child int
+	}
+
+	var dfs func(v int, inAngle float64)
+	dfs = func(v int, inAngle float64) {
+		visited[v] = true
+		center := a.Grids[v].Box.Center()
+		var events []event
+		a.Tree.Adj(v, func(u int, _ float64) {
+			if visited[u] {
+				return
+			}
+			events = append(events, event{
+				angle: norm(angleOf(center, a.Grids[u].Box.Center()), inAngle),
+				child: u,
+			})
+		})
+		for _, p := range padsAt[v] {
+			events = append(events, event{angle: norm(p.angle, inAngle), isPad: true, pad: p})
+		}
+		sort.Slice(events, func(i, j int) bool {
+			if events[i].angle != events[j].angle {
+				return events[i].angle < events[j].angle
+			}
+			// Pads before edges at equal angle; then by sequence/child id.
+			if events[i].isPad != events[j].isPad {
+				return events[i].isPad
+			}
+			if events[i].isPad {
+				return events[i].pad.seq < events[j].pad.seq
+			}
+			return events[i].child < events[j].child
+		})
+		for _, e := range events {
+			if e.isPad {
+				emit(e.pad)
+				continue
+			}
+			if visited[e.child] {
+				continue
+			}
+			// Enter the child; the incoming angle seen from the child is the
+			// direction back toward v.
+			back := angleOf(a.Grids[e.child].Box.Center(), center)
+			dfs(e.child, back)
+		}
+	}
+
+	for v := range a.Grids {
+		if !visited[v] {
+			dfs(v, -math.Pi)
+		}
+	}
+	a.CircleLen = pos
+}

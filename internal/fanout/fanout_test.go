@@ -1,0 +1,240 @@
+package fanout
+
+import (
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/mpsc"
+)
+
+func twoChip() *design.Design {
+	d := &design.Design{
+		Name:       "twochip",
+		Outline:    geom.RectWH(0, 0, 1200, 800),
+		WireLayers: 2,
+		Rules:      design.Rules{Spacing: 5, WireWidth: 4, ViaWidth: 16},
+		Chips: []design.Chip{
+			{Name: "a", Box: geom.RectWH(100, 250, 300, 300)},
+			{Name: "b", Box: geom.RectWH(800, 250, 300, 300)},
+		},
+	}
+	// Peripheral pads on the facing edges.
+	for i := 0; i < 4; i++ {
+		d.IOPads = append(d.IOPads, design.IOPad{
+			ID: i, Chip: 0, Center: geom.Pt(390, int64(300+60*i)), HalfW: 8,
+		})
+	}
+	for i := 0; i < 4; i++ {
+		d.IOPads = append(d.IOPads, design.IOPad{
+			ID: 4 + i, Chip: 1, Center: geom.Pt(810, int64(300+60*i)), HalfW: 8,
+		})
+	}
+	// One deep interior pad that must not be peripheral.
+	d.IOPads = append(d.IOPads, design.IOPad{ID: 8, Chip: 0, Center: geom.Pt(250, 400), HalfW: 8})
+	d.IOPads = append(d.IOPads, design.IOPad{ID: 9, Chip: 1, Center: geom.Pt(950, 400), HalfW: 8})
+	for i := 0; i < 4; i++ {
+		d.Nets = append(d.Nets, design.Net{
+			ID: i,
+			P1: design.PadRef{Kind: design.IOKind, Index: i},
+			P2: design.PadRef{Kind: design.IOKind, Index: 4 + i},
+		})
+	}
+	d.Nets = append(d.Nets, design.Net{
+		ID: 4,
+		P1: design.PadRef{Kind: design.IOKind, Index: 8},
+		P2: design.PadRef{Kind: design.IOKind, Index: 9},
+	})
+	return d
+}
+
+func TestPartitionCoversFanOut(t *testing.T) {
+	d := twoChip()
+	grids := partitionFanOut(d)
+	if len(grids) == 0 {
+		t.Fatal("no grids")
+	}
+	var area int64
+	for i, g := range grids {
+		if g.Box.Empty() {
+			t.Errorf("grid %d empty", i)
+		}
+		area += g.Box.Area()
+		for _, c := range d.Chips {
+			if g.Box.Overlaps(c.Box) {
+				t.Errorf("grid %d overlaps chip", i)
+			}
+		}
+		for j := i + 1; j < len(grids); j++ {
+			if g.Box.Overlaps(grids[j].Box) {
+				t.Errorf("grids %d and %d overlap", i, j)
+			}
+		}
+	}
+	want := d.Outline.Area()
+	for _, c := range d.Chips {
+		want -= c.Box.Area()
+	}
+	if area != want {
+		t.Errorf("fan-out area = %d, want %d", area, want)
+	}
+}
+
+func TestPeripheralIdentification(t *testing.T) {
+	d := twoChip()
+	a, err := Analyze(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pads 0..7 are peripheral; 8 and 9 are interior.
+	for i := 0; i < 8; i++ {
+		ap, ok := a.Access[i]
+		if !ok {
+			t.Errorf("pad %d should be peripheral", i)
+			continue
+		}
+		// Access point must lie on the chip boundary.
+		chip := d.Chips[d.IOPads[i].Chip].Box
+		onBoundary := ap.Point.X == chip.X0 || ap.Point.X == chip.X1 ||
+			ap.Point.Y == chip.Y0 || ap.Point.Y == chip.Y1
+		if !onBoundary {
+			t.Errorf("pad %d access point %v not on chip boundary", i, ap.Point)
+		}
+		if ap.Grid < 0 || ap.Grid >= len(a.Grids) {
+			t.Errorf("pad %d has bad grid %d", i, ap.Grid)
+		}
+	}
+	if _, ok := a.Access[8]; ok {
+		t.Error("interior pad 8 must not be peripheral")
+	}
+	if _, ok := a.Access[9]; ok {
+		t.Error("interior pad 9 must not be peripheral")
+	}
+}
+
+func TestCandidatesAndCircle(t *testing.T) {
+	d := twoChip()
+	a, err := Analyze(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nets 0..3 are candidates; net 4 (interior pads) is not.
+	if len(a.Candidates) != 4 {
+		t.Fatalf("candidates = %d, want 4", len(a.Candidates))
+	}
+	if a.CircleLen != 8 {
+		t.Errorf("circle positions = %d, want 8", a.CircleLen)
+	}
+	seen := map[int]bool{}
+	for _, c := range a.Candidates {
+		for _, p := range []int{c.Pos1, c.Pos2} {
+			if p < 0 || p >= a.CircleLen {
+				t.Errorf("candidate net %d: position %d out of range", c.Net, p)
+			}
+			if seen[p] {
+				t.Errorf("position %d reused", p)
+			}
+			seen[p] = true
+		}
+		if c.DetourRate < 1.0-1e-9 {
+			t.Errorf("net %d: detour rate %v < 1", c.Net, c.DetourRate)
+		}
+		if len(c.Path) == 0 {
+			t.Errorf("net %d: empty pre-routed path", c.Net)
+		}
+	}
+	// Chords must satisfy the MPSC preconditions.
+	chords := a.Chords(DefaultWeightParams(), nil)
+	if err := mpsc.Validate(a.CircleLen, chords); err != nil {
+		t.Errorf("chord model invalid: %v", err)
+	}
+	// The four facing parallel nets should be mutually planar: MPSC takes all.
+	picked, _ := mpsc.MaxPlanarSubset(a.CircleLen, chords)
+	if len(picked) != 4 {
+		t.Errorf("planar subset = %d nets, want all 4", len(picked))
+	}
+}
+
+func TestCongestionLowersWeight(t *testing.T) {
+	// Pads on the chips' outer edges force multi-grid pre-routed paths, so
+	// congestion has tree edges to accumulate on.
+	d := twoChip()
+	for i := 0; i < 4; i++ {
+		d.IOPads[i].Center = geom.Pt(110, int64(300+60*i))    // chip a west edge
+		d.IOPads[4+i].Center = geom.Pt(1090, int64(300+60*i)) // chip b east edge
+	}
+	a, err := Analyze(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultWeightParams()
+	base := a.Chords(p, nil)
+	// Saturate congestion by shrinking the track capacity to near zero:
+	// re-analyze with a huge pitch so every border carries ~0 tracks.
+	cfg := DefaultConfig()
+	cfg.TrackPitch = 1 << 40
+	a2, err := Analyze(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	congested := a2.Chords(p, nil)
+	if len(base) != len(congested) {
+		t.Fatalf("chord count changed: %d vs %d", len(base), len(congested))
+	}
+	for i := range base {
+		if congested[i].W >= base[i].W {
+			t.Errorf("chord %d: congestion did not lower weight (%v -> %v)",
+				i, base[i].W, congested[i].W)
+		}
+	}
+}
+
+func TestRecomputeCongestionSkip(t *testing.T) {
+	d := twoChip()
+	a, err := Analyze(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]float64, len(a.Candidates))
+	for i, c := range a.Candidates {
+		before[i] = c.FAvg
+	}
+	// Skipping all nets leaves zero demand everywhere.
+	skip := map[int]bool{}
+	for i := range a.Candidates {
+		skip[i] = true
+	}
+	a.RecomputeCongestion(skip)
+	for i, c := range a.Candidates {
+		if c.FMax != 0 || c.FAvg != 0 {
+			t.Errorf("candidate %d: overflow nonzero with no demand (was %v)", i, before[i])
+		}
+	}
+}
+
+func TestAnalyzeDenseSuite(t *testing.T) {
+	for _, spec := range design.DenseSuite() {
+		d, err := design.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Analyze(d, DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if len(a.Candidates) == 0 {
+			t.Errorf("%s: no concurrent-routing candidates", spec.Name)
+		}
+		chords := a.Chords(DefaultWeightParams(), nil)
+		if err := mpsc.Validate(a.CircleLen, chords); err != nil {
+			t.Errorf("%s: chords invalid: %v", spec.Name, err)
+		}
+		// A nontrivial fraction of candidates should be concurrently routable.
+		picked, _ := mpsc.MaxPlanarSubset(a.CircleLen, chords)
+		if len(picked) == 0 {
+			t.Errorf("%s: MPSC picked nothing from %d candidates", spec.Name, len(chords))
+		}
+		t.Logf("%s: %d grids, %d candidates, MPSC picks %d on layer 1",
+			spec.Name, len(a.Grids), len(a.Candidates), len(picked))
+	}
+}

@@ -1,0 +1,135 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOctAroundSegment(t *testing.T) {
+	// Horizontal segment: cover is the stadium's bounding octagon.
+	o := OctAroundSegment(Seg(Pt(10, 10), Pt(50, 10)), 5)
+	for _, p := range []Point{{10, 10}, {50, 10}, {5, 10}, {55, 10}, {30, 15}, {30, 5}} {
+		if !o.Contains(p) {
+			t.Errorf("cover should contain %v", p)
+		}
+	}
+	if o.Contains(Pt(30, 16)) || o.Contains(Pt(4, 10)) {
+		t.Error("cover too large")
+	}
+	// Points within r of the segment are inside (cover property).
+	d := OctAroundSegment(Seg(Pt(0, 0), Pt(40, 40)), 7)
+	for _, p := range []Point{{20, 20}, {25, 15}, {15, 25}, {-4, -4}} {
+		if PointSegDist(p, Seg(Pt(0, 0), Pt(40, 40))) <= 7 && !d.Contains(p) {
+			t.Errorf("diagonal cover misses %v", p)
+		}
+	}
+}
+
+func TestOctAroundSegmentCoversDiskProperty(t *testing.T) {
+	f := func(ax, ay, bx, by int8, rr uint8, px, py int8) bool {
+		a := Pt(int64(ax), int64(ay))
+		b := a
+		// Force octilinearity.
+		switch rr % 4 {
+		case 0:
+			b = a.Add(Pt(int64(bx), 0))
+		case 1:
+			b = a.Add(Pt(0, int64(by)))
+		case 2:
+			b = a.Add(Pt(int64(bx), int64(bx)))
+		case 3:
+			b = a.Add(Pt(int64(bx), -int64(bx)))
+		}
+		r := int64(rr%20) + 1
+		seg := Seg(a, b)
+		o := OctAroundSegment(seg, r)
+		p := Pt(int64(px), int64(py))
+		if PointSegDist(p, seg) <= float64(r) {
+			return o.Contains(p)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubtractOctDisjointCover(t *testing.T) {
+	o := OctFromRect(RectWH(0, 0, 100, 100))
+	b := RegularOct(Pt(50, 50), 30)
+	pieces := o.SubtractOct(b)
+	if len(pieces) == 0 {
+		t.Fatal("subtraction should leave pieces")
+	}
+	// Piece areas + intersection area = original area.
+	total := 0.0
+	for i, p := range pieces {
+		total += p.Area()
+		for j := i + 1; j < len(pieces); j++ {
+			// Interiors must be disjoint: the intersection may touch at
+			// boundaries but should have no area.
+			in := p.IntersectOct(pieces[j])
+			if !in.Empty() && in.Area() > 1 {
+				t.Errorf("pieces %d and %d overlap with area %v", i, j, in.Area())
+			}
+		}
+	}
+	inter := o.IntersectOct(b)
+	want := o.Area() - inter.Area()
+	// Integer-complement cuts lose slivers below one DBU; allow perimeter slack.
+	if math.Abs(total-want) > 500 {
+		t.Errorf("piece area %v, want ≈ %v", total, want)
+	}
+	// No piece intersects the blocker's interior.
+	shrunk := b.Shrink(1)
+	for i, p := range pieces {
+		if p.Intersects(shrunk) {
+			t.Errorf("piece %d overlaps blocker", i)
+		}
+	}
+}
+
+func TestSubtractOctNoOverlap(t *testing.T) {
+	o := OctFromRect(RectWH(0, 0, 60, 60))
+	b := OctFromRect(RectWH(70, 70, 10, 10))
+	pieces := o.SubtractOct(b)
+	if len(pieces) != 1 || pieces[0].Canonical() != o.Canonical() {
+		t.Errorf("disjoint subtraction should return the original, got %v", pieces)
+	}
+}
+
+func TestSubtractOctFullCover(t *testing.T) {
+	o := OctFromRect(RectWH(10, 10, 20, 20))
+	b := OctFromRect(RectWH(0, 0, 100, 100))
+	if pieces := o.SubtractOct(b); len(pieces) != 0 {
+		t.Errorf("fully covered subtraction should be empty, got %v", pieces)
+	}
+}
+
+func TestSubtractOctDiagonalBand(t *testing.T) {
+	// Subtracting a diagonal wire band splits a rect into two octagonal
+	// tiles (the paper's Figure 6(c) situation).
+	o := OctFromRect(RectWH(0, 0, 100, 100))
+	band := OctAroundSegment(Seg(Pt(0, 0), Pt(100, 100)), 8)
+	pieces := o.SubtractOct(band)
+	if len(pieces) < 2 {
+		t.Fatalf("diagonal band should split the frame, got %d pieces", len(pieces))
+	}
+	// One piece contains (10, 80), another (80, 10); none contains (50,50).
+	var hasNW, hasSE bool
+	for _, p := range pieces {
+		if p.Contains(Pt(10, 80)) {
+			hasNW = true
+		}
+		if p.Contains(Pt(80, 10)) {
+			hasSE = true
+		}
+		if p.Contains(Pt(50, 50)) {
+			t.Error("piece contains a point on the wire band")
+		}
+	}
+	if !hasNW || !hasSE {
+		t.Errorf("expected pieces on both sides: NW=%v SE=%v", hasNW, hasSE)
+	}
+}

@@ -1,0 +1,195 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOctFromRect(t *testing.T) {
+	r := RectWH(0, 0, 10, 6)
+	o := OctFromRect(r)
+	if o.Empty() {
+		t.Fatal("rect oct should not be empty")
+	}
+	for _, p := range []Point{{0, 0}, {10, 6}, {5, 3}, {10, 0}, {0, 6}} {
+		if !o.Contains(p) {
+			t.Errorf("should contain %v", p)
+		}
+	}
+	for _, p := range []Point{{-1, 0}, {11, 3}, {5, 7}} {
+		if o.Contains(p) {
+			t.Errorf("should not contain %v", p)
+		}
+	}
+	if got := o.Area(); math.Abs(got-60) > 1e-9 {
+		t.Errorf("Area = %v", got)
+	}
+	if got := o.BBox(); got != r {
+		t.Errorf("BBox = %v", got)
+	}
+	if v := o.Vertices(); len(v) != 4 {
+		t.Errorf("rect oct should have 4 vertices, got %d: %v", len(v), v)
+	}
+}
+
+func TestRegularOct(t *testing.T) {
+	o := RegularOct(Pt(100, 100), 40)
+	if !o.Contains(Pt(100, 100)) {
+		t.Error("center must be inside")
+	}
+	// Axis extremes inside, bbox corners outside (they are cut).
+	if !o.Contains(Pt(120, 100)) || !o.Contains(Pt(100, 80)) {
+		t.Error("axis extremes must be inside")
+	}
+	if o.Contains(Pt(120, 120)) || o.Contains(Pt(80, 80)) {
+		t.Error("bbox corners must be cut off")
+	}
+	if v := o.Vertices(); len(v) != 8 {
+		t.Errorf("regular octagon should have 8 vertices, got %d: %v", len(v), v)
+	}
+	// Area between the inscribed diamond and bounding square.
+	a := o.Area()
+	if a <= 800 || a >= 1600 {
+		t.Errorf("octagon area = %v, want in (800, 1600)", a)
+	}
+	// Should be close to the exact regular octagon area 2(√2−1)w² ≈ 0.8284·w².
+	want := 2 * (Sqrt2 - 1) * 40 * 40
+	if math.Abs(a-want)/want > 0.05 {
+		t.Errorf("octagon area = %v, want ≈ %v", a, want)
+	}
+}
+
+func TestOctCanonicalTightens(t *testing.T) {
+	// Wide-open diagonal bounds must tighten to those implied by the box.
+	o := Oct8{XLo: 0, XHi: 10, YLo: 0, YHi: 10, SLo: -100, SHi: 100, DLo: -100, DHi: 100}
+	c := o.Canonical()
+	if c.SLo != 0 || c.SHi != 20 || c.DLo != -10 || c.DHi != 10 {
+		t.Errorf("Canonical = %+v", c)
+	}
+	// A cutting diagonal tightens the box.
+	o2 := Oct8{XLo: 0, XHi: 10, YLo: 0, YHi: 10, SLo: -100, SHi: 5, DLo: -100, DHi: 100}
+	c2 := o2.Canonical()
+	if c2.XHi != 5 || c2.YHi != 5 {
+		t.Errorf("diagonal cut should tighten box: %+v", c2)
+	}
+}
+
+func TestOctEmpty(t *testing.T) {
+	if OctFromRect(RectWH(0, 0, 5, 5)).Empty() {
+		t.Error("nonempty marked empty")
+	}
+	bad := Oct8{XLo: 0, XHi: 10, YLo: 0, YHi: 10, SLo: 50, SHi: 100, DLo: -100, DHi: 100}
+	if !bad.Empty() {
+		t.Error("x+y >= 50 cannot meet box [0,10]^2")
+	}
+	inverted := Oct8{XLo: 5, XHi: 1, YLo: 0, YHi: 10, SLo: -100, SHi: 100, DLo: -100, DHi: 100}
+	if !inverted.Empty() {
+		t.Error("inverted x bounds should be empty")
+	}
+}
+
+func TestOctIntersection(t *testing.T) {
+	a := OctFromRect(RectWH(0, 0, 10, 10))
+	b := OctFromRect(RectWH(5, 5, 10, 10))
+	if !a.Intersects(b) {
+		t.Error("overlapping rect octs")
+	}
+	in := a.IntersectOct(b)
+	if in.BBox() != (Rect{5, 5, 10, 10}) {
+		t.Errorf("intersection bbox = %v", in.BBox())
+	}
+	c := OctFromRect(RectWH(20, 20, 3, 3))
+	if a.Intersects(c) {
+		t.Error("disjoint octs must not intersect")
+	}
+}
+
+func TestOctTriangleDegeneration(t *testing.T) {
+	// Box cut by x+y <= 10 on [0,10]^2 is a right triangle, area 50.
+	o := Oct8{XLo: 0, XHi: 10, YLo: 0, YHi: 10, SLo: -100, SHi: 10, DLo: -100, DHi: 100}
+	v := o.Vertices()
+	if len(v) != 3 {
+		t.Fatalf("triangle should have 3 vertices, got %d: %v", len(v), v)
+	}
+	if a := o.Area(); math.Abs(a-50) > 1e-9 {
+		t.Errorf("triangle area = %v", a)
+	}
+}
+
+func TestOctShrinkGrow(t *testing.T) {
+	o := RegularOct(Pt(0, 0), 100)
+	s := o.Shrink(10)
+	if s.Empty() {
+		t.Fatal("shrunk octagon should survive")
+	}
+	if !o.Contains(Pt(50, 0)) {
+		t.Error("original must contain east extreme")
+	}
+	if s.Contains(Pt(50, 0)) {
+		t.Error("shrunk must not contain original east extreme")
+	}
+	g := s.Grow(10)
+	// Grow(Shrink(x)) ⊆ x up to diagonal rounding slack of 1.
+	if g.XLo < o.XLo-1 || g.XHi > o.XHi+1 {
+		t.Errorf("grow/shrink mismatch: %v vs %v", g, o)
+	}
+	// Over-shrinking empties the region.
+	if !o.Shrink(60).Empty() {
+		t.Error("over-shrunk should be empty")
+	}
+}
+
+func TestOctCenterContained(t *testing.T) {
+	f := func(x0, y0, w, h int8, cutS, cutD uint8) bool {
+		r := RectWH(int64(x0), int64(y0), int64(abs8(w))+1, int64(abs8(h))+1)
+		o := OctFromRect(r)
+		o.SHi -= int64(cutS % 8)
+		o.DHi -= int64(cutD % 8)
+		if o.Empty() {
+			return true
+		}
+		return o.Canonical().Contains(o.Center())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOctVerticesInsideRegionProperty(t *testing.T) {
+	f := func(x0, y0, w, h int8, cut uint8) bool {
+		r := RectWH(int64(x0), int64(y0), int64(abs8(w))+2, int64(abs8(h))+2)
+		o := OctFromRect(r)
+		o.SLo += int64(cut % 5)
+		o.SHi -= int64(cut % 3)
+		o.DLo += int64(cut % 4)
+		if o.Empty() {
+			return true
+		}
+		for _, v := range o.Vertices() {
+			if !containsF(o.Canonical(), v, 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOctIntersectionCommutesProperty(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh int8) bool {
+		a := OctFromRect(RectWH(int64(ax), int64(ay), int64(abs8(aw)), int64(abs8(ah))))
+		b := OctFromRect(RectWH(int64(bx), int64(by), int64(abs8(bw)), int64(abs8(bh))))
+		ab := a.IntersectOct(b).Canonical()
+		ba := b.IntersectOct(a).Canonical()
+		if ab.Empty() != ba.Empty() {
+			return false
+		}
+		return ab.Empty() || ab == ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package geom provides the X-architecture computational geometry used by
+// the RDL router: integer points in database units, octilinear segments,
+// rectangles, the octagonal tile model, and convex-polygon distance tests.
+//
+// All primary coordinates are int64 database units (DBU) so that
+// intersection, containment and spacing predicates on horizontal, vertical
+// and 45/135-degree geometry are exact. Lengths and areas are float64.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sqrt2 is √2, the length factor of a unit diagonal step.
+const Sqrt2 = 1.41421356237309504880168872420969808
+
+// Point is a point in integer database units.
+type Point struct {
+	X, Y int64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y int64) Point { return Point{x, y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Add returns p+q componentwise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p−q componentwise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k int64) Point { return Point{p.X * k, p.Y * k} }
+
+// Eq reports whether p and q coincide.
+func (p Point) Eq(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// Cross returns the z component of (q−p) × (r−p). Positive means r lies to
+// the left of the directed line p→q.
+func Cross(p, q, r Point) int64 {
+	return (q.X-p.X)*(r.Y-p.Y) - (q.Y-p.Y)*(r.X-p.X)
+}
+
+// Dot returns (q−p) · (r−p).
+func Dot(p, q, r Point) int64 {
+	return (q.X-p.X)*(r.X-p.X) + (q.Y-p.Y)*(r.Y-p.Y)
+}
+
+// Abs64 returns |v| for int64 v.
+func Abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Min64 returns the smaller of a and b.
+func Min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max64 returns the larger of a and b.
+func Max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Euclid returns the Euclidean distance between p and q.
+func Euclid(p, q Point) float64 {
+	dx := float64(p.X - q.X)
+	dy := float64(p.Y - q.Y)
+	return math.Hypot(dx, dy)
+}
+
+// Manhattan returns |dx|+|dy|.
+func Manhattan(p, q Point) int64 {
+	return Abs64(p.X-q.X) + Abs64(p.Y-q.Y)
+}
+
+// OctDist returns the length of a shortest X-architecture (octilinear) path
+// between p and q: max(|dx|,|dy|) + (√2−1)·min(|dx|,|dy|).
+func OctDist(p, q Point) float64 {
+	dx := Abs64(p.X - q.X)
+	dy := Abs64(p.Y - q.Y)
+	lo, hi := dx, dy
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return float64(hi) + (Sqrt2-1)*float64(lo)
+}
+
+// PointF is a float64 point, used for derived quantities (tile vertices,
+// centroids, polygon distance) where exactness is not required.
+type PointF struct {
+	X, Y float64
+}
+
+// PtF is shorthand for PointF{x, y}.
+func PtF(x, y float64) PointF { return PointF{x, y} }
+
+// F converts an integer point to a float point.
+func (p Point) F() PointF { return PointF{float64(p.X), float64(p.Y)} }
+
+// Add returns p+q componentwise.
+func (p PointF) Add(q PointF) PointF { return PointF{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p−q componentwise.
+func (p PointF) Sub(q PointF) PointF { return PointF{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p PointF) Scale(k float64) PointF { return PointF{p.X * k, p.Y * k} }
+
+// EuclidF returns the Euclidean distance between float points p and q.
+func EuclidF(p, q PointF) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }

@@ -1,0 +1,100 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOps(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(-1, 2)
+	if got := p.Add(q); !got.Eq(Pt(2, 6)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); !got.Eq(Pt(4, 2)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(3); !got.Eq(Pt(9, 12)) {
+		t.Errorf("Scale = %v", got)
+	}
+	if p.Eq(q) {
+		t.Error("Eq on distinct points")
+	}
+	if p.String() != "(3,4)" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestCrossSign(t *testing.T) {
+	// r left of p->q gives positive cross.
+	p, q := Pt(0, 0), Pt(10, 0)
+	if Cross(p, q, Pt(5, 3)) <= 0 {
+		t.Error("point above x-axis should be left of east-directed line")
+	}
+	if Cross(p, q, Pt(5, -3)) >= 0 {
+		t.Error("point below x-axis should be right of east-directed line")
+	}
+	if Cross(p, q, Pt(42, 0)) != 0 {
+		t.Error("collinear point should give zero cross")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	p, q := Pt(0, 0), Pt(3, 4)
+	if got := Euclid(p, q); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Euclid = %v", got)
+	}
+	if got := Manhattan(p, q); got != 7 {
+		t.Errorf("Manhattan = %v", got)
+	}
+	// Octilinear distance of a pure diagonal is len*sqrt2.
+	if got := OctDist(Pt(0, 0), Pt(5, 5)); math.Abs(got-5*Sqrt2) > 1e-9 {
+		t.Errorf("OctDist diagonal = %v", got)
+	}
+	// Octilinear distance of an axis move is the Manhattan distance.
+	if got := OctDist(Pt(0, 0), Pt(9, 0)); got != 9 {
+		t.Errorf("OctDist axis = %v", got)
+	}
+	// General case: max + (sqrt2-1)*min.
+	if got := OctDist(Pt(0, 0), Pt(3, 7)); math.Abs(got-(7+(Sqrt2-1)*3)) > 1e-9 {
+		t.Errorf("OctDist general = %v", got)
+	}
+}
+
+func TestOctDistProperties(t *testing.T) {
+	// Symmetry and the Euclid ≤ Oct ≤ Manhattan sandwich.
+	f := func(ax, ay, bx, by int16) bool {
+		p := Pt(int64(ax), int64(ay))
+		q := Pt(int64(bx), int64(by))
+		d := OctDist(p, q)
+		if math.Abs(d-OctDist(q, p)) > 1e-9 {
+			return false
+		}
+		return d >= Euclid(p, q)-1e-9 && d <= float64(Manhattan(p, q))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOctDistTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Pt(int64(ax), int64(ay))
+		b := Pt(int64(bx), int64(by))
+		c := Pt(int64(cx), int64(cy))
+		return OctDist(a, c) <= OctDist(a, b)+OctDist(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	if Min64(3, -2) != -2 || Max64(3, -2) != 3 {
+		t.Error("Min64/Max64")
+	}
+	if Abs64(-7) != 7 || Abs64(7) != 7 || Abs64(0) != 0 {
+		t.Error("Abs64")
+	}
+}

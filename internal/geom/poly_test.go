@@ -1,0 +1,104 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPolyFromRectOverlap(t *testing.T) {
+	a := PolyFromRect(RectWH(0, 0, 10, 10))
+	b := PolyFromRect(RectWH(5, 5, 10, 10))
+	c := PolyFromRect(RectWH(20, 20, 5, 5))
+	if !a.Overlaps(b) {
+		t.Error("overlapping rect polys")
+	}
+	if a.Overlaps(c) {
+		t.Error("disjoint rect polys")
+	}
+	// Touching edge-to-edge: no interior overlap.
+	d := PolyFromRect(RectWH(10, 0, 5, 10))
+	if a.Overlaps(d) {
+		t.Error("touching polys should not overlap")
+	}
+	if got := a.Dist(d); got != 0 {
+		t.Errorf("touching polys distance = %v, want 0", got)
+	}
+}
+
+func TestPolyDist(t *testing.T) {
+	a := PolyFromRect(RectWH(0, 0, 10, 10))
+	b := PolyFromRect(RectWH(13, 0, 5, 10))
+	if got := a.Dist(b); math.Abs(got-3) > 1e-9 {
+		t.Errorf("dist = %v, want 3", got)
+	}
+	c := PolyFromRect(RectWH(13, 14, 4, 4))
+	if got := a.Dist(c); math.Abs(got-5) > 1e-9 {
+		t.Errorf("corner dist = %v, want 5", got)
+	}
+}
+
+func TestPolyFromSegmentH(t *testing.T) {
+	p := PolyFromSegment(Seg(Pt(0, 0), Pt(10, 0)), 2)
+	if len(p) != 4 {
+		t.Fatalf("want quad, got %d vertices", len(p))
+	}
+	if !p.ContainsF(PtF(5, 1.5)) || !p.ContainsF(PtF(0, -2)) {
+		t.Error("offset outline containment")
+	}
+	if p.ContainsF(PtF(5, 2.5)) {
+		t.Error("point outside width")
+	}
+}
+
+func TestPolyFromSegmentDiagonal(t *testing.T) {
+	p := PolyFromSegment(Seg(Pt(0, 0), Pt(10, 10)), 2)
+	// Perpendicular distance from the centerline must be respected.
+	if !p.ContainsF(PtF(5, 5)) {
+		t.Error("centerline point")
+	}
+	if !p.ContainsF(PtF(6, 4.2)) { // perp distance ≈ 1.27 < 2
+		t.Error("point within perpendicular width")
+	}
+	if p.ContainsF(PtF(8, 4)) { // perp distance ≈ 2.83 > 2
+		t.Error("point beyond perpendicular width")
+	}
+}
+
+func TestWireSpacingViaPolys(t *testing.T) {
+	// Two parallel horizontal wires, width 2 (half-width 1), centers 5 apart:
+	// clear spacing must be 3.
+	w1 := PolyFromSegment(Seg(Pt(0, 0), Pt(100, 0)), 1)
+	w2 := PolyFromSegment(Seg(Pt(0, 5), Pt(100, 5)), 1)
+	if got := w1.Dist(w2); math.Abs(got-3) > 1e-9 {
+		t.Errorf("wire spacing = %v, want 3", got)
+	}
+	// Crossing wires: zero.
+	w3 := PolyFromSegment(Seg(Pt(50, -10), Pt(50, 10)), 1)
+	if got := w1.Dist(w3); got != 0 {
+		t.Errorf("crossing wires distance = %v, want 0", got)
+	}
+}
+
+func TestOctPolyDistance(t *testing.T) {
+	via := RegularOct(Pt(0, 0), 20).Poly()
+	wire := PolyFromSegment(Seg(Pt(30, -50), Pt(30, 50)), 2)
+	// Octagon east extreme is at x=10, wire edge at x=28: distance 18.
+	if got := via.Dist(wire); math.Abs(got-18) > 1e-9 {
+		t.Errorf("via-wire distance = %v, want 18", got)
+	}
+}
+
+func TestPolyDegenerate(t *testing.T) {
+	pt := ConvexPoly{PtF(5, 5)}
+	r := PolyFromRect(RectWH(0, 0, 10, 10))
+	if got := pt.Dist(r); got != 0 {
+		t.Errorf("point inside rect distance = %v", got)
+	}
+	far := ConvexPoly{PtF(20, 5)}
+	if got := far.Dist(r); math.Abs(got-10) > 1e-9 {
+		t.Errorf("point outside rect distance = %v, want 10", got)
+	}
+	if len(PolyFromRect(Rect{5, 5, 1, 1})) != 0 {
+		t.Error("empty rect should give empty poly")
+	}
+}

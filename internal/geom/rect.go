@@ -1,0 +1,120 @@
+package geom
+
+import "fmt"
+
+// Rect is an axis-aligned rectangle with inclusive integer bounds
+// X0 ≤ X1, Y0 ≤ Y1. A Rect with X0 > X1 or Y0 > Y1 is empty.
+type Rect struct {
+	X0, Y0, X1, Y1 int64
+}
+
+// RectOf returns the normalized rectangle spanning the two corner points.
+func RectOf(a, b Point) Rect {
+	return Rect{Min64(a.X, b.X), Min64(a.Y, b.Y), Max64(a.X, b.X), Max64(a.Y, b.Y)}
+}
+
+// RectWH returns the rectangle with lower-left corner (x, y), width w and
+// height h.
+func RectWH(x, y, w, h int64) Rect { return Rect{x, y, x + w, y + h} }
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d]x[%d,%d]", r.X0, r.X1, r.Y0, r.Y1)
+}
+
+// Empty reports whether r contains no points.
+func (r Rect) Empty() bool { return r.X0 > r.X1 || r.Y0 > r.Y1 }
+
+// W returns the width of r (0 for degenerate vertical segments).
+func (r Rect) W() int64 { return r.X1 - r.X0 }
+
+// H returns the height of r.
+func (r Rect) H() int64 { return r.Y1 - r.Y0 }
+
+// Area returns the area of r, 0 if empty or degenerate.
+func (r Rect) Area() int64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.W() * r.H()
+}
+
+// Center returns the center of r (rounded toward the lower-left).
+func (r Rect) Center() Point { return Point{(r.X0 + r.X1) / 2, (r.Y0 + r.Y1) / 2} }
+
+// Contains reports whether p lies in r (boundary inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X0 && p.X <= r.X1 && p.Y >= r.Y0 && p.Y <= r.Y1
+}
+
+// ContainsRect reports whether q lies entirely inside r.
+func (r Rect) ContainsRect(q Rect) bool {
+	return q.X0 >= r.X0 && q.X1 <= r.X1 && q.Y0 >= r.Y0 && q.Y1 <= r.Y1
+}
+
+// Intersects reports whether r and q share at least one point
+// (touching boundaries count).
+func (r Rect) Intersects(q Rect) bool {
+	return !r.Empty() && !q.Empty() &&
+		r.X0 <= q.X1 && q.X0 <= r.X1 && r.Y0 <= q.Y1 && q.Y0 <= r.Y1
+}
+
+// Overlaps reports whether r and q share interior area (touching
+// boundaries do not count).
+func (r Rect) Overlaps(q Rect) bool {
+	return !r.Empty() && !q.Empty() &&
+		r.X0 < q.X1 && q.X0 < r.X1 && r.Y0 < q.Y1 && q.Y0 < r.Y1
+}
+
+// Intersect returns the intersection of r and q (possibly empty).
+func (r Rect) Intersect(q Rect) Rect {
+	return Rect{Max64(r.X0, q.X0), Max64(r.Y0, q.Y0), Min64(r.X1, q.X1), Min64(r.Y1, q.Y1)}
+}
+
+// Union returns the smallest rectangle containing both r and q.
+func (r Rect) Union(q Rect) Rect {
+	if r.Empty() {
+		return q
+	}
+	if q.Empty() {
+		return r
+	}
+	return Rect{Min64(r.X0, q.X0), Min64(r.Y0, q.Y0), Max64(r.X1, q.X1), Max64(r.Y1, q.Y1)}
+}
+
+// Expand grows r by d on every side (shrinks when d is negative).
+func (r Rect) Expand(d int64) Rect {
+	return Rect{r.X0 - d, r.Y0 - d, r.X1 + d, r.Y1 + d}
+}
+
+// Corners returns the four corner points of r in counter-clockwise order
+// starting from the lower-left corner.
+func (r Rect) Corners() [4]Point {
+	return [4]Point{
+		{r.X0, r.Y0}, {r.X1, r.Y0}, {r.X1, r.Y1}, {r.X0, r.Y1},
+	}
+}
+
+// DistToPoint returns the Euclidean distance from p to the closest point
+// of r (0 when p is inside).
+func (r Rect) DistToPoint(p Point) float64 {
+	dx := int64(0)
+	if p.X < r.X0 {
+		dx = r.X0 - p.X
+	} else if p.X > r.X1 {
+		dx = p.X - r.X1
+	}
+	dy := int64(0)
+	if p.Y < r.Y0 {
+		dy = r.Y0 - p.Y
+	} else if p.Y > r.Y1 {
+		dy = p.Y - r.Y1
+	}
+	if dx == 0 {
+		return float64(dy)
+	}
+	if dy == 0 {
+		return float64(dx)
+	}
+	return EuclidF(PointF{}, PointF{float64(dx), float64(dy)})
+}

@@ -1,0 +1,122 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := RectWH(0, 0, 10, 5)
+	if r.W() != 10 || r.H() != 5 || r.Area() != 50 {
+		t.Errorf("W/H/Area = %d/%d/%d", r.W(), r.H(), r.Area())
+	}
+	if !r.Contains(Pt(10, 5)) || !r.Contains(Pt(0, 0)) {
+		t.Error("boundary containment")
+	}
+	if r.Contains(Pt(11, 0)) {
+		t.Error("outside containment")
+	}
+	if got := r.Center(); !got.Eq(Pt(5, 2)) {
+		t.Errorf("Center = %v", got)
+	}
+	if RectOf(Pt(5, 7), Pt(1, 2)) != (Rect{1, 2, 5, 7}) {
+		t.Error("RectOf normalization")
+	}
+}
+
+func TestRectEmpty(t *testing.T) {
+	e := Rect{5, 5, 1, 1}
+	if !e.Empty() || e.Area() != 0 {
+		t.Error("empty rect")
+	}
+	r := RectWH(0, 0, 4, 4)
+	if e.Intersects(r) {
+		t.Error("empty should intersect nothing")
+	}
+	if got := r.Union(e); got != r {
+		t.Error("union with empty")
+	}
+	if got := e.Union(r); got != r {
+		t.Error("empty union")
+	}
+}
+
+func TestRectIntersectOverlap(t *testing.T) {
+	a := RectWH(0, 0, 10, 10)
+	b := RectWH(10, 0, 5, 10) // touches a at x=10
+	if !a.Intersects(b) {
+		t.Error("touching rects must intersect")
+	}
+	if a.Overlaps(b) {
+		t.Error("touching rects must not overlap")
+	}
+	c := RectWH(5, 5, 10, 10)
+	if !a.Overlaps(c) {
+		t.Error("overlapping rects")
+	}
+	got := a.Intersect(c)
+	if got != (Rect{5, 5, 10, 10}) {
+		t.Errorf("Intersect = %v", got)
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := RectWH(2, 2, 4, 4).Expand(2)
+	if r != (Rect{0, 0, 8, 8}) {
+		t.Errorf("Expand = %v", r)
+	}
+	if s := r.Expand(-5); !s.Empty() {
+		t.Errorf("over-shrunk rect should be empty, got %v", s)
+	}
+}
+
+func TestRectDistToPoint(t *testing.T) {
+	r := RectWH(0, 0, 10, 10)
+	cases := []struct {
+		p Point
+		d float64
+	}{
+		{Pt(5, 5), 0},
+		{Pt(10, 10), 0},
+		{Pt(13, 5), 3},
+		{Pt(5, -4), 4},
+		{Pt(13, 14), 5},
+	}
+	for _, c := range cases {
+		if got := r.DistToPoint(c.p); got != c.d {
+			t.Errorf("DistToPoint(%v) = %v, want %v", c.p, got, c.d)
+		}
+	}
+}
+
+func TestRectIntersectionProperties(t *testing.T) {
+	f := func(x0, y0, w0, h0, x1, y1, w1, h1 int8) bool {
+		a := RectWH(int64(x0), int64(y0), int64(abs8(w0)), int64(abs8(h0)))
+		b := RectWH(int64(x1), int64(y1), int64(abs8(w1)), int64(abs8(h1)))
+		in := a.Intersect(b)
+		// Intersection nonempty iff Intersects.
+		if in.Empty() == a.Intersects(b) {
+			return false
+		}
+		// Intersection contained in both.
+		if !in.Empty() && (!a.ContainsRect(in) || !b.ContainsRect(in)) {
+			return false
+		}
+		// Union contains both.
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs8(v int8) int8 {
+	if v < 0 {
+		if v == -128 {
+			return 127
+		}
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,327 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Orient is the orientation class of an X-architecture wire segment or tile
+// boundary edge. The four wire orientations are H (horizontal), V
+// (vertical), D45 (slope +1, a 45° wire) and D135 (slope −1, a 135° wire).
+type Orient uint8
+
+// Wire segment orientations.
+const (
+	OrientNone Orient = iota // degenerate or non-octilinear
+	OrientH                  // horizontal: y = c
+	OrientV                  // vertical:   x = c
+	OrientD45                // slope +1:   y − x = c
+	OrientD135               // slope −1:   x + y = c
+)
+
+// String implements fmt.Stringer.
+func (o Orient) String() string {
+	switch o {
+	case OrientH:
+		return "H"
+	case OrientV:
+		return "V"
+	case OrientD45:
+		return "D45"
+	case OrientD135:
+		return "D135"
+	default:
+		return "none"
+	}
+}
+
+// LineCoeff returns the (a, b) coefficients of the orientation's carrier
+// line a·x + b·y = c. The pairs are (0,1) for H, (1,0) for V, (−1,1) for
+// D45 and (1,1) for D135.
+func (o Orient) LineCoeff() (a, b int64) {
+	switch o {
+	case OrientH:
+		return 0, 1
+	case OrientV:
+		return 1, 0
+	case OrientD45:
+		return -1, 1
+	case OrientD135:
+		return 1, 1
+	default:
+		return 0, 0
+	}
+}
+
+// CValue returns the c value of the orientation's carrier line a·x+b·y = c
+// through p.
+func (o Orient) CValue(p Point) int64 {
+	a, b := o.LineCoeff()
+	return a*p.X + b*p.Y
+}
+
+// Diagonal reports whether o is one of the two diagonal orientations.
+func (o Orient) Diagonal() bool { return o == OrientD45 || o == OrientD135 }
+
+// SegDir is a unit step in one of the eight compass directions.
+type SegDir struct {
+	DX, DY int64 // each in {−1, 0, +1}, not both zero
+}
+
+// DirTurnOK reports whether two consecutive directed unit steps form a
+// legal joint: straight (0°), 90°, or 135° turns are allowed; 45° and 180°
+// turns are not.
+func DirTurnOK(d1, d2 SegDir) bool {
+	// Turning by 0° (straight), 45° (a 135° interior angle) or 90° (a right
+	// angle) is legal; turning by 135° (a 45° interior angle) or 180° (a
+	// U-turn) is not.
+	a1 := dirSector(d1)
+	a2 := dirSector(d2)
+	diff := (a2 - a1 + 8) % 8
+	if diff > 4 {
+		diff = 8 - diff
+	}
+	return diff <= 2
+}
+
+// dirSector maps a compass step to its 45°-sector index 0..7 (E=0, NE=1,
+// N=2, NW=3, W=4, SW=5, S=6, SE=7).
+func dirSector(d SegDir) int {
+	switch {
+	case d.DX > 0 && d.DY == 0:
+		return 0
+	case d.DX > 0 && d.DY > 0:
+		return 1
+	case d.DX == 0 && d.DY > 0:
+		return 2
+	case d.DX < 0 && d.DY > 0:
+		return 3
+	case d.DX < 0 && d.DY == 0:
+		return 4
+	case d.DX < 0 && d.DY < 0:
+		return 5
+	case d.DX == 0 && d.DY < 0:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// Segment is a closed line segment between two integer points.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for Segment{a, b}.
+func Seg(a, b Point) Segment { return Segment{a, b} }
+
+// String implements fmt.Stringer.
+func (s Segment) String() string { return fmt.Sprintf("%v-%v", s.A, s.B) }
+
+// Degenerate reports whether the segment is a single point.
+func (s Segment) Degenerate() bool { return s.A.Eq(s.B) }
+
+// Orient returns the orientation class of s, or OrientNone if s is
+// degenerate or not octilinear.
+func (s Segment) Orient() Orient {
+	dx := s.B.X - s.A.X
+	dy := s.B.Y - s.A.Y
+	switch {
+	case dx == 0 && dy == 0:
+		return OrientNone
+	case dy == 0:
+		return OrientH
+	case dx == 0:
+		return OrientV
+	case dx == dy:
+		return OrientD45
+	case dx == -dy:
+		return OrientD135
+	default:
+		return OrientNone
+	}
+}
+
+// Octilinear reports whether s is a legal X-architecture segment.
+func (s Segment) Octilinear() bool { return s.Orient() != OrientNone }
+
+// Len returns the Euclidean length of s.
+func (s Segment) Len() float64 { return Euclid(s.A, s.B) }
+
+// BBox returns the bounding rectangle of s.
+func (s Segment) BBox() Rect { return RectOf(s.A, s.B) }
+
+// Dir returns the unit compass step from A toward B, or the zero SegDir for
+// a degenerate segment. Only meaningful for octilinear segments.
+func (s Segment) Dir() SegDir {
+	return SegDir{sign(s.B.X - s.A.X), sign(s.B.Y - s.A.Y)}
+}
+
+func sign(v int64) int64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Reverse returns the segment with endpoints swapped.
+func (s Segment) Reverse() Segment { return Segment{s.B, s.A} }
+
+// ContainsPoint reports whether p lies on s (endpoints inclusive).
+// Exact for all integer segments.
+func (s Segment) ContainsPoint(p Point) bool {
+	if Cross(s.A, s.B, p) != 0 {
+		return false
+	}
+	return p.X >= Min64(s.A.X, s.B.X) && p.X <= Max64(s.A.X, s.B.X) &&
+		p.Y >= Min64(s.A.Y, s.B.Y) && p.Y <= Max64(s.A.Y, s.B.Y)
+}
+
+// IntersectKind classifies how two segments meet.
+type IntersectKind uint8
+
+// Segment intersection classes.
+const (
+	NoIntersection   IntersectKind = iota
+	ProperCross                    // interiors cross at a single point
+	Touch                          // share at least one point, but no proper crossing
+	OverlapCollinear               // collinear with a shared sub-segment of positive length
+)
+
+// Intersect classifies the intersection of s and t exactly.
+func (s Segment) Intersect(t Segment) IntersectKind {
+	d1 := Cross(t.A, t.B, s.A)
+	d2 := Cross(t.A, t.B, s.B)
+	d3 := Cross(s.A, s.B, t.A)
+	d4 := Cross(s.A, s.B, t.B)
+
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return ProperCross
+	}
+
+	if d1 == 0 && d2 == 0 && d3 == 0 && d4 == 0 && !s.Degenerate() && !t.Degenerate() {
+		// Collinear: check 1D overlap extent.
+		lo1, hi1 := orderOn(s)
+		lo2, hi2 := orderOn(t)
+		// Project on dominant axis.
+		if overlap1D(lo1, hi1, lo2, hi2) {
+			// Positive-length overlap vs a single shared endpoint.
+			if sharedLen(s, t) {
+				return OverlapCollinear
+			}
+			return Touch
+		}
+		return NoIntersection
+	}
+
+	if (d1 == 0 && t.ContainsPoint(s.A)) || (d2 == 0 && t.ContainsPoint(s.B)) ||
+		(d3 == 0 && s.ContainsPoint(t.A)) || (d4 == 0 && s.ContainsPoint(t.B)) {
+		return Touch
+	}
+	return NoIntersection
+}
+
+// orderOn returns the endpoints of s ordered lexicographically.
+func orderOn(s Segment) (lo, hi Point) {
+	a, b := s.A, s.B
+	if a.X > b.X || (a.X == b.X && a.Y > b.Y) {
+		a, b = b, a
+	}
+	return a, b
+}
+
+func overlap1D(lo1, hi1, lo2, hi2 Point) bool {
+	lessEq := func(p, q Point) bool { return p.X < q.X || (p.X == q.X && p.Y <= q.Y) }
+	return lessEq(lo1, hi2) && lessEq(lo2, hi1)
+}
+
+// sharedLen reports whether two collinear, 1D-overlapping segments share a
+// sub-segment of positive length (as opposed to a single point).
+func sharedLen(s, t Segment) bool {
+	lo1, hi1 := orderOn(s)
+	lo2, hi2 := orderOn(t)
+	lo := lo1
+	if lo2.X > lo.X || (lo2.X == lo.X && lo2.Y > lo.Y) {
+		lo = lo2
+	}
+	hi := hi1
+	if hi2.X < hi.X || (hi2.X == hi.X && hi2.Y < hi.Y) {
+		hi = hi2
+	}
+	return !lo.Eq(hi)
+}
+
+// Crosses reports whether s and t conflict as wires of different nets would:
+// a proper crossing, a collinear overlap, or an interior touch all count.
+// Two segments that only share endpoints do not count (routes of different
+// nets never share endpoints; within a net, joints are expected).
+func (s Segment) Crosses(t Segment) bool {
+	switch s.Intersect(t) {
+	case ProperCross, OverlapCollinear:
+		return true
+	case Touch:
+		// A touch at a shared endpoint is not a crossing; an interior touch is.
+		endpointOnly := (s.A.Eq(t.A) || s.A.Eq(t.B) || s.B.Eq(t.A) || s.B.Eq(t.B))
+		if !endpointOnly {
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// PointSegDist returns the Euclidean distance from p to segment s.
+func PointSegDist(p Point, s Segment) float64 {
+	return pointSegDistF(p.F(), s.A.F(), s.B.F())
+}
+
+func pointSegDistF(p, a, b PointF) float64 {
+	ab := b.Sub(a)
+	ap := p.Sub(a)
+	den := ab.X*ab.X + ab.Y*ab.Y
+	if den == 0 {
+		return EuclidF(p, a)
+	}
+	t := (ap.X*ab.X + ap.Y*ab.Y) / den
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	proj := a.Add(ab.Scale(t))
+	return EuclidF(p, proj)
+}
+
+// SegSegDist returns the minimum Euclidean distance between segments s and
+// t; 0 when they intersect.
+func SegSegDist(s, t Segment) float64 {
+	if s.Intersect(t) != NoIntersection {
+		return 0
+	}
+	d := PointSegDist(s.A, t)
+	d = math.Min(d, PointSegDist(s.B, t))
+	d = math.Min(d, PointSegDist(t.A, s))
+	d = math.Min(d, PointSegDist(t.B, s))
+	return d
+}
+
+// LineIntersection returns the intersection point of the carrier lines of
+// orientations o1 through p1 and o2 through p2, in float coordinates.
+// ok is false when the lines are parallel.
+func LineIntersection(o1 Orient, c1 int64, o2 Orient, c2 int64) (PointF, bool) {
+	a1, b1 := o1.LineCoeff()
+	a2, b2 := o2.LineCoeff()
+	det := a1*b2 - a2*b1
+	if det == 0 {
+		return PointF{}, false
+	}
+	x := float64(c1*b2-c2*b1) / float64(det)
+	y := float64(a1*c2-a2*c1) / float64(det)
+	return PointF{x, y}, true
+}

@@ -1,0 +1,215 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrient(t *testing.T) {
+	cases := []struct {
+		s Segment
+		o Orient
+	}{
+		{Seg(Pt(0, 0), Pt(5, 0)), OrientH},
+		{Seg(Pt(0, 0), Pt(0, 5)), OrientV},
+		{Seg(Pt(0, 0), Pt(5, 5)), OrientD45},
+		{Seg(Pt(5, 5), Pt(0, 0)), OrientD45},
+		{Seg(Pt(0, 5), Pt(5, 0)), OrientD135},
+		{Seg(Pt(0, 0), Pt(0, 0)), OrientNone},
+		{Seg(Pt(0, 0), Pt(3, 5)), OrientNone},
+	}
+	for _, c := range cases {
+		if got := c.s.Orient(); got != c.o {
+			t.Errorf("%v.Orient() = %v, want %v", c.s, got, c.o)
+		}
+	}
+}
+
+func TestOrientCValue(t *testing.T) {
+	p := Pt(3, 7)
+	if OrientH.CValue(p) != 7 {
+		t.Error("H c-value")
+	}
+	if OrientV.CValue(p) != 3 {
+		t.Error("V c-value")
+	}
+	if OrientD45.CValue(p) != 4 { // y-x
+		t.Error("D45 c-value")
+	}
+	if OrientD135.CValue(p) != 10 { // x+y
+		t.Error("D135 c-value")
+	}
+}
+
+func TestSegmentContainsPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 10))
+	if !s.ContainsPoint(Pt(5, 5)) || !s.ContainsPoint(Pt(0, 0)) || !s.ContainsPoint(Pt(10, 10)) {
+		t.Error("on-segment points")
+	}
+	if s.ContainsPoint(Pt(11, 11)) || s.ContainsPoint(Pt(5, 6)) {
+		t.Error("off-segment points")
+	}
+}
+
+func TestIntersectClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		s, u Segment
+		want IntersectKind
+	}{
+		{"proper X", Seg(Pt(0, 0), Pt(10, 10)), Seg(Pt(0, 10), Pt(10, 0)), ProperCross},
+		{"disjoint parallel", Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(0, 5), Pt(10, 5)), NoIntersection},
+		{"shared endpoint", Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(10, 0), Pt(10, 10)), Touch},
+		{"T touch interior", Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(5, 0), Pt(5, 8)), Touch},
+		{"collinear overlap", Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(5, 0), Pt(15, 0)), OverlapCollinear},
+		{"collinear point touch", Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(10, 0), Pt(20, 0)), Touch},
+		{"collinear disjoint", Seg(Pt(0, 0), Pt(10, 0)), Seg(Pt(11, 0), Pt(20, 0)), NoIntersection},
+		{"vertical collinear overlap", Seg(Pt(0, 0), Pt(0, 10)), Seg(Pt(0, 5), Pt(0, 25)), OverlapCollinear},
+		{"diagonal proper", Seg(Pt(0, 0), Pt(10, 10)), Seg(Pt(0, 6), Pt(10, 4)), ProperCross},
+		{"near miss", Seg(Pt(0, 0), Pt(4, 4)), Seg(Pt(0, 10), Pt(10, 0)), NoIntersection},
+	}
+	for _, c := range cases {
+		if got := c.s.Intersect(c.u); got != c.want {
+			t.Errorf("%s: Intersect = %v, want %v", c.name, got, c.want)
+		}
+		if got := c.u.Intersect(c.s); got != c.want {
+			t.Errorf("%s (swapped): Intersect = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCrosses(t *testing.T) {
+	// Shared endpoint only: not a crossing (net joints).
+	a := Seg(Pt(0, 0), Pt(10, 0))
+	b := Seg(Pt(10, 0), Pt(20, 5))
+	if a.Crosses(b) {
+		t.Error("shared endpoint should not cross")
+	}
+	// Interior touch: crossing.
+	c := Seg(Pt(5, -5), Pt(5, 0))
+	if !a.Crosses(c) {
+		t.Error("interior T-touch should cross")
+	}
+	// Proper cross.
+	d := Seg(Pt(5, -5), Pt(5, 5))
+	if !a.Crosses(d) {
+		t.Error("proper cross")
+	}
+	// Collinear overlap.
+	e := Seg(Pt(5, 0), Pt(25, 0))
+	if !a.Crosses(e) {
+		t.Error("collinear overlap should cross")
+	}
+}
+
+func TestSegSegDist(t *testing.T) {
+	a := Seg(Pt(0, 0), Pt(10, 0))
+	b := Seg(Pt(0, 5), Pt(10, 5))
+	if got := SegSegDist(a, b); got != 5 {
+		t.Errorf("parallel dist = %v", got)
+	}
+	c := Seg(Pt(5, -5), Pt(5, 5))
+	if got := SegSegDist(a, c); got != 0 {
+		t.Errorf("crossing dist = %v", got)
+	}
+	d := Seg(Pt(13, 4), Pt(20, 4))
+	want := 5.0 // from (10,0) to (13,4)
+	if got := SegSegDist(a, d); math.Abs(got-want) > 1e-9 {
+		t.Errorf("corner dist = %v, want %v", got, want)
+	}
+}
+
+func TestDirTurnOK(t *testing.T) {
+	e := SegDir{1, 0}
+	ne := SegDir{1, 1}
+	n := SegDir{0, 1}
+	w := SegDir{-1, 0}
+	sw := SegDir{-1, -1}
+	if !DirTurnOK(e, e) {
+		t.Error("straight must be OK")
+	}
+	if !DirTurnOK(e, ne) {
+		t.Error("45-degree turn (135 interior) must be OK")
+	}
+	if !DirTurnOK(e, n) {
+		t.Error("90-degree turn must be OK")
+	}
+	if DirTurnOK(e, sw) {
+		t.Error("135-degree turn (45 interior) must be rejected")
+	}
+	if DirTurnOK(e, w) {
+		t.Error("U-turn must be rejected")
+	}
+}
+
+func TestLineIntersection(t *testing.T) {
+	// x = 5 and y = 3 meet at (5, 3).
+	p, ok := LineIntersection(OrientV, 5, OrientH, 3)
+	if !ok || p != (PointF{5, 3}) {
+		t.Errorf("V/H intersection = %v ok=%v", p, ok)
+	}
+	// x+y = 10 and y−x = 2 meet at (4, 6).
+	p, ok = LineIntersection(OrientD135, 10, OrientD45, 2)
+	if !ok || math.Abs(p.X-4) > 1e-12 || math.Abs(p.Y-6) > 1e-12 {
+		t.Errorf("diagonal intersection = %v ok=%v", p, ok)
+	}
+	// Parallel lines do not intersect.
+	if _, ok := LineIntersection(OrientH, 0, OrientH, 5); ok {
+		t.Error("parallel H lines should not intersect")
+	}
+}
+
+func TestIntersectSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy int8) bool {
+		s := Seg(Pt(int64(ax), int64(ay)), Pt(int64(bx), int64(by)))
+		u := Seg(Pt(int64(cx), int64(cy)), Pt(int64(dx), int64(dy)))
+		if s.Degenerate() || u.Degenerate() {
+			return true
+		}
+		return s.Intersect(u) == u.Intersect(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegSegDistZeroIffIntersect(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy int8) bool {
+		s := Seg(Pt(int64(ax), int64(ay)), Pt(int64(bx), int64(by)))
+		u := Seg(Pt(int64(cx), int64(cy)), Pt(int64(dx), int64(dy)))
+		if s.Degenerate() || u.Degenerate() {
+			return true
+		}
+		d := SegSegDist(s, u)
+		if s.Intersect(u) != NoIntersection {
+			return d == 0
+		}
+		return d > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentMisc(t *testing.T) {
+	s := Seg(Pt(1, 2), Pt(5, 2))
+	if s.Reverse() != Seg(Pt(5, 2), Pt(1, 2)) {
+		t.Error("Reverse")
+	}
+	if s.BBox() != (Rect{1, 2, 5, 2}) {
+		t.Errorf("BBox = %v", s.BBox())
+	}
+	if s.String() != "(1,2)-(5,2)" {
+		t.Errorf("String = %q", s.String())
+	}
+	if got := Seg(Pt(0, 0), Pt(3, 4)).Len(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Len = %v", got)
+	}
+	if !OrientD45.Diagonal() || OrientH.Diagonal() {
+		t.Error("Diagonal classification")
+	}
+	if OrientNone.String() != "none" || OrientV.String() != "V" {
+		t.Error("Orient strings")
+	}
+}

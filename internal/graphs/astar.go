@@ -1,0 +1,74 @@
+package graphs
+
+// AStar runs an A* search over an implicit graph whose states are dense
+// integer ids in [0, n). The router's tile graph changes after every routed
+// net, so the search takes the expansion as a callback rather than owning
+// a graph structure.
+//
+//   - starts: initial states with their initial path costs.
+//   - isGoal: goal predicate.
+//   - expand: calls emit(next, edgeCost) for each successor of a state.
+//   - h: admissible heuristic (pass nil for Dijkstra behavior).
+//
+// It returns the goal-terminated state path and its cost, or ok=false when
+// no goal is reachable.
+func AStar(
+	n int,
+	starts []StartState,
+	isGoal func(int) bool,
+	expand func(state int, emit func(next int, cost float64)),
+	h func(int) float64,
+) (path []int, cost float64, ok bool) {
+	if h == nil {
+		h = func(int) float64 { return 0 }
+	}
+	const inf = 1e300
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	closed := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	open := &floatHeap{}
+	for _, s := range starts {
+		if s.Cost < dist[s.State] {
+			dist[s.State] = s.Cost
+			open.push(s.Cost+h(s.State), s.State)
+		}
+	}
+	for open.len() > 0 {
+		_, u := open.pop()
+		if closed[u] {
+			continue
+		}
+		closed[u] = true
+		if isGoal(u) {
+			var rev []int
+			for x := u; x != -1; x = prev[x] {
+				rev = append(rev, x)
+			}
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev, dist[u], true
+		}
+		expand(u, func(v int, c float64) {
+			if c < 0 {
+				c = 0
+			}
+			if nd := dist[u] + c; nd < dist[v] {
+				dist[v] = nd
+				prev[v] = u
+				open.push(nd+h(v), v)
+			}
+		})
+	}
+	return nil, 0, false
+}
+
+// StartState is an A* source state with an initial cost.
+type StartState struct {
+	State int
+	Cost  float64
+}

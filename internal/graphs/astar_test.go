@@ -1,0 +1,152 @@
+package graphs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gridExpand returns an expansion function over a w×h 4-connected grid with
+// unit edge costs and a blocked-cell mask.
+func gridExpand(w, h int, blocked map[int]bool) func(int, func(int, float64)) {
+	return func(s int, emit func(int, float64)) {
+		x, y := s%w, s/w
+		try := func(nx, ny int) {
+			if nx < 0 || ny < 0 || nx >= w || ny >= h {
+				return
+			}
+			id := ny*w + nx
+			if blocked[id] {
+				return
+			}
+			emit(id, 1)
+		}
+		try(x+1, y)
+		try(x-1, y)
+		try(x, y+1)
+		try(x, y-1)
+	}
+}
+
+func TestAStarStraightLine(t *testing.T) {
+	const w, h = 10, 10
+	path, cost, ok := AStar(w*h,
+		[]StartState{{State: 0}},
+		func(s int) bool { return s == 9 },
+		gridExpand(w, h, nil),
+		func(s int) float64 { return float64(9 - s%w) },
+	)
+	if !ok || cost != 9 || len(path) != 10 {
+		t.Fatalf("ok=%v cost=%v len=%d", ok, cost, len(path))
+	}
+}
+
+func TestAStarDetour(t *testing.T) {
+	// Wall at x=5 with a gap at y=9 forces a detour.
+	const w, h = 10, 10
+	blocked := map[int]bool{}
+	for y := 0; y < 9; y++ {
+		blocked[y*w+5] = true
+	}
+	goal := 9 // (9, 0)
+	path, cost, ok := AStar(w*h,
+		[]StartState{{State: 0}},
+		func(s int) bool { return s == goal },
+		gridExpand(w, h, blocked),
+		func(s int) float64 {
+			x, y := s%w, s/w
+			return math.Abs(float64(9-x)) + math.Abs(float64(0-y))
+		},
+	)
+	if !ok {
+		t.Fatal("no path found")
+	}
+	if cost != 9+2*9 {
+		t.Errorf("detour cost = %v, want 27", cost)
+	}
+	// Path must be contiguous and avoid blocked cells.
+	for i, s := range path {
+		if blocked[s] {
+			t.Errorf("path visits blocked cell %d", s)
+		}
+		if i > 0 {
+			dx := path[i]%w - path[i-1]%w
+			dy := path[i]/w - path[i-1]/w
+			if abs(dx)+abs(dy) != 1 {
+				t.Errorf("non-adjacent step %d -> %d", path[i-1], path[i])
+			}
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestAStarUnreachable(t *testing.T) {
+	const w, h = 5, 5
+	blocked := map[int]bool{}
+	for y := 0; y < h; y++ {
+		blocked[y*w+2] = true // full wall
+	}
+	_, _, ok := AStar(w*h,
+		[]StartState{{State: 0}},
+		func(s int) bool { return s == 4 },
+		gridExpand(w, h, blocked),
+		nil,
+	)
+	if ok {
+		t.Error("walled-off goal must be unreachable")
+	}
+}
+
+func TestAStarMultiSource(t *testing.T) {
+	const w, h = 10, 1
+	// Two sources: state 0 at cost 5, state 8 at cost 0. Goal 9.
+	path, cost, ok := AStar(w*h,
+		[]StartState{{State: 0, Cost: 5}, {State: 8, Cost: 0}},
+		func(s int) bool { return s == 9 },
+		gridExpand(w, h, nil),
+		nil,
+	)
+	if !ok || cost != 1 {
+		t.Fatalf("ok=%v cost=%v", ok, cost)
+	}
+	if path[0] != 8 {
+		t.Errorf("search should start from the cheaper source, path=%v", path)
+	}
+}
+
+func TestAStarMatchesDijkstraProperty(t *testing.T) {
+	// With an admissible heuristic, A* cost equals Dijkstra (h=nil) cost.
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		const w, h = 12, 12
+		blocked := map[int]bool{}
+		for i := 0; i < 30; i++ {
+			blocked[rng.Intn(w*h)] = true
+		}
+		start := 0
+		goal := w*h - 1
+		if blocked[start] || blocked[goal] {
+			continue
+		}
+		heur := func(s int) float64 {
+			x, y := s%w, s/w
+			return math.Abs(float64(goal%w-x)) + math.Abs(float64(goal/w-y))
+		}
+		_, c1, ok1 := AStar(w*h, []StartState{{State: start}},
+			func(s int) bool { return s == goal }, gridExpand(w, h, blocked), heur)
+		_, c2, ok2 := AStar(w*h, []StartState{{State: start}},
+			func(s int) bool { return s == goal }, gridExpand(w, h, blocked), nil)
+		if ok1 != ok2 {
+			t.Fatalf("trial %d: reachability mismatch", trial)
+		}
+		if ok1 && math.Abs(c1-c2) > 1e-9 {
+			t.Fatalf("trial %d: A*=%v Dijkstra=%v", trial, c1, c2)
+		}
+	}
+}

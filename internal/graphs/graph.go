@@ -1,0 +1,244 @@
+// Package graphs provides the graph algorithms the router builds on: a
+// compact weighted undirected graph, Prim's minimum spanning tree, tree
+// path extraction, and a generic A* search over caller-supplied neighbor
+// expansion (the routing graph changes after every routed net, so A* must
+// not own the graph representation).
+package graphs
+
+import "sort"
+
+// Edge is a weighted undirected edge between vertices U and V.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Graph is a weighted undirected graph on vertices 0..N−1.
+type Graph struct {
+	N   int
+	adj [][]halfEdge
+}
+
+type halfEdge struct {
+	to int
+	w  float64
+}
+
+// NewGraph returns an empty graph with n vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{N: n, adj: make([][]halfEdge, n)}
+}
+
+// AddEdge inserts an undirected edge of weight w between u and v.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	g.adj[u] = append(g.adj[u], halfEdge{v, w})
+	g.adj[v] = append(g.adj[v], halfEdge{u, w})
+}
+
+// Degree returns the number of incident edges of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Neighbors calls fn for every edge incident to u.
+func (g *Graph) Neighbors(u int, fn func(v int, w float64)) {
+	for _, e := range g.adj[u] {
+		fn(e.to, e.w)
+	}
+}
+
+// Edges returns every undirected edge once (u < v), sorted by (U, V) for
+// determinism.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if u < e.to {
+				out = append(out, Edge{u, e.to, e.w})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Tree is an undirected tree (or forest) on the same vertex set as the
+// graph it was derived from.
+type Tree struct {
+	N      int
+	Parent []int // parent in a rooted orientation, −1 at roots
+	adj    [][]halfEdge
+	Edges  []Edge
+}
+
+// PrimMST computes a minimum spanning tree (a forest when the graph is
+// disconnected) using Prim's algorithm with a binary heap. Deterministic
+// for equal weights by vertex order.
+func PrimMST(g *Graph) *Tree {
+	t := &Tree{N: g.N, Parent: make([]int, g.N), adj: make([][]halfEdge, g.N)}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	inTree := make([]bool, g.N)
+	best := make([]float64, g.N)
+	bestFrom := make([]int, g.N)
+	const inf = 1e300
+	for i := range best {
+		best[i] = inf
+		bestFrom[i] = -1
+	}
+	h := &floatHeap{}
+	for root := 0; root < g.N; root++ {
+		if inTree[root] {
+			continue
+		}
+		best[root] = 0
+		h.push(0, root)
+		for h.len() > 0 {
+			_, u := h.pop()
+			if inTree[u] {
+				continue
+			}
+			inTree[u] = true
+			if p := bestFrom[u]; p >= 0 {
+				t.Parent[u] = p
+				w := best[u]
+				t.adj[u] = append(t.adj[u], halfEdge{p, w})
+				t.adj[p] = append(t.adj[p], halfEdge{u, w})
+				a, b := p, u
+				if a > b {
+					a, b = b, a
+				}
+				t.Edges = append(t.Edges, Edge{a, b, w})
+			}
+			g.Neighbors(u, func(v int, w float64) {
+				if !inTree[v] && w < best[v] {
+					best[v] = w
+					bestFrom[v] = u
+					h.push(w, v)
+				}
+			})
+		}
+	}
+	return t
+}
+
+// Path returns the unique tree path from u to v inclusive, or nil when u
+// and v are in different components.
+func (t *Tree) Path(u, v int) []int {
+	if u == v {
+		return []int{u}
+	}
+	// BFS from u to v restricted to tree edges.
+	prev := make([]int, t.N)
+	for i := range prev {
+		prev[i] = -2
+	}
+	prev[u] = -1
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if x == v {
+			break
+		}
+		for _, e := range t.adj[x] {
+			if prev[e.to] == -2 {
+				prev[e.to] = x
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	if prev[v] == -2 {
+		return nil
+	}
+	var rev []int
+	for x := v; x != -1; x = prev[x] {
+		rev = append(rev, x)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Adj calls fn for every tree edge incident to u.
+func (t *Tree) Adj(u int, fn func(v int, w float64)) {
+	for _, e := range t.adj[u] {
+		fn(e.to, e.w)
+	}
+}
+
+// PathLen returns the total weight along the tree path from u to v, or −1
+// when disconnected.
+func (t *Tree) PathLen(u, v int) float64 {
+	p := t.Path(u, v)
+	if p == nil {
+		return -1
+	}
+	total := 0.0
+	for i := 0; i+1 < len(p); i++ {
+		for _, e := range t.adj[p[i]] {
+			if e.to == p[i+1] {
+				total += e.w
+				break
+			}
+		}
+	}
+	return total
+}
+
+// floatHeap is a minimal binary min-heap on (priority, id) pairs.
+type floatHeap struct {
+	pri []float64
+	id  []int
+}
+
+func (h *floatHeap) len() int { return len(h.pri) }
+
+func (h *floatHeap) push(p float64, id int) {
+	h.pri = append(h.pri, p)
+	h.id = append(h.id, id)
+	i := len(h.pri) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.pri[parent] <= h.pri[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *floatHeap) pop() (float64, int) {
+	p, id := h.pri[0], h.id[0]
+	n := len(h.pri) - 1
+	h.swap(0, n)
+	h.pri = h.pri[:n]
+	h.id = h.id[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.pri[l] < h.pri[small] {
+			small = l
+		}
+		if r < n && h.pri[r] < h.pri[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.swap(i, small)
+		i = small
+	}
+	return p, id
+}
+
+func (h *floatHeap) swap(i, j int) {
+	h.pri[i], h.pri[j] = h.pri[j], h.pri[i]
+	h.id[i], h.id[j] = h.id[j], h.id[i]
+}

@@ -1,0 +1,139 @@
+package graphs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rdlroute/internal/dsu"
+)
+
+func TestPrimMSTSimple(t *testing.T) {
+	// Square with a cheap diagonal: 0-1(1), 1-2(1), 2-3(1), 3-0(10), 0-2(0.5)
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 10)
+	g.AddEdge(0, 2, 0.5)
+	t1 := PrimMST(g)
+	if len(t1.Edges) != 3 {
+		t.Fatalf("tree edges = %d, want 3", len(t1.Edges))
+	}
+	total := 0.0
+	for _, e := range t1.Edges {
+		total += e.W
+	}
+	if math.Abs(total-2.5) > 1e-12 {
+		t.Errorf("MST weight = %v, want 2.5", total)
+	}
+}
+
+func TestPrimMSTForest(t *testing.T) {
+	g := NewGraph(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 2)
+	// vertex 4 isolated
+	f := PrimMST(g)
+	if len(f.Edges) != 2 {
+		t.Fatalf("forest edges = %d, want 2", len(f.Edges))
+	}
+	if f.Path(0, 2) != nil {
+		t.Error("cross-component path must be nil")
+	}
+	if p := f.Path(4, 4); len(p) != 1 || p[0] != 4 {
+		t.Error("trivial path on isolated vertex")
+	}
+}
+
+func TestTreePath(t *testing.T) {
+	// Path graph 0-1-2-3-4.
+	g := NewGraph(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1, float64(i+1))
+	}
+	tr := PrimMST(g)
+	p := tr.Path(0, 4)
+	want := []int{0, 1, 2, 3, 4}
+	if len(p) != len(want) {
+		t.Fatalf("path = %v", p)
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+	if got := tr.PathLen(0, 4); math.Abs(got-10) > 1e-12 {
+		t.Errorf("PathLen = %v, want 10", got)
+	}
+	if got := tr.PathLen(4, 0); math.Abs(got-10) > 1e-12 {
+		t.Errorf("reverse PathLen = %v", got)
+	}
+}
+
+func TestMSTWeightMatchesKruskalProperty(t *testing.T) {
+	// Prim's MST weight must equal a straightforward Kruskal implementation.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := NewGraph(n)
+		var edges []Edge
+		// A random connected graph: spanning chain + extras.
+		for i := 1; i < n; i++ {
+			w := rng.Float64() * 100
+			g.AddEdge(i-1, i, w)
+			edges = append(edges, Edge{i - 1, i, w})
+		}
+		for k := 0; k < n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			w := rng.Float64() * 100
+			g.AddEdge(u, v, w)
+			edges = append(edges, Edge{u, v, w})
+		}
+		prim := 0.0
+		tr := PrimMST(g)
+		for _, e := range tr.Edges {
+			prim += e.W
+		}
+		kruskal := kruskalWeight(n, edges)
+		return math.Abs(prim-kruskal) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func kruskalWeight(n int, edges []Edge) float64 {
+	// Sort by weight (insertion sort adequate for test sizes).
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && edges[j].W < edges[j-1].W; j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+	d := dsu.New(n)
+	total := 0.0
+	for _, e := range edges {
+		if d.Union(e.U, e.V) {
+			total += e.W
+		}
+	}
+	return total
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(3, 1, 2)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 0, 5) // parallel edge
+	es := g.Edges()
+	if len(es) != 3 {
+		t.Fatalf("edges = %v", es)
+	}
+	if es[0].U != 0 || es[0].V != 2 || es[2].U != 1 || es[2].V != 3 {
+		t.Errorf("edge order = %v", es)
+	}
+}

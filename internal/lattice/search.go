@@ -1,0 +1,325 @@
+package lattice
+
+import "rdlroute/internal/geom"
+
+// The eight compass moves: index is the direction id used in search state.
+var moves = [8]struct {
+	dx, dy int
+	diag   bool
+}{
+	{1, 0, false}, {1, 1, true}, {0, 1, false}, {-1, 1, true},
+	{-1, 0, false}, {-1, -1, true}, {0, -1, false}, {1, -1, true},
+}
+
+// noDir is the direction id of a state with no incoming direction
+// (search start or just after a via).
+const noDir = 8
+
+// turnOK reports whether moving in direction nd is legal after arriving in
+// direction d: straight, 45° or 90° turns only (no 135° turns, no U-turns).
+func turnOK(d, nd int) bool {
+	if d == noDir {
+		return true
+	}
+	diff := nd - d
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 4 {
+		diff = 8 - diff
+	}
+	return diff <= 2
+}
+
+// Request describes one net's routing query.
+type Request struct {
+	Net      int
+	From, To geom.Point // must be lattice nodes
+	// FromLayer and ToLayer are the wire layers of the two terminals.
+	FromLayer, ToLayer int
+	// LayerMask, when non-nil, restricts which wire layers may carry wire;
+	// vias may only join two allowed layers.
+	LayerMask []bool
+	// Region, when non-nil, restricts wire nodes to Region(layer, pt).
+	// Terminal nodes are always allowed.
+	Region func(layer int, p geom.Point) bool
+	// ViaCost is the cost of one layer change (default 3·pitch).
+	ViaCost float64
+	// MaxCost aborts the search when the best reachable cost exceeds it
+	// (default 4·direct + 40·pitch).
+	MaxCost float64
+	// IgnoreForeign treats other nets' wire and via claims as free (hard
+	// blockages still block): a ghost search used by rip-up planning to
+	// find which nets stand in the way.
+	IgnoreForeign bool
+}
+
+// searchState holds reusable A* buffers (epoch-stamped).
+type searchState struct {
+	dist  []float64
+	prev  []int32
+	epoch []uint32
+	done  []uint32
+	cur   uint32
+	heap  pqueue
+}
+
+type pqueue struct {
+	pri []float64
+	id  []int32
+}
+
+func (h *pqueue) reset() { h.pri = h.pri[:0]; h.id = h.id[:0] }
+
+func (h *pqueue) push(p float64, id int32) {
+	h.pri = append(h.pri, p)
+	h.id = append(h.id, id)
+	i := len(h.pri) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.pri[parent] <= h.pri[i] {
+			break
+		}
+		h.pri[i], h.pri[parent] = h.pri[parent], h.pri[i]
+		h.id[i], h.id[parent] = h.id[parent], h.id[i]
+		i = parent
+	}
+}
+
+func (h *pqueue) pop() (float64, int32) {
+	p, id := h.pri[0], h.id[0]
+	n := len(h.pri) - 1
+	h.pri[0], h.id[0] = h.pri[n], h.id[n]
+	h.pri = h.pri[:n]
+	h.id = h.id[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.pri[l] < h.pri[m] {
+			m = l
+		}
+		if r < n && h.pri[r] < h.pri[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.pri[i], h.pri[m] = h.pri[m], h.pri[i]
+		h.id[i], h.id[m] = h.id[m], h.id[i]
+		i = m
+	}
+	return p, id
+}
+
+func (h *pqueue) empty() bool { return len(h.pri) == 0 }
+
+// stateID packs (layer, j, i, dir) into an int32.
+func (la *Lattice) stateID(l, i, j, dir int) int32 {
+	return int32(((l*la.NY+j)*la.NX+i)*9 + dir)
+}
+
+func (la *Lattice) unpack(s int32) (l, i, j, dir int) {
+	dir = int(s % 9)
+	s /= 9
+	i = int(s) % la.NX
+	s /= int32(la.NX)
+	j = int(s) % la.NY
+	l = int(s) / la.NY
+	return
+}
+
+func (la *Lattice) ensureSearch() *searchState {
+	n := la.Layers * la.NX * la.NY * 9
+	if la.search == nil || len(la.search.dist) < n {
+		la.search = &searchState{
+			dist:  make([]float64, n),
+			prev:  make([]int32, n),
+			epoch: make([]uint32, n),
+			done:  make([]uint32, n),
+		}
+	}
+	la.search.cur++
+	la.search.heap.reset()
+	return la.search
+}
+
+// Route finds a DRC-clean path for the request, or ok=false. The returned
+// path is a sequence of steps; consecutive same-layer steps with collinear
+// direction are merged into maximal segments.
+func (la *Lattice) Route(req Request) (path []PathStep, cost float64, ok bool) {
+	fi, fj, ok1 := la.NodeAt(req.From)
+	ti, tj, ok2 := la.NodeAt(req.To)
+	if !ok1 || !ok2 {
+		return nil, 0, false
+	}
+	if req.ViaCost == 0 {
+		req.ViaCost = 3 * float64(la.Pitch)
+	}
+	direct := geom.OctDist(req.From, req.To)
+	if req.MaxCost == 0 {
+		req.MaxCost = 4*direct + 40*float64(la.Pitch)
+	}
+	layerAllowed := func(l int) bool {
+		return req.LayerMask == nil || (l < len(req.LayerMask) && req.LayerMask[l])
+	}
+	if !layerAllowed(req.FromLayer) || !layerAllowed(req.ToLayer) {
+		return nil, 0, false
+	}
+	goalNode := la.idx(ti, tj)
+	isTerminal := func(i, j int) bool {
+		return (i == fi && j == fj) || (i == ti && j == tj)
+	}
+	regionOK := func(l, i, j int) bool {
+		if req.Region == nil || isTerminal(i, j) {
+			return true
+		}
+		return req.Region(l, la.NodePoint(i, j))
+	}
+
+	wireOK := func(l, i, j int) bool {
+		if req.IgnoreForeign {
+			return la.wireOcc[l*la.NX*la.NY+la.idx(i, j)] != hard
+		}
+		return la.WireFree(l, i, j, req.Net)
+	}
+	viaOK := func(s, i, j int) bool {
+		if req.IgnoreForeign {
+			n := la.NX * la.NY
+			return la.viaOcc[s*n+la.idx(i, j)] != hard &&
+				la.wireOcc[s*n+la.idx(i, j)] != hard &&
+				la.wireOcc[(s+1)*n+la.idx(i, j)] != hard
+		}
+		return la.ViaFree(s, i, j, req.Net)
+	}
+
+	ss := la.ensureSearch()
+	h := func(i, j, l int) float64 {
+		d := geom.OctDist(la.NodePoint(i, j), req.To)
+		dl := l - req.ToLayer
+		if dl < 0 {
+			dl = -dl
+		}
+		return d + float64(dl)*req.ViaCost
+	}
+
+	relax := func(s int32, d float64, from int32, fpri float64) {
+		if ss.epoch[s] != ss.cur || d < ss.dist[s] {
+			ss.epoch[s] = ss.cur
+			ss.dist[s] = d
+			ss.prev[s] = from
+			ss.heap.push(fpri, s)
+		}
+	}
+
+	start := la.stateID(req.FromLayer, fi, fj, noDir)
+	if !wireOK(req.FromLayer, fi, fj) {
+		return nil, 0, false
+	}
+	relax(start, 0, -1, h(fi, fj, req.FromLayer))
+
+	for !ss.heap.empty() {
+		f, s := ss.heap.pop()
+		if ss.done[s] == ss.cur {
+			continue
+		}
+		ss.done[s] = ss.cur
+		if f > req.MaxCost {
+			return nil, 0, false
+		}
+		l, i, j, dir := la.unpack(s)
+		if l == req.ToLayer && la.idx(i, j) == goalNode {
+			return la.rebuild(ss, s), ss.dist[s], true
+		}
+		d := ss.dist[s]
+		// Wire moves.
+		for nd, mv := range moves {
+			if !turnOK(dir, nd) {
+				continue
+			}
+			ni, nj := i+mv.dx, j+mv.dy
+			if ni < 0 || nj < 0 || ni >= la.NX || nj >= la.NY {
+				continue
+			}
+			if !wireOK(l, ni, nj) || !regionOK(l, ni, nj) {
+				continue
+			}
+			step := float64(la.Pitch)
+			if mv.diag {
+				step *= geom.Sqrt2
+			}
+			ns := la.stateID(l, ni, nj, nd)
+			if ss.done[ns] == ss.cur {
+				continue
+			}
+			nd2 := d + step
+			relax(ns, nd2, s, nd2+h(ni, nj, l))
+		}
+		// Via moves.
+		for _, dl := range []int{-1, 1} {
+			nl := l + dl
+			if nl < 0 || nl >= la.Layers || !layerAllowed(nl) {
+				continue
+			}
+			slab := l
+			if nl < l {
+				slab = nl
+			}
+			if !viaOK(slab, i, j) || !regionOK(nl, i, j) {
+				continue
+			}
+			ns := la.stateID(nl, i, j, noDir)
+			if ss.done[ns] == ss.cur {
+				continue
+			}
+			nd2 := d + req.ViaCost
+			relax(ns, nd2, s, nd2+h(i, j, nl))
+		}
+	}
+	return nil, 0, false
+}
+
+// rebuild converts the predecessor chain into a compact step path with
+// collinear runs merged.
+func (la *Lattice) rebuild(ss *searchState, s int32) []PathStep {
+	var raw []PathStep
+	for cur := s; cur >= 0; cur = ss.prev[cur] {
+		l, i, j, _ := la.unpack(cur)
+		raw = append(raw, PathStep{Layer: l, Pt: la.NodePoint(i, j)})
+	}
+	// Reverse.
+	for a, b := 0, len(raw)-1; a < b; a, b = a+1, b-1 {
+		raw[a], raw[b] = raw[b], raw[a]
+	}
+	// Merge collinear same-layer runs.
+	out := raw[:0]
+	for k, st := range raw {
+		if len(out) >= 2 {
+			p0, p1 := out[len(out)-2], out[len(out)-1]
+			if p0.Layer == p1.Layer && p1.Layer == st.Layer &&
+				collinearDir(p0.Pt, p1.Pt, st.Pt) {
+				out[len(out)-1] = st
+				continue
+			}
+		}
+		out = append(out, raw[k])
+	}
+	return out
+}
+
+func collinearDir(a, b, c geom.Point) bool {
+	d1x, d1y := sign64(b.X-a.X), sign64(b.Y-a.Y)
+	d2x, d2y := sign64(c.X-b.X), sign64(c.Y-b.Y)
+	return d1x == d2x && d1y == d2y && geom.Cross(a, b, c) == 0
+}
+
+func sign64(v int64) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}

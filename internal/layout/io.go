@@ -1,0 +1,128 @@
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+)
+
+// Format writes the layout's routing result in a line-based text format:
+//
+//	routedlayout <design-name>
+//	route <net> <layer> <x1> <y1> <x2> <y2> ...
+//	via <net> <slab> <cx> <cy> <width>
+//	routed <net>
+//
+// Lines starting with '#' and blank lines are ignored on read. The design
+// itself is not embedded; pair the file with its design netlist.
+func Format(w io.Writer, l *Layout) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "routedlayout %s\n", l.D.Name)
+	for i := range l.Routes {
+		r := &l.Routes[i]
+		fmt.Fprintf(bw, "route %d %d", r.Net, r.Layer)
+		for _, p := range r.Pts {
+			fmt.Fprintf(bw, " %d %d", p.X, p.Y)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, v := range l.Vias {
+		fmt.Fprintf(bw, "via %d %d %d %d %d\n", v.Net, v.Slab, v.Center.X, v.Center.Y, v.Width)
+	}
+	for ni := range l.D.Nets {
+		if l.Routed(ni) {
+			fmt.Fprintf(bw, "routed %d\n", ni)
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads a layout in the Format text format against the given design.
+func Parse(r io.Reader, d *design.Design) (*Layout, error) {
+	l := New(d)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(msg string) error {
+			return fmt.Errorf("layout: line %d: %s: %q", lineNo, msg, line)
+		}
+		ints := func(from int) ([]int64, error) {
+			out := make([]int64, 0, len(f)-from)
+			for _, s := range f[from:] {
+				v, err := strconv.ParseInt(s, 10, 64)
+				if err != nil {
+					return nil, fail("bad integer " + s)
+				}
+				out = append(out, v)
+			}
+			return out, nil
+		}
+		switch f[0] {
+		case "routedlayout":
+			// header; name informational only
+		case "route":
+			v, err := ints(1)
+			if err != nil {
+				return nil, err
+			}
+			if len(v) < 6 || len(v)%2 != 0 {
+				return nil, fail("route needs net, layer and ≥2 points")
+			}
+			net := int(v[0])
+			layer := int(v[1])
+			if net < 0 || net >= len(d.Nets) {
+				return nil, fail("route net out of range")
+			}
+			if layer < 0 || layer >= d.WireLayers {
+				return nil, fail("route layer out of range")
+			}
+			var pts []geom.Point
+			for i := 2; i+1 < len(v); i += 2 {
+				pts = append(pts, geom.Pt(v[i], v[i+1]))
+			}
+			l.Routes = append(l.Routes, Route{Net: net, Layer: layer, Pts: pts})
+		case "via":
+			v, err := ints(1)
+			if err != nil {
+				return nil, err
+			}
+			if len(v) != 5 {
+				return nil, fail("via needs net, slab, cx, cy, width")
+			}
+			if int(v[1]) < 0 || int(v[1]) >= d.WireLayers-1 {
+				return nil, fail("via slab out of range")
+			}
+			l.Vias = append(l.Vias, Via{
+				Net: int(v[0]), Slab: int(v[1]),
+				Center: geom.Pt(v[2], v[3]), Width: v[4],
+			})
+		case "routed":
+			v, err := ints(1)
+			if err != nil {
+				return nil, err
+			}
+			if len(v) != 1 || int(v[0]) < 0 || int(v[0]) >= len(d.Nets) {
+				return nil, fail("routed needs one valid net id")
+			}
+			l.MarkRouted(int(v[0]))
+		default:
+			return nil, fail("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

@@ -1,0 +1,75 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rdlroute/internal/geom"
+	"rdlroute/internal/lattice"
+)
+
+func TestLayoutRoundTrip(t *testing.T) {
+	d := dsn()
+	l := New(d)
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 48)},
+		{Layer: 0, Pt: geom.Pt(120, 48)},
+		{Layer: 1, Pt: geom.Pt(120, 48)},
+		{Layer: 1, Pt: geom.Pt(480, 48)},
+	})
+	l.AddStack(0, geom.Pt(480, 48), 0, 1)
+	l.MarkRouted(0)
+
+	var buf bytes.Buffer
+	if err := Format(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Routes) != len(l.Routes) || len(got.Vias) != len(l.Vias) {
+		t.Fatalf("shape mismatch: %d/%d routes, %d/%d vias",
+			len(got.Routes), len(l.Routes), len(got.Vias), len(l.Vias))
+	}
+	for i := range l.Routes {
+		a, b := l.Routes[i], got.Routes[i]
+		if a.Net != b.Net || a.Layer != b.Layer || len(a.Pts) != len(b.Pts) {
+			t.Errorf("route %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	if !got.Routed(0) {
+		t.Error("routed flag lost")
+	}
+	if got.Wirelength() != l.Wirelength() {
+		t.Errorf("wirelength changed: %v vs %v", got.Wirelength(), l.Wirelength())
+	}
+	if !got.Connected(0) {
+		t.Error("connectivity lost")
+	}
+}
+
+func TestLayoutParseErrors(t *testing.T) {
+	d := dsn()
+	bad := []string{
+		"frobnicate",
+		"route 0",             // too short
+		"route 0 0 1 2 3",     // odd coords
+		"route 99 0 0 0 12 0", // bad net
+		"route 0 7 0 0 12 0",  // bad layer
+		"via 0 0 1 2",         // too short
+		"via 0 9 0 0 16",      // bad slab
+		"routed 99",           // bad net
+		"route 0 0 0 x 12 0",  // bad int
+	}
+	for _, line := range bad {
+		if _, err := Parse(strings.NewReader(line), d); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", line)
+		}
+	}
+	ok := "# comment\n\nroutedlayout t\nroute 0 0 48 48 480 48\nrouted 0\n"
+	if _, err := Parse(strings.NewReader(ok), d); err != nil {
+		t.Errorf("valid input rejected: %v", err)
+	}
+}

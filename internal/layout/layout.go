@@ -1,0 +1,247 @@
+// Package layout represents routing results: per-layer octilinear wire
+// polylines and octagonal vias, plus the wirelength and routability
+// metrics the paper's Table I reports.
+package layout
+
+import (
+	"fmt"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/lattice"
+)
+
+// Route is one polyline of a net on a single wire layer.
+type Route struct {
+	Net   int
+	Layer int
+	Pts   []geom.Point
+}
+
+// Segments calls fn for each segment of the polyline.
+func (r *Route) Segments(fn func(geom.Segment)) {
+	for i := 0; i+1 < len(r.Pts); i++ {
+		fn(geom.Seg(r.Pts[i], r.Pts[i+1]))
+	}
+}
+
+// Len returns the Euclidean length of the polyline (exact for octilinear
+// routes, where every segment is an H/V/45/135 run).
+func (r *Route) Len() float64 {
+	total := 0.0
+	r.Segments(func(s geom.Segment) { total += s.Len() })
+	return total
+}
+
+// Via is an octagonal via joining wire layers Slab and Slab+1.
+type Via struct {
+	Net    int
+	Center geom.Point
+	Slab   int
+	Width  int64
+}
+
+// Oct returns the via's octagonal outline.
+func (v Via) Oct() geom.Oct8 { return geom.RegularOct(v.Center, v.Width) }
+
+// Layout is a (possibly partial) routing result for a design.
+type Layout struct {
+	D      *design.Design
+	Routes []Route
+	Vias   []Via
+	routed map[int]bool
+}
+
+// New returns an empty layout for the design.
+func New(d *design.Design) *Layout {
+	return &Layout{D: d, routed: make(map[int]bool)}
+}
+
+// MarkRouted records that the net is completely connected.
+func (l *Layout) MarkRouted(net int) { l.routed[net] = true }
+
+// Routed reports whether the net was marked routed.
+func (l *Layout) Routed(net int) bool { return l.routed[net] }
+
+// RoutedCount returns the number of routed nets.
+func (l *Layout) RoutedCount() int { return len(l.routed) }
+
+// Routability returns routed nets / total nets as a percentage.
+func (l *Layout) Routability() float64 {
+	if len(l.D.Nets) == 0 {
+		return 100
+	}
+	return 100 * float64(len(l.routed)) / float64(len(l.D.Nets))
+}
+
+// AddPath converts a lattice path into routes and vias of the net.
+func (l *Layout) AddPath(net int, path []lattice.PathStep) {
+	var cur []geom.Point
+	curLayer := -1
+	flush := func() {
+		if len(cur) >= 2 {
+			pts := make([]geom.Point, len(cur))
+			copy(pts, cur)
+			l.Routes = append(l.Routes, Route{Net: net, Layer: curLayer, Pts: pts})
+		}
+		cur = cur[:0]
+	}
+	for k, st := range path {
+		if st.Layer != curLayer {
+			flush()
+			curLayer = st.Layer
+			cur = append(cur, st.Pt)
+			if k > 0 && path[k-1].Pt.Eq(st.Pt) {
+				slab := st.Layer
+				if path[k-1].Layer < slab {
+					slab = path[k-1].Layer
+				}
+				l.Vias = append(l.Vias, Via{
+					Net: net, Center: st.Pt, Slab: slab, Width: l.D.Rules.ViaWidth,
+				})
+			}
+			continue
+		}
+		cur = append(cur, st.Pt)
+	}
+	flush()
+}
+
+// AddStack adds a via stack covering wire layers [l0, l1] at p.
+func (l *Layout) AddStack(net int, p geom.Point, l0, l1 int) {
+	for s := l0; s < l1; s++ {
+		l.Vias = append(l.Vias, Via{Net: net, Center: p, Slab: s, Width: l.D.Rules.ViaWidth})
+	}
+}
+
+// Clone returns a deep copy of the layout (routes, vias and the routed
+// set; the design is shared).
+func (l *Layout) Clone() *Layout {
+	c := &Layout{D: l.D, routed: make(map[int]bool, len(l.routed))}
+	c.Routes = make([]Route, len(l.Routes))
+	for i, r := range l.Routes {
+		pts := make([]geom.Point, len(r.Pts))
+		copy(pts, r.Pts)
+		c.Routes[i] = Route{Net: r.Net, Layer: r.Layer, Pts: pts}
+	}
+	c.Vias = append(c.Vias, l.Vias...)
+	for k, v := range l.routed {
+		c.routed[k] = v
+	}
+	return c
+}
+
+// RemoveNet deletes every route and via of the net and unmarks it.
+func (l *Layout) RemoveNet(net int) {
+	routes := l.Routes[:0]
+	for _, r := range l.Routes {
+		if r.Net != net {
+			routes = append(routes, r)
+		}
+	}
+	l.Routes = routes
+	vias := l.Vias[:0]
+	for _, v := range l.Vias {
+		if v.Net != net {
+			vias = append(vias, v)
+		}
+	}
+	l.Vias = vias
+	delete(l.routed, net)
+}
+
+// Wirelength returns the total length of all routes of routed nets (the
+// paper's metric counts only routed nets).
+func (l *Layout) Wirelength() float64 {
+	total := 0.0
+	for i := range l.Routes {
+		if l.routed[l.Routes[i].Net] {
+			total += l.Routes[i].Len()
+		}
+	}
+	return total
+}
+
+// NetWirelength returns the total length of one net's routes.
+func (l *Layout) NetWirelength(net int) float64 {
+	total := 0.0
+	for i := range l.Routes {
+		if l.Routes[i].Net == net {
+			total += l.Routes[i].Len()
+		}
+	}
+	return total
+}
+
+// ViaCount returns the number of single-slab vias (stacks count each slab).
+func (l *Layout) ViaCount() int { return len(l.Vias) }
+
+// String implements fmt.Stringer with a compact summary.
+func (l *Layout) String() string {
+	return fmt.Sprintf("layout{%s: %d/%d nets, %d routes, %d vias, wl=%.0f}",
+		l.D.Name, len(l.routed), len(l.D.Nets), len(l.Routes), len(l.Vias), l.Wirelength())
+}
+
+// Connected verifies net connectivity through routes, vias and the net's
+// two pads, using exact point coincidence. It returns true when the net's
+// pads are joined.
+func (l *Layout) Connected(net int) bool {
+	type key struct {
+		layer int
+		p     geom.Point
+	}
+	id := map[key]int{}
+	parent := []int{}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	get := func(k key) int {
+		if v, ok := id[k]; ok {
+			return v
+		}
+		v := len(parent)
+		parent = append(parent, v)
+		id[k] = v
+		return v
+	}
+	for i := range l.Routes {
+		r := &l.Routes[i]
+		if r.Net != net {
+			continue
+		}
+		for j := 0; j+1 < len(r.Pts); j++ {
+			union(get(key{r.Layer, r.Pts[j]}), get(key{r.Layer, r.Pts[j+1]}))
+		}
+	}
+	for _, v := range l.Vias {
+		if v.Net != net {
+			continue
+		}
+		union(get(key{v.Slab, v.Center}), get(key{v.Slab + 1, v.Center}))
+	}
+	n := l.D.Nets[net]
+	padKey := func(r design.PadRef) key {
+		if r.Kind == design.IOKind {
+			return key{0, l.D.IOPads[r.Index].Center}
+		}
+		return key{l.D.WireLayers - 1, l.D.BumpPads[r.Index].Center}
+	}
+	k1, k2 := padKey(n.P1), padKey(n.P2)
+	if _, ok := id[k1]; !ok {
+		return false
+	}
+	if _, ok := id[k2]; !ok {
+		return false
+	}
+	return find(get(k1)) == find(get(k2))
+}

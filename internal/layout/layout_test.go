@@ -1,0 +1,239 @@
+package layout
+
+import (
+	"math"
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/lattice"
+)
+
+func dsn() *design.Design {
+	return &design.Design{
+		Name:       "t",
+		Outline:    geom.RectWH(0, 0, 600, 600),
+		WireLayers: 3,
+		Rules:      design.Rules{Spacing: 5, WireWidth: 4, ViaWidth: 16},
+		Chips:      []design.Chip{{Name: "c", Box: geom.RectWH(0, 0, 600, 600)}},
+		IOPads: []design.IOPad{
+			{ID: 0, Chip: 0, Center: geom.Pt(48, 48), HalfW: 8},
+			{ID: 1, Chip: 0, Center: geom.Pt(480, 48), HalfW: 8},
+		},
+		Nets: []design.Net{{
+			ID: 0,
+			P1: design.PadRef{Kind: design.IOKind, Index: 0},
+			P2: design.PadRef{Kind: design.IOKind, Index: 1},
+		}},
+	}
+}
+
+func TestAddPathSplitsLayers(t *testing.T) {
+	l := New(dsn())
+	path := []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 48)},
+		{Layer: 0, Pt: geom.Pt(120, 48)},
+		{Layer: 1, Pt: geom.Pt(120, 48)}, // via down
+		{Layer: 1, Pt: geom.Pt(400, 48)},
+		{Layer: 0, Pt: geom.Pt(400, 48)}, // via up
+		{Layer: 0, Pt: geom.Pt(480, 48)},
+	}
+	l.AddPath(0, path)
+	if len(l.Routes) != 3 {
+		t.Fatalf("routes = %d, want 3: %+v", len(l.Routes), l.Routes)
+	}
+	if len(l.Vias) != 2 {
+		t.Fatalf("vias = %d, want 2: %+v", len(l.Vias), l.Vias)
+	}
+	for _, v := range l.Vias {
+		if v.Slab != 0 {
+			t.Errorf("via slab = %d, want 0", v.Slab)
+		}
+	}
+	want := 72.0 + 280 + 80
+	if wl := l.NetWirelength(0); math.Abs(wl-want) > 1e-9 {
+		t.Errorf("wirelength = %v, want %v", wl, want)
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	l := New(dsn())
+	path := []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 48)},
+		{Layer: 0, Pt: geom.Pt(480, 48)},
+	}
+	l.AddPath(0, path)
+	if !l.Connected(0) {
+		t.Error("direct route should connect the pads")
+	}
+	// A route that stops short does not connect.
+	l2 := New(dsn())
+	l2.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 48)},
+		{Layer: 0, Pt: geom.Pt(400, 48)},
+	})
+	if l2.Connected(0) {
+		t.Error("partial route should not connect")
+	}
+	// Two disjoint pieces joined by a via stack connect.
+	l3 := New(dsn())
+	l3.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 48)},
+		{Layer: 0, Pt: geom.Pt(240, 48)},
+	})
+	l3.AddPath(0, []lattice.PathStep{
+		{Layer: 2, Pt: geom.Pt(240, 48)},
+		{Layer: 2, Pt: geom.Pt(480, 48)},
+	})
+	if l3.Connected(0) {
+		t.Error("layer-disjoint routes should not connect without vias")
+	}
+	l3.AddStack(0, geom.Pt(240, 48), 0, 2)
+	if l3.Connected(0) {
+		t.Error("far pad is on layer 0 but the route arrives on layer 2")
+	}
+	l3.AddStack(0, geom.Pt(480, 48), 0, 2)
+	if !l3.Connected(0) {
+		t.Error("stacks at the joint and the far pad should connect the net")
+	}
+}
+
+func TestConnectedRespectsPadLayer(t *testing.T) {
+	// A route that reaches the pad's x/y on the wrong layer does not count.
+	l := New(dsn())
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 1, Pt: geom.Pt(48, 48)},
+		{Layer: 1, Pt: geom.Pt(480, 48)},
+	})
+	if l.Connected(0) {
+		t.Error("layer-1 route must not connect layer-0 pads without vias")
+	}
+	l.AddStack(0, geom.Pt(48, 48), 0, 1)
+	l.AddStack(0, geom.Pt(480, 48), 0, 1)
+	if !l.Connected(0) {
+		t.Error("stacks at both pads should connect")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	l := New(dsn())
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 48)},
+		{Layer: 0, Pt: geom.Pt(480, 48)},
+	})
+	if l.Routability() != 0 {
+		t.Error("unmarked net should not count toward routability")
+	}
+	if l.Wirelength() != 0 {
+		t.Error("wirelength counts only routed nets (paper's metric)")
+	}
+	l.MarkRouted(0)
+	if l.Routability() != 100 {
+		t.Errorf("routability = %v", l.Routability())
+	}
+	if math.Abs(l.Wirelength()-432) > 1e-9 {
+		t.Errorf("wirelength = %v", l.Wirelength())
+	}
+	if l.RoutedCount() != 1 || !l.Routed(0) {
+		t.Error("routed bookkeeping")
+	}
+}
+
+func TestDiagonalWirelength(t *testing.T) {
+	l := New(dsn())
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(0, 0)},
+		{Layer: 0, Pt: geom.Pt(120, 120)},
+		{Layer: 0, Pt: geom.Pt(240, 120)},
+	})
+	l.MarkRouted(0)
+	want := 120*geom.Sqrt2 + 120
+	if math.Abs(l.Wirelength()-want) > 1e-9 {
+		t.Errorf("wirelength = %v, want %v", l.Wirelength(), want)
+	}
+}
+
+func TestCloneAndRemoveNet(t *testing.T) {
+	l := New(dsn())
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 48)}, {Layer: 0, Pt: geom.Pt(480, 48)},
+	})
+	l.AddStack(0, geom.Pt(48, 48), 0, 1)
+	l.MarkRouted(0)
+	c := l.Clone()
+	// Mutating the clone leaves the original untouched.
+	c.RemoveNet(0)
+	if c.RoutedCount() != 0 || len(c.Routes) != 0 || len(c.Vias) != 0 {
+		t.Errorf("clone after RemoveNet: %v routes %v vias routed=%d",
+			len(c.Routes), len(c.Vias), c.RoutedCount())
+	}
+	if l.RoutedCount() != 1 || len(l.Routes) != 1 || len(l.Vias) != 1 {
+		t.Errorf("original mutated: %v routes %v vias", len(l.Routes), len(l.Vias))
+	}
+	// Deep copy of points.
+	c2 := l.Clone()
+	c2.Routes[0].Pts[0] = geom.Pt(0, 0)
+	if l.Routes[0].Pts[0].Eq(geom.Pt(0, 0)) {
+		t.Error("clone shares point storage")
+	}
+}
+
+func TestViaCountAndString(t *testing.T) {
+	l := New(dsn())
+	l.AddStack(0, geom.Pt(48, 48), 0, 2)
+	if l.ViaCount() != 2 {
+		t.Errorf("ViaCount = %d, want 2 slabs", l.ViaCount())
+	}
+	if s := l.String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestQualityStats(t *testing.T) {
+	l := New(dsn())
+	// Straight route: detour ratio exactly 1.
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 48)}, {Layer: 0, Pt: geom.Pt(480, 48)},
+	})
+	l.MarkRouted(0)
+	q := l.QualityStats()
+	if q.Nets != 1 {
+		t.Fatalf("nets = %d", q.Nets)
+	}
+	if math.Abs(q.MeanDetour-1) > 1e-9 || math.Abs(q.MaxDetour-1) > 1e-9 {
+		t.Errorf("straight route detour = %v/%v, want 1", q.MeanDetour, q.MaxDetour)
+	}
+	if q.MaxNet != 0 {
+		t.Errorf("MaxNet = %d", q.MaxNet)
+	}
+	if math.Abs(q.LowerBound-432) > 1e-9 || math.Abs(q.Actual-432) > 1e-9 {
+		t.Errorf("lb/actual = %v/%v", q.LowerBound, q.Actual)
+	}
+}
+
+func TestQualityStatsDetour(t *testing.T) {
+	l := New(dsn())
+	// A detoured route: up 96, across, down 96.
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 48)},
+		{Layer: 0, Pt: geom.Pt(48, 144)},
+		{Layer: 0, Pt: geom.Pt(480, 144)},
+		{Layer: 0, Pt: geom.Pt(480, 48)},
+	})
+	l.MarkRouted(0)
+	q := l.QualityStats()
+	want := (96.0 + 432 + 96) / 432
+	if math.Abs(q.MaxDetour-want) > 1e-9 {
+		t.Errorf("detour = %v, want %v", q.MaxDetour, want)
+	}
+	if q.P50Detour != q.MaxDetour || q.P95Detour != q.MaxDetour {
+		t.Errorf("single-net percentiles should equal the only ratio")
+	}
+}
+
+func TestQualityStatsEmpty(t *testing.T) {
+	q := New(dsn()).QualityStats()
+	if q.Nets != 0 || q.MeanDetour != 0 {
+		t.Errorf("empty quality = %+v", q)
+	}
+}

@@ -1,0 +1,75 @@
+package layout
+
+import (
+	"math"
+	"sort"
+
+	"rdlroute/internal/geom"
+)
+
+// Quality summarizes how close a layout's routed nets are to the
+// octilinear lower bound (the shortest possible X-architecture connection
+// between each net's pads, ignoring all blockages).
+type Quality struct {
+	Nets       int     // routed nets measured
+	LowerBound float64 // Σ octilinear pad-to-pad distances
+	Actual     float64 // Σ routed wirelength
+	// Detour statistics: per-net actual/lower-bound ratios.
+	MeanDetour float64
+	P50Detour  float64
+	P95Detour  float64
+	MaxDetour  float64
+	MaxNet     int // net with the worst detour
+}
+
+// QualityStats computes the detour quality of all routed nets.
+func (l *Layout) QualityStats() Quality {
+	perNet := map[int]float64{}
+	for i := range l.Routes {
+		r := &l.Routes[i]
+		if l.Routed(r.Net) {
+			perNet[r.Net] += r.Len()
+		}
+	}
+	q := Quality{MaxNet: -1}
+	var ratios []float64
+	for net, actual := range perNet {
+		n := l.D.Nets[net]
+		lb := geom.OctDist(l.D.PadCenter(n.P1), l.D.PadCenter(n.P2))
+		if lb < 1 {
+			lb = 1
+		}
+		ratio := actual / lb
+		q.Nets++
+		q.LowerBound += lb
+		q.Actual += actual
+		q.MeanDetour += ratio
+		if ratio > q.MaxDetour {
+			q.MaxDetour = ratio
+			q.MaxNet = net
+		}
+		ratios = append(ratios, ratio)
+	}
+	if q.Nets == 0 {
+		return q
+	}
+	q.MeanDetour /= float64(q.Nets)
+	sort.Float64s(ratios)
+	q.P50Detour = percentile(ratios, 0.50)
+	q.P95Detour = percentile(ratios, 0.95)
+	return q
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := p * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,447 @@
+package lp
+
+import "math"
+
+// SolveRevised solves the problem with a bounded-variable revised simplex.
+// It maintains a dense basis inverse of size m×m (m = number of
+// constraints) instead of a full (m × n+m) tableau, so it scales to larger
+// problems than Solve; the two solvers return the same optimal objective
+// (cross-checked by the test suite).
+//
+// Formulation: one slack variable per constraint turns every row into an
+// equality Ax + s = b with bounds on the slack (≤ → s ≥ 0, ≥ → s ≤ 0,
+// = → s = 0). Nonbasic variables rest at a finite bound (or 0 when free);
+// phase 1 drives bound violations of the basic variables to zero with a
+// composite infeasibility objective, then phase 2 minimizes the true cost.
+func (p *Problem) SolveRevised() Solution {
+	if err := p.Validate(); err != nil {
+		return Solution{Status: Infeasible}
+	}
+	rv := newRevised(p)
+	status := rv.primal()
+	if status != Optimal {
+		return Solution{Status: status}
+	}
+	x := make([]float64, p.NumVars())
+	obj := 0.0
+	for v := 0; v < p.NumVars(); v++ {
+		val := rv.x[v]
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return Solution{Status: IterLimit}
+		}
+		x[v] = val
+		obj += p.obj[v] * val
+	}
+	return Solution{Status: Optimal, X: x, Obj: obj}
+}
+
+type rvEntry struct {
+	row int
+	val float64
+}
+
+type revised struct {
+	m, n, nTot int // rows, structural vars, total vars (n+m)
+	cols       [][]rvEntry
+	cost       []float64
+	lo, hi     []float64
+	b          []float64
+
+	basis   []int // var per basis row
+	rowOf   []int // var -> basis row, −1 when nonbasic
+	atUpper []bool
+	x       []float64
+	binv    [][]float64
+
+	maxIters int
+}
+
+const (
+	rvEps     = 1e-9
+	rvFeasEps = 1e-7
+)
+
+func newRevised(p *Problem) *revised {
+	n := p.NumVars()
+	m := len(p.cons)
+	rv := &revised{
+		m: m, n: n, nTot: n + m,
+		cols:    make([][]rvEntry, n+m),
+		cost:    make([]float64, n+m),
+		lo:      make([]float64, n+m),
+		hi:      make([]float64, n+m),
+		b:       make([]float64, m),
+		basis:   make([]int, m),
+		rowOf:   make([]int, n+m),
+		atUpper: make([]bool, n+m),
+		x:       make([]float64, n+m),
+		binv:    make([][]float64, m),
+	}
+	for v := 0; v < n; v++ {
+		rv.cost[v] = p.obj[v]
+		rv.lo[v] = p.lo[v]
+		rv.hi[v] = p.hi[v]
+	}
+	// Structural columns.
+	for ri, c := range p.cons {
+		rv.b[ri] = c.rhs
+		for _, t := range c.terms {
+			if t.Coef != 0 {
+				rv.cols[t.Var] = append(rv.cols[t.Var], rvEntry{ri, t.Coef})
+			}
+		}
+	}
+	// Slack columns and bounds.
+	for ri, c := range p.cons {
+		sv := n + ri
+		rv.cols[sv] = []rvEntry{{ri, 1}}
+		switch c.op {
+		case LE:
+			rv.lo[sv], rv.hi[sv] = 0, math.Inf(1)
+		case GE:
+			rv.lo[sv], rv.hi[sv] = math.Inf(-1), 0
+		default:
+			rv.lo[sv], rv.hi[sv] = 0, 0
+		}
+	}
+	// Initial basis: the slacks; B = I.
+	for i := 0; i < m; i++ {
+		rv.basis[i] = n + i
+		rv.binv[i] = make([]float64, m)
+		rv.binv[i][i] = 1
+	}
+	for v := range rv.rowOf {
+		rv.rowOf[v] = -1
+	}
+	for i, v := range rv.basis {
+		rv.rowOf[v] = i
+	}
+	// Nonbasic structural vars rest at a finite bound, preferring the one
+	// closer to zero, or at 0 when free.
+	for v := 0; v < n; v++ {
+		rv.x[v] = restingValue(rv.lo[v], rv.hi[v], &rv.atUpper[v])
+	}
+	rv.recomputeBasics()
+	rv.maxIters = p.MaxIters
+	if rv.maxIters == 0 {
+		rv.maxIters = 200 * (rv.m + rv.n + 10)
+	}
+	return rv
+}
+
+func restingValue(lo, hi float64, atUpper *bool) float64 {
+	switch {
+	case !math.IsInf(lo, -1) && !math.IsInf(hi, 1):
+		if math.Abs(hi) < math.Abs(lo) {
+			*atUpper = true
+			return hi
+		}
+		return lo
+	case !math.IsInf(lo, -1):
+		return lo
+	case !math.IsInf(hi, 1):
+		*atUpper = true
+		return hi
+	default:
+		return 0
+	}
+}
+
+// recomputeBasics sets basic values xB = B⁻¹(b − N·xN).
+func (rv *revised) recomputeBasics() {
+	rhs := make([]float64, rv.m)
+	copy(rhs, rv.b)
+	for v := 0; v < rv.nTot; v++ {
+		if rv.rowOf[v] >= 0 || rv.x[v] == 0 {
+			continue
+		}
+		for _, e := range rv.cols[v] {
+			rhs[e.row] -= e.val * rv.x[v]
+		}
+	}
+	for i := 0; i < rv.m; i++ {
+		s := 0.0
+		for k := 0; k < rv.m; k++ {
+			s += rv.binv[i][k] * rhs[k]
+		}
+		rv.x[rv.basis[i]] = s
+	}
+}
+
+// infeasibility returns the total bound violation of the basic variables.
+func (rv *revised) infeasibility() float64 {
+	total := 0.0
+	for _, v := range rv.basis {
+		if rv.x[v] < rv.lo[v]-rvEps {
+			total += rv.lo[v] - rv.x[v]
+		} else if rv.x[v] > rv.hi[v]+rvEps {
+			total += rv.x[v] - rv.hi[v]
+		}
+	}
+	return total
+}
+
+// primal runs phase 1 (if needed) then phase 2.
+func (rv *revised) primal() Status {
+	iters := 0
+	if rv.infeasibility() > rvFeasEps {
+		st := rv.iterate(true, &iters)
+		if st == IterLimit {
+			return IterLimit
+		}
+		if rv.infeasibility() > rvFeasEps {
+			return Infeasible
+		}
+	}
+	return rv.iterate(false, &iters)
+}
+
+// basicCost returns the pricing cost of a basic variable for the phase.
+func (rv *revised) basicCost(v int, phase1 bool) float64 {
+	if !phase1 {
+		return rv.cost[v]
+	}
+	switch {
+	case rv.x[v] < rv.lo[v]-rvEps:
+		return -1
+	case rv.x[v] > rv.hi[v]+rvEps:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// iterate performs simplex pivots until optimal for the phase's objective.
+func (rv *revised) iterate(phase1 bool, iters *int) Status {
+	m := rv.m
+	y := make([]float64, m)
+	w := make([]float64, m)
+	stall := 0
+	blandAfter := 5 * (rv.m + rv.n + 10)
+	lastObj := math.Inf(1)
+
+	for {
+		if phase1 && rv.infeasibility() <= rvFeasEps {
+			return Optimal
+		}
+		// y = cBᵀ B⁻¹.
+		for k := 0; k < m; k++ {
+			y[k] = 0
+		}
+		for i := 0; i < m; i++ {
+			cb := rv.basicCost(rv.basis[i], phase1)
+			if cb == 0 {
+				continue
+			}
+			row := rv.binv[i]
+			for k := 0; k < m; k++ {
+				y[k] += cb * row[k]
+			}
+		}
+		// Pricing: entering variable.
+		enter := -1
+		bestScore := rvEps
+		bland := stall >= blandAfter
+		var enterDir float64
+		for v := 0; v < rv.nTot; v++ {
+			if rv.rowOf[v] >= 0 {
+				continue
+			}
+			cj := 0.0
+			if !phase1 {
+				cj = rv.cost[v]
+			}
+			d := cj
+			for _, e := range rv.cols[v] {
+				d -= y[e.row] * e.val
+			}
+			free := math.IsInf(rv.lo[v], -1) && math.IsInf(rv.hi[v], 1)
+			var score float64
+			var dir float64
+			switch {
+			case (free || !rv.atUpper[v]) && d < -rvEps:
+				// Increasing from lower bound (or free) improves.
+				score = -d
+				dir = 1
+			case (free || rv.atUpper[v]) && d > rvEps:
+				// Decreasing from upper bound (or free) improves.
+				score = d
+				dir = -1
+			default:
+				continue
+			}
+			if bland {
+				enter = v
+				enterDir = dir
+				break
+			}
+			if score > bestScore {
+				bestScore = score
+				enter = v
+				enterDir = dir
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+		if *iters >= rv.maxIters {
+			return IterLimit
+		}
+		*iters++
+
+		// w = B⁻¹ A_enter.
+		for i := 0; i < m; i++ {
+			w[i] = 0
+		}
+		for _, e := range rv.cols[enter] {
+			col := e.row
+			for i := 0; i < m; i++ {
+				w[i] += rv.binv[i][col] * e.val
+			}
+		}
+
+		// Ratio test: entering moves by t·enterDir ≥ 0; basic i changes by
+		// −t·enterDir·w[i]. Find the smallest t that drives a basic
+		// variable to a bound (for phase-1-infeasible basics: to the bound
+		// they violate), or the entering variable to its opposite bound.
+		tMax := math.Inf(1)
+		if enterDir > 0 && !math.IsInf(rv.hi[enter], 1) {
+			tMax = rv.hi[enter] - rv.x[enter]
+		} else if enterDir < 0 && !math.IsInf(rv.lo[enter], -1) {
+			tMax = rv.x[enter] - rv.lo[enter]
+		}
+		leave := -1
+		leaveToUpper := false
+		t := tMax
+		for i := 0; i < m; i++ {
+			delta := -enterDir * w[i]
+			if math.Abs(delta) < rvEps {
+				continue
+			}
+			v := rv.basis[i]
+			xv := rv.x[v]
+			var limit float64
+			var toUpper bool
+			if delta > 0 {
+				switch {
+				case xv > rv.hi[v]+rvEps:
+					continue // already above: moving up worsens it, no limit
+				case xv < rv.lo[v]-rvEps:
+					// Infeasible below: limited where it becomes feasible.
+					limit = (rv.lo[v] - xv) / delta
+					toUpper = false
+				case !math.IsInf(rv.hi[v], 1):
+					limit = (rv.hi[v] - xv) / delta
+					toUpper = true
+				default:
+					continue
+				}
+			} else {
+				switch {
+				case xv < rv.lo[v]-rvEps:
+					continue // already below: moving down worsens it, no limit
+				case xv > rv.hi[v]+rvEps:
+					limit = (rv.hi[v] - xv) / delta
+					toUpper = true
+				case !math.IsInf(rv.lo[v], -1):
+					limit = (rv.lo[v] - xv) / delta
+					toUpper = false
+				default:
+					continue
+				}
+			}
+			if limit < 0 {
+				limit = 0
+			}
+			if limit < t-rvEps || (limit < t+rvEps && (leave == -1 || rv.basis[i] < rv.basis[leave])) {
+				t = limit
+				leave = i
+				leaveToUpper = toUpper
+			}
+		}
+
+		if math.IsInf(t, 1) {
+			if phase1 {
+				// Should not happen: infeasibility is bounded below.
+				return IterLimit
+			}
+			return Unbounded
+		}
+
+		// Apply the move.
+		rv.x[enter] += enterDir * t
+		for i := 0; i < m; i++ {
+			rv.x[rv.basis[i]] -= enterDir * t * w[i]
+		}
+
+		if leave == -1 {
+			// Bound flip: entering hit its own opposite bound.
+			rv.atUpper[enter] = enterDir > 0
+			if enterDir > 0 {
+				rv.x[enter] = rv.hi[enter]
+			} else {
+				rv.x[enter] = rv.lo[enter]
+			}
+			continue
+		}
+
+		// Basis change: pivot enter in, basis[leave] out.
+		out := rv.basis[leave]
+		rv.rowOf[out] = -1
+		rv.atUpper[out] = leaveToUpper
+		// Snap the leaving variable exactly onto its bound.
+		if leaveToUpper {
+			rv.x[out] = rv.hi[out]
+		} else {
+			rv.x[out] = rv.lo[out]
+		}
+		rv.basis[leave] = enter
+		rv.rowOf[enter] = leave
+
+		// Product-form update of B⁻¹.
+		piv := w[leave]
+		if math.Abs(piv) < rvEps {
+			return IterLimit // numerical breakdown
+		}
+		lr := rv.binv[leave]
+		inv := 1 / piv
+		for k := 0; k < m; k++ {
+			lr[k] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == leave {
+				continue
+			}
+			f := w[i]
+			if f == 0 {
+				continue
+			}
+			row := rv.binv[i]
+			for k := 0; k < m; k++ {
+				row[k] -= f * lr[k]
+			}
+		}
+		// Refresh basic values periodically to shed drift.
+		if *iters%64 == 0 {
+			rv.recomputeBasics()
+		}
+
+		// Stall detection for the Bland switch.
+		obj := 0.0
+		if phase1 {
+			obj = rv.infeasibility()
+		} else {
+			for v := 0; v < rv.nTot; v++ {
+				if rv.cost[v] != 0 {
+					obj += rv.cost[v] * rv.x[v]
+				}
+			}
+		}
+		if obj < lastObj-1e-12 {
+			lastObj = obj
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRevisedSimple2D(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, math.Inf(1))
+	y := p.AddVar(0, math.Inf(1))
+	p.SetObj(x, -3)
+	p.SetObj(y, -5)
+	p.AddLE([]Term{{x, 1}}, 4)
+	p.AddLE([]Term{{y, 2}}, 12)
+	p.AddLE([]Term{{x, 3}, {y, 2}}, 18)
+	s := p.SolveRevised()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Obj, -36, 1e-6) {
+		t.Errorf("obj = %v, want -36", s.Obj)
+	}
+}
+
+func TestRevisedEqualityAndFree(t *testing.T) {
+	p := NewProblem()
+	x := p.AddFreeVar()
+	y := p.AddVar(2, math.Inf(1))
+	p.SetObj(x, 1)
+	p.SetObj(y, 1)
+	p.AddEQ([]Term{{x, 1}, {y, 1}}, 10)
+	p.AddGE([]Term{{x, 1}}, 3)
+	s := p.SolveRevised()
+	if s.Status != Optimal || !approx(s.Obj, 10, 1e-6) {
+		t.Fatalf("status=%v obj=%v x=%v", s.Status, s.Obj, s.X)
+	}
+}
+
+func TestRevisedInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, math.Inf(1))
+	p.AddLE([]Term{{x, 1}}, 3)
+	p.AddGE([]Term{{x, 1}}, 5)
+	if s := p.SolveRevised(); s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestRevisedUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, math.Inf(1))
+	p.SetObj(x, -1)
+	p.AddGE([]Term{{x, 1}}, 1)
+	if s := p.SolveRevised(); s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestRevisedBoundFlips(t *testing.T) {
+	// max x+y with box bounds only: both flip to upper bounds.
+	p := NewProblem()
+	x := p.AddVar(-3, 7)
+	y := p.AddVar(-2, 5)
+	p.SetObj(x, -1)
+	p.SetObj(y, -1)
+	// One loose coupling row so the problem has a constraint matrix.
+	p.AddLE([]Term{{x, 1}, {y, 1}}, 100)
+	s := p.SolveRevised()
+	if s.Status != Optimal || !approx(s.X[x], 7, 1e-6) || !approx(s.X[y], 5, 1e-6) {
+		t.Fatalf("status=%v x=%v", s.Status, s.X)
+	}
+}
+
+func TestRevisedNegativeRHS(t *testing.T) {
+	// x ≥ −5 expressed as a GE row with negative rhs; minimize x.
+	p := NewProblem()
+	x := p.AddFreeVar()
+	p.SetObj(x, 1)
+	p.AddGE([]Term{{x, 1}}, -5)
+	s := p.SolveRevised()
+	if s.Status != Optimal || !approx(s.X[x], -5, 1e-6) {
+		t.Fatalf("status=%v x=%v", s.Status, s.X)
+	}
+}
+
+// TestRevisedMatchesDenseRandom cross-checks the two solvers on random
+// bounded LPs: statuses agree and optimal objectives match.
+func TestRevisedMatchesDenseRandom(t *testing.T) {
+	for trial := 0; trial < 300; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1000))
+		nv := 2 + rng.Intn(5)
+		p := NewProblem()
+		vars := make([]VarID, nv)
+		for i := 0; i < nv; i++ {
+			lo := float64(rng.Intn(20) - 10)
+			hi := lo + float64(1+rng.Intn(20))
+			vars[i] = p.AddVar(lo, hi)
+			p.SetObj(vars[i], float64(rng.Intn(21)-10))
+		}
+		for k := rng.Intn(7); k > 0; k-- {
+			var terms []Term
+			for i := 0; i < nv; i++ {
+				if c := float64(rng.Intn(7) - 3); c != 0 {
+					terms = append(terms, Term{vars[i], c})
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			op := Op(rng.Intn(3))
+			rhs := float64(rng.Intn(41) - 20)
+			p.AddConstraint(terms, op, rhs)
+		}
+		dense := p.Solve()
+		rev := p.SolveRevised()
+		if dense.Status == IterLimit || rev.Status == IterLimit {
+			continue // numerical giving-up is allowed, not compared
+		}
+		if dense.Status != rev.Status {
+			t.Fatalf("trial %d: dense=%v revised=%v", trial, dense.Status, rev.Status)
+		}
+		if dense.Status == Optimal {
+			if math.Abs(dense.Obj-rev.Obj) > 1e-5*(1+math.Abs(dense.Obj)) {
+				t.Fatalf("trial %d: dense obj %v, revised obj %v", trial, dense.Obj, rev.Obj)
+			}
+			// The revised solution must satisfy every constraint.
+			for ci, c := range p.cons {
+				lhs := 0.0
+				for _, tm := range c.terms {
+					lhs += tm.Coef * rev.X[tm.Var]
+				}
+				switch c.op {
+				case LE:
+					if lhs > c.rhs+1e-6 {
+						t.Fatalf("trial %d: revised violates row %d: %v <= %v", trial, ci, lhs, c.rhs)
+					}
+				case GE:
+					if lhs < c.rhs-1e-6 {
+						t.Fatalf("trial %d: revised violates row %d: %v >= %v", trial, ci, lhs, c.rhs)
+					}
+				default:
+					if math.Abs(lhs-c.rhs) > 1e-6 {
+						t.Fatalf("trial %d: revised violates row %d: %v = %v", trial, ci, lhs, c.rhs)
+					}
+				}
+			}
+			for i, v := range vars {
+				if rev.X[v] < p.lo[v]-1e-6 || rev.X[v] > p.hi[v]+1e-6 {
+					t.Fatalf("trial %d: revised var %d out of bounds: %v", trial, i, rev.X[v])
+				}
+			}
+		}
+	}
+}
+
+// TestRevisedFreeVarsRandom cross-checks instances with free variables and
+// difference constraints (the layout-LP shape).
+func TestRevisedFreeVarsRandom(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 5000))
+		nv := 3 + rng.Intn(4)
+		p := NewProblem()
+		vars := make([]VarID, nv)
+		for i := range vars {
+			vars[i] = p.AddFreeVar()
+		}
+		// Anchor the first variable so the problem is bounded.
+		p.AddEQ([]Term{{vars[0], 1}}, float64(rng.Intn(20)))
+		// Chain difference constraints.
+		for i := 1; i < nv; i++ {
+			gap := float64(1 + rng.Intn(10))
+			p.AddGE([]Term{{vars[i], 1}, {vars[i-1], -1}}, gap)
+			p.SetObj(vars[i], 1)
+		}
+		dense := p.Solve()
+		rev := p.SolveRevised()
+		if dense.Status != Optimal || rev.Status != Optimal {
+			t.Fatalf("trial %d: dense=%v revised=%v", trial, dense.Status, rev.Status)
+		}
+		if math.Abs(dense.Obj-rev.Obj) > 1e-5*(1+math.Abs(dense.Obj)) {
+			t.Fatalf("trial %d: dense obj %v, revised obj %v", trial, dense.Obj, rev.Obj)
+		}
+	}
+}
+
+// mediumLP builds a layout-shaped LP: free variables, difference chains
+// and box bounds.
+func mediumLP(n int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewProblem()
+	vars := make([]VarID, n)
+	for i := range vars {
+		vars[i] = p.AddFreeVar()
+	}
+	p.AddEQ([]Term{{vars[0], 1}}, 0)
+	for i := 1; i < n; i++ {
+		p.AddGE([]Term{{vars[i], 1}, {vars[i-1], -1}}, float64(2+rng.Intn(9)))
+		p.SetObj(vars[i], 1)
+	}
+	for k := 0; k < n/2; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		// x_a ≤ x_b along the ascending chain: always satisfiable, and it
+		// caps how far apart the two may drift.
+		p.AddLE([]Term{{vars[b], 1}, {vars[a], -1}}, float64(10*(b-a)+rng.Intn(40)))
+	}
+	return p
+}
+
+func BenchmarkDenseTableau(b *testing.B) {
+	p := mediumLP(60, 1)
+	for i := 0; i < b.N; i++ {
+		if s := p.Solve(); s.Status != Optimal {
+			b.Fatal(s.Status)
+		}
+	}
+}
+
+func BenchmarkRevisedSimplex(b *testing.B) {
+	p := mediumLP(60, 1)
+	for i := 0; i < b.N; i++ {
+		if s := p.SolveRevised(); s.Status != Optimal {
+			b.Fatal(s.Status)
+		}
+	}
+}
+
+func TestMediumLPSolversAgree(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := mediumLP(40, seed)
+		a := p.Solve()
+		b := p.SolveRevised()
+		if a.Status != Optimal || b.Status != Optimal {
+			t.Fatalf("seed %d: %v / %v", seed, a.Status, b.Status)
+		}
+		if math.Abs(a.Obj-b.Obj) > 1e-5*(1+math.Abs(a.Obj)) {
+			t.Fatalf("seed %d: obj %v vs %v", seed, a.Obj, b.Obj)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSimple2D(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18, x,y ≥ 0
+	// (classic Dantzig example; optimum x=2, y=6, obj 36).
+	p := NewProblem()
+	x := p.AddVar(0, math.Inf(1))
+	y := p.AddVar(0, math.Inf(1))
+	p.SetObj(x, -3) // minimize −(3x+5y)
+	p.SetObj(y, -5)
+	p.AddLE([]Term{{x, 1}}, 4)
+	p.AddLE([]Term{{y, 2}}, 12)
+	p.AddLE([]Term{{x, 3}, {y, 2}}, 18)
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.X[x], 2, 1e-8) || !approx(s.X[y], 6, 1e-8) || !approx(s.Obj, -36, 1e-8) {
+		t.Errorf("x=%v y=%v obj=%v", s.X[x], s.X[y], s.Obj)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x + y s.t. x + y = 10, x ≥ 3, y ≥ 2 → obj 10.
+	p := NewProblem()
+	x := p.AddVar(3, math.Inf(1))
+	y := p.AddVar(2, math.Inf(1))
+	p.SetObj(x, 1)
+	p.SetObj(y, 1)
+	p.AddEQ([]Term{{x, 1}, {y, 1}}, 10)
+	s := p.Solve()
+	if s.Status != Optimal || !approx(s.Obj, 10, 1e-8) {
+		t.Fatalf("status=%v obj=%v", s.Status, s.Obj)
+	}
+	if s.X[x] < 3-1e-9 || s.X[y] < 2-1e-9 {
+		t.Errorf("bounds violated: x=%v y=%v", s.X[x], s.X[y])
+	}
+}
+
+func TestFreeVariables(t *testing.T) {
+	// min |…| style: min x − y s.t. x − y ≥ −5, both free → obj −5.
+	p := NewProblem()
+	x := p.AddFreeVar()
+	y := p.AddFreeVar()
+	p.SetObj(x, 1)
+	p.SetObj(y, -1)
+	p.AddGE([]Term{{x, 1}, {y, -1}}, -5)
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Obj, -5, 1e-8) {
+		t.Errorf("obj = %v, want -5", s.Obj)
+	}
+	if !approx(s.X[x]-s.X[y], -5, 1e-8) {
+		t.Errorf("x-y = %v", s.X[x]-s.X[y])
+	}
+}
+
+func TestNegativeLowerBounds(t *testing.T) {
+	// min x s.t. x ≥ −7 → −7.
+	p := NewProblem()
+	x := p.AddVar(-7, 100)
+	p.SetObj(x, 1)
+	s := p.Solve()
+	if s.Status != Optimal || !approx(s.X[x], -7, 1e-8) {
+		t.Fatalf("status=%v x=%v", s.Status, s.X)
+	}
+	// max x (min −x) under the same bounds → 100.
+	p2 := NewProblem()
+	x2 := p2.AddVar(-7, 100)
+	p2.SetObj(x2, -1)
+	s2 := p2.Solve()
+	if s2.Status != Optimal || !approx(s2.X[x2], 100, 1e-8) {
+		t.Fatalf("status=%v x=%v", s2.Status, s2.X)
+	}
+}
+
+func TestUpperBoundOnlyVariable(t *testing.T) {
+	// min −x s.t. x ≤ 9 (no lower bound) → x = 9.
+	p := NewProblem()
+	x := p.AddVar(math.Inf(-1), 9)
+	p.SetObj(x, -1)
+	s := p.Solve()
+	if s.Status != Optimal || !approx(s.X[x], 9, 1e-8) {
+		t.Fatalf("status=%v x=%v", s.Status, s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, math.Inf(1))
+	p.AddLE([]Term{{x, 1}}, 3)
+	p.AddGE([]Term{{x, 1}}, 5)
+	s := p.Solve()
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestInfeasibleEquality(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, math.Inf(1))
+	y := p.AddVar(0, math.Inf(1))
+	p.AddEQ([]Term{{x, 1}, {y, 1}}, 5)
+	p.AddEQ([]Term{{x, 1}, {y, 1}}, 7)
+	s := p.Solve()
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, math.Inf(1))
+	p.SetObj(x, -1)
+	p.AddGE([]Term{{x, 1}}, 1)
+	s := p.Solve()
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classic degenerate LP (multiple constraints meeting at the optimum).
+	p := NewProblem()
+	x := p.AddVar(0, math.Inf(1))
+	y := p.AddVar(0, math.Inf(1))
+	p.SetObj(x, -1)
+	p.SetObj(y, -1)
+	p.AddLE([]Term{{x, 1}}, 1)
+	p.AddLE([]Term{{y, 1}}, 1)
+	p.AddLE([]Term{{x, 1}, {y, 1}}, 2)
+	p.AddLE([]Term{{x, 1}, {y, 2}}, 3)
+	s := p.Solve()
+	if s.Status != Optimal || !approx(s.Obj, -2, 1e-8) {
+		t.Fatalf("status=%v obj=%v", s.Status, s.Obj)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicated equality rows produce a redundant row in phase 1.
+	p := NewProblem()
+	x := p.AddVar(0, 10)
+	y := p.AddVar(0, 10)
+	p.SetObj(x, 1)
+	p.SetObj(y, 2)
+	p.AddEQ([]Term{{x, 1}, {y, 1}}, 6)
+	p.AddEQ([]Term{{x, 2}, {y, 2}}, 12) // same hyperplane
+	s := p.Solve()
+	if s.Status != Optimal || !approx(s.Obj, 6, 1e-8) {
+		t.Fatalf("status=%v obj=%v x=%v", s.Status, s.Obj, s.X)
+	}
+}
+
+func TestDifferenceConstraintChain(t *testing.T) {
+	// The layout LP's dominant pattern: difference constraints.
+	// min x3 − x0 s.t. x1 − x0 ≥ 2, x2 − x1 ≥ 3, x3 − x2 ≥ 4 → 9.
+	p := NewProblem()
+	var v [4]VarID
+	for i := range v {
+		v[i] = p.AddFreeVar()
+	}
+	p.SetObj(v[3], 1)
+	p.SetObj(v[0], -1)
+	p.AddGE([]Term{{v[1], 1}, {v[0], -1}}, 2)
+	p.AddGE([]Term{{v[2], 1}, {v[1], -1}}, 3)
+	p.AddGE([]Term{{v[3], 1}, {v[2], -1}}, 4)
+	s := p.Solve()
+	if s.Status != Optimal || !approx(s.Obj, 9, 1e-8) {
+		t.Fatalf("status=%v obj=%v", s.Status, s.Obj)
+	}
+}
+
+func TestWirelengthStylePiece(t *testing.T) {
+	// Minimizing c2−c1 with c1 ≤ p ≤ c2 (a wire spanning a fixed point):
+	// optimum collapses both onto p.
+	p := NewProblem()
+	c1 := p.AddFreeVar()
+	c2 := p.AddFreeVar()
+	p.SetObj(c1, -1)
+	p.SetObj(c2, 1)
+	p.AddLE([]Term{{c1, 1}}, 42)
+	p.AddGE([]Term{{c2, 1}}, 42)
+	p.AddGE([]Term{{c2, 1}, {c1, -1}}, 0)
+	s := p.Solve()
+	if s.Status != Optimal || !approx(s.Obj, 0, 1e-8) {
+		t.Fatalf("status=%v obj=%v", s.Status, s.Obj)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 1)
+	p.AddLE([]Term{{x + 5, 1}}, 1)
+	if err := p.Validate(); err == nil {
+		t.Error("unknown var must fail validation")
+	}
+	p2 := NewProblem()
+	y := p2.AddVar(0, 1)
+	p2.AddLE([]Term{{y, math.NaN()}}, 1)
+	if err := p2.Validate(); err == nil {
+		t.Error("NaN coefficient must fail validation")
+	}
+	p3 := NewProblem()
+	p3.AddVar(5, 1)
+	if err := p3.Validate(); err == nil {
+		t.Error("empty bound interval must fail validation")
+	}
+}
+
+// TestRandomFeasibilityAndOptimality generates random bounded LPs, solves
+// them, and verifies (a) the solution satisfies every constraint, and (b)
+// no sampled feasible point beats the reported optimum.
+func TestRandomFeasibilityAndOptimality(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		nv := 2 + rng.Intn(4)
+		p := NewProblem()
+		vars := make([]VarID, nv)
+		lo := make([]float64, nv)
+		hi := make([]float64, nv)
+		for i := 0; i < nv; i++ {
+			lo[i] = float64(rng.Intn(20) - 10)
+			hi[i] = lo[i] + float64(1+rng.Intn(20))
+			vars[i] = p.AddVar(lo[i], hi[i])
+			p.SetObj(vars[i], float64(rng.Intn(21)-10))
+		}
+		ncons := rng.Intn(6)
+		type row struct {
+			coef []float64
+			op   Op
+			rhs  float64
+		}
+		var rows []row
+		for k := 0; k < ncons; k++ {
+			coef := make([]float64, nv)
+			var terms []Term
+			for i := 0; i < nv; i++ {
+				c := float64(rng.Intn(7) - 3)
+				coef[i] = c
+				if c != 0 {
+					terms = append(terms, Term{vars[i], c})
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			// Choose rhs so that the box center is feasible, keeping the
+			// instance feasible by construction.
+			center := 0.0
+			for i := 0; i < nv; i++ {
+				center += coef[i] * (lo[i] + hi[i]) / 2
+			}
+			op := Op(rng.Intn(2)) // LE or GE only (EQ through centers is fine too but keep it simple)
+			margin := rng.Float64() * 10
+			var rhs float64
+			if op == LE {
+				rhs = center + margin
+			} else {
+				rhs = center - margin
+			}
+			p.AddConstraint(terms, op, rhs)
+			rows = append(rows, row{coef, op, rhs})
+		}
+		s := p.Solve()
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status = %v (instance is feasible and bounded by construction)", trial, s.Status)
+		}
+		// (a) Feasibility.
+		for i := 0; i < nv; i++ {
+			if s.X[i] < lo[i]-1e-6 || s.X[i] > hi[i]+1e-6 {
+				t.Fatalf("trial %d: var %d = %v outside [%v,%v]", trial, i, s.X[i], lo[i], hi[i])
+			}
+		}
+		for ri, r := range rows {
+			lhs := 0.0
+			for i := 0; i < nv; i++ {
+				lhs += r.coef[i] * s.X[i]
+			}
+			switch r.op {
+			case LE:
+				if lhs > r.rhs+1e-6 {
+					t.Fatalf("trial %d: row %d violated: %v <= %v", trial, ri, lhs, r.rhs)
+				}
+			case GE:
+				if lhs < r.rhs-1e-6 {
+					t.Fatalf("trial %d: row %d violated: %v >= %v", trial, ri, lhs, r.rhs)
+				}
+			}
+		}
+		// (b) No sampled feasible point does better.
+		for sample := 0; sample < 300; sample++ {
+			pt := make([]float64, nv)
+			for i := 0; i < nv; i++ {
+				pt[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+			}
+			feasible := true
+			for _, r := range rows {
+				lhs := 0.0
+				for i := 0; i < nv; i++ {
+					lhs += r.coef[i] * pt[i]
+				}
+				if (r.op == LE && lhs > r.rhs) || (r.op == GE && lhs < r.rhs) {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			obj := 0.0
+			for i := 0; i < nv; i++ {
+				obj += p.obj[vars[i]] * pt[i]
+			}
+			if obj < s.Obj-1e-6 {
+				t.Fatalf("trial %d: sampled point beats optimum: %v < %v", trial, obj, s.Obj)
+			}
+		}
+	}
+}
+
+func TestProblemReuseAfterSolve(t *testing.T) {
+	// The optimizer re-solves the same Problem with extra constraints added
+	// between iterations; the Problem must stay valid.
+	p := NewProblem()
+	x := p.AddVar(0, 100)
+	p.SetObj(x, -1)
+	s1 := p.Solve()
+	if s1.Status != Optimal || !approx(s1.X[x], 100, 1e-8) {
+		t.Fatalf("first solve: %v %v", s1.Status, s1.X)
+	}
+	p.AddLE([]Term{{x, 1}}, 40)
+	s2 := p.Solve()
+	if s2.Status != Optimal || !approx(s2.X[x], 40, 1e-8) {
+		t.Fatalf("second solve: %v %v", s2.Status, s2.X)
+	}
+}

@@ -1,0 +1,123 @@
+package lpopt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rdlroute/internal/geom"
+)
+
+func TestExprAlgebra(t *testing.T) {
+	vals := []float64{10, 20, 30}
+	a := varExpr(0)                 // v0
+	b := varExpr(1).scale(2)        // 2·v1
+	c := a.add(b).add(constExpr(5)) // v0 + 2·v1 + 5
+	if got := c.eval(vals); got != 10+40+5 {
+		t.Errorf("eval = %v", got)
+	}
+	d := c.sub(varExpr(0)) // 2·v1 + 5
+	if got := d.eval(vals); got != 45 {
+		t.Errorf("sub eval = %v", got)
+	}
+	// Compacting cancels terms entirely.
+	e := varExpr(2).add(varExpr(2).scale(-1))
+	if !e.isConst() || e.eval(vals) != 0 {
+		t.Errorf("cancelled expr = %+v", e)
+	}
+}
+
+func TestPointIntersect(t *testing.T) {
+	// Matches geom.LineIntersection on constant lines.
+	cases := []struct {
+		o1 geom.Orient
+		c1 int64
+		o2 geom.Orient
+		c2 int64
+	}{
+		{geom.OrientV, 5, geom.OrientH, 3},
+		{geom.OrientD135, 10, geom.OrientD45, 2},
+		{geom.OrientH, 7, geom.OrientD135, 12},
+		{geom.OrientV, 4, geom.OrientD45, -2},
+	}
+	for _, cse := range cases {
+		p, ok := intersect(cse.o1, constExpr(float64(cse.c1)), cse.o2, constExpr(float64(cse.c2)))
+		pf, ok2 := geom.LineIntersection(cse.o1, cse.c1, cse.o2, cse.c2)
+		if ok != ok2 {
+			t.Fatalf("ok mismatch for %v/%v", cse.o1, cse.o2)
+		}
+		if math.Abs(p.x.eval(nil)-pf.X) > 1e-9 || math.Abs(p.y.eval(nil)-pf.Y) > 1e-9 {
+			t.Errorf("%v∩%v = (%v,%v), want (%v,%v)", cse.o1, cse.o2,
+				p.x.eval(nil), p.y.eval(nil), pf.X, pf.Y)
+		}
+	}
+	// Parallel lines fail.
+	if _, ok := intersect(geom.OrientH, constExpr(1), geom.OrientH, constExpr(2)); ok {
+		t.Error("parallel intersect should fail")
+	}
+}
+
+func TestAxisAlong(t *testing.T) {
+	p := fixedPoint(geom.Pt(3, 7))
+	if p.along(axisX).eval(nil) != 3 || p.along(axisY).eval(nil) != 7 {
+		t.Error("x/y along")
+	}
+	if p.along(axisS).eval(nil) != 10 || p.along(axisD).eval(nil) != 4 {
+		t.Error("s/d along")
+	}
+	if axisS.norm() != geom.Sqrt2 || axisX.norm() != 1 {
+		t.Error("axis norms")
+	}
+	if axisOf(geom.OrientH) != axisY || axisOf(geom.OrientV) != axisX ||
+		axisOf(geom.OrientD45) != axisD || axisOf(geom.OrientD135) != axisS {
+		t.Error("axisOf mapping")
+	}
+}
+
+func TestBestAxisSeparation(t *testing.T) {
+	// Two parallel horizontal wire segments 20 apart: best axis is Y.
+	segA := &entity{net: 0, layers: []int{0}, pts: []pointE{
+		fixedPoint(geom.Pt(0, 0)), fixedPoint(geom.Pt(100, 0)),
+	}}
+	segB := &entity{net: 1, layers: []int{0}, pts: []pointE{
+		fixedPoint(geom.Pt(0, 20)), fixedPoint(geom.Pt(100, 20)),
+	}}
+	ax, aBelow, slack := bestAxis(segA, segB, 9, nil)
+	if ax != axisY || !aBelow {
+		t.Errorf("axis=%v aBelow=%v", ax, aBelow)
+	}
+	if math.Abs(slack-11) > 1e-9 { // 20 − 9
+		t.Errorf("slack = %v, want 11", slack)
+	}
+	// Overlapping entities: negative slack on every axis.
+	segC := &entity{net: 2, layers: []int{0}, pts: []pointE{
+		fixedPoint(geom.Pt(50, -5)), fixedPoint(geom.Pt(50, 5)),
+	}}
+	_, _, slack = bestAxis(segA, segC, 9, nil)
+	if slack >= 0 {
+		t.Errorf("crossing pair slack = %v, want negative", slack)
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	f := func(a int32, b uint8) bool {
+		d := int64(b%50) + 1
+		q := floorDiv(int64(a), d)
+		return q*d <= int64(a) && (q+1)*d > int64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDominant(t *testing.T) {
+	if ax, s := dominant(geom.OrientH); ax != axisX || s != 1 {
+		t.Error("H dominant")
+	}
+	if ax, s := dominant(geom.OrientV); ax != axisY || s != 1 {
+		t.Error("V dominant")
+	}
+	if ax, s := dominant(geom.OrientD45); ax != axisX || s != geom.Sqrt2 {
+		t.Error("D45 dominant")
+	}
+}

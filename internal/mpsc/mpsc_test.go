@@ -1,0 +1,205 @@
+package mpsc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCrosses(t *testing.T) {
+	cases := []struct {
+		c, d Chord
+		want bool
+	}{
+		{Chord{A: 0, B: 2}, Chord{A: 1, B: 3}, true},
+		{Chord{A: 0, B: 3}, Chord{A: 1, B: 2}, false}, // nested
+		{Chord{A: 0, B: 1}, Chord{A: 2, B: 3}, false}, // disjoint
+		{Chord{A: 2, B: 0}, Chord{A: 3, B: 1}, true},  // order-insensitive
+		{Chord{A: 0, B: 2}, Chord{A: 2, B: 4}, false}, // shared endpoint
+	}
+	for _, c := range cases {
+		if got := Crosses(c.c, c.d); got != c.want {
+			t.Errorf("Crosses(%v, %v) = %v, want %v", c.c, c.d, got, c.want)
+		}
+		if got := Crosses(c.d, c.c); got != c.want {
+			t.Errorf("Crosses symmetric (%v, %v) = %v", c.d, c.c, got)
+		}
+	}
+}
+
+func TestUnweightedParallel(t *testing.T) {
+	// Three nested chords: all selectable.
+	chords := []Chord{
+		{A: 0, B: 5, W: 1},
+		{A: 1, B: 4, W: 1},
+		{A: 2, B: 3, W: 1},
+	}
+	picked, total := MaxPlanarSubset(6, chords)
+	if len(picked) != 3 || total != 3 {
+		t.Errorf("picked=%v total=%v", picked, total)
+	}
+}
+
+func TestCrossingPair(t *testing.T) {
+	// Two crossing chords with different weights: pick the heavier.
+	chords := []Chord{
+		{A: 0, B: 2, W: 1},
+		{A: 1, B: 3, W: 5},
+	}
+	picked, total := MaxPlanarSubset(4, chords)
+	if len(picked) != 1 || picked[0] != 1 || total != 5 {
+		t.Errorf("picked=%v total=%v", picked, total)
+	}
+}
+
+func TestPaperFig5Scenario(t *testing.T) {
+	// Paper Figure 5: five nets (A,H), (B,I), (C,J), (D,E), (F,G) on a
+	// circle labeled A..J = 0..9. Unweighted MPSC picks the three parallel
+	// chords (A,H),(B,I),(C,J); downweighting them (congestion) flips the
+	// choice to (D,E),(F,G).
+	// Circle order (from the figure's geometry): D A B C E F J I H G.
+	// The three long chords are nested; each short chord straddles all
+	// three, so the two families are mutually exclusive.
+	const (
+		D, A, B, C, E, F, J, I, H, G = 0, 1, 2, 3, 4, 5, 6, 7, 8, 9
+	)
+	unweighted := []Chord{
+		{A: A, B: H, W: 1, Tag: 0},
+		{A: B, B: I, W: 1, Tag: 1},
+		{A: C, B: J, W: 1, Tag: 2},
+		{A: D, B: E, W: 1, Tag: 3},
+		{A: F, B: G, W: 1, Tag: 4},
+	}
+	picked, total := MaxPlanarSubset(10, unweighted)
+	if total != 3 {
+		t.Fatalf("unweighted total = %v, want 3", total)
+	}
+	sel := map[int]bool{}
+	for _, i := range picked {
+		sel[unweighted[i].Tag] = true
+	}
+	if !sel[0] || !sel[1] || !sel[2] {
+		t.Errorf("unweighted should pick the three long chords, got %v", sel)
+	}
+
+	// With congestion-aware weights (Eq. 2 downweights the three nets that
+	// share the narrow channel), the assignment flips.
+	weighted := make([]Chord, len(unweighted))
+	copy(weighted, unweighted)
+	weighted[0].W = 0.3
+	weighted[1].W = 0.3
+	weighted[2].W = 0.3
+	picked, total = MaxPlanarSubset(10, weighted)
+	sel = map[int]bool{}
+	for _, i := range picked {
+		sel[weighted[i].Tag] = true
+	}
+	if !sel[3] || !sel[4] {
+		t.Errorf("weighted should pick (D,E),(F,G), got %v", sel)
+	}
+	if math.Abs(total-2.0) > 1e-12 {
+		t.Errorf("weighted total = %v, want 2.0", total)
+	}
+}
+
+func TestZeroWeightChordsIgnored(t *testing.T) {
+	chords := []Chord{
+		{A: 0, B: 3, W: 0},
+		{A: 1, B: 2, W: 1},
+	}
+	picked, total := MaxPlanarSubset(4, chords)
+	if len(picked) != 1 || chords[picked[0]].A != 1 || total != 1 {
+		t.Errorf("picked=%v total=%v", picked, total)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(4, []Chord{{A: 0, B: 1}, {A: 2, B: 3}}); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+	if err := Validate(4, []Chord{{A: 0, B: 1}, {A: 1, B: 3}}); err == nil {
+		t.Error("shared endpoint accepted")
+	}
+	if err := Validate(4, []Chord{{A: 0, B: 4}}); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if err := Validate(4, []Chord{{A: 2, B: 2}}); err == nil {
+		t.Error("degenerate chord accepted")
+	}
+}
+
+// bruteForce enumerates all subsets and returns the maximum planar weight.
+func bruteForce(chords []Chord) float64 {
+	n := len(chords)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		w := 0.0
+		for i := 0; i < n && ok; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			if chords[i].W <= 0 {
+				ok = false
+				break
+			}
+			w += chords[i].W
+			for j := i + 1; j < n; j++ {
+				if mask&(1<<j) != 0 && Crosses(chords[i], chords[j]) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok && w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	for trial := 0; trial < 300; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		nc := 1 + rng.Intn(8)
+		m := 2 * nc
+		perm := rng.Perm(m)
+		chords := make([]Chord, nc)
+		for i := 0; i < nc; i++ {
+			chords[i] = Chord{
+				A:   perm[2*i],
+				B:   perm[2*i+1],
+				W:   math.Round(rng.Float64()*100) / 10, // one decimal, avoids FP ties
+				Tag: i,
+			}
+		}
+		picked, total := MaxPlanarSubset(m, chords)
+		want := bruteForce(chords)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("trial %d: DP=%v brute=%v chords=%v", trial, total, want, chords)
+		}
+		// The picked set must itself be planar and sum to the total.
+		sum := 0.0
+		for i, ci := range picked {
+			sum += chords[ci].W
+			for _, cj := range picked[i+1:] {
+				if Crosses(chords[ci], chords[cj]) {
+					t.Fatalf("trial %d: picked crossing chords %v %v", trial, chords[ci], chords[cj])
+				}
+			}
+		}
+		if math.Abs(sum-total) > 1e-9 {
+			t.Fatalf("trial %d: picked sum %v != total %v", trial, sum, total)
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if picked, total := MaxPlanarSubset(0, nil); picked != nil || total != 0 {
+		t.Error("empty model")
+	}
+	picked, total := MaxPlanarSubset(2, []Chord{{A: 0, B: 1, W: 2.5}})
+	if len(picked) != 1 || total != 2.5 {
+		t.Errorf("single chord: picked=%v total=%v", picked, total)
+	}
+}

@@ -1,0 +1,402 @@
+// Package router implements the paper's five-stage RDL routing flow
+// (Figure 3): Preprocessing, Weighted-MPSC-based Concurrent Routing,
+// Routing Graph Construction (octagonal tiles + via insertion), Sequential
+// A*-search Routing, and LP-based Layout Optimization.
+package router
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rdlroute/internal/ctile"
+	"rdlroute/internal/design"
+	"rdlroute/internal/fanout"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/lattice"
+	"rdlroute/internal/layout"
+	"rdlroute/internal/lpopt"
+	"rdlroute/internal/mpsc"
+)
+
+// Options tune the flow. The zero value is not usable; call
+// DefaultOptions and override as needed.
+type Options struct {
+	Weights     fanout.WeightParams
+	GlobalCells int   // global-cell grid per axis (the paper uses 30)
+	Pitch       int64 // detailed-routing lattice pitch
+	ViaCost     float64
+
+	// Ablation switches (all true in the paper's flow).
+	UseWeights   bool // Eq. (2) chord weights (false → unit weights)
+	EnableLP     bool // stage 5 LP-based layout optimization
+	EnableVias   bool // stage 3 via insertion (false → 2D corridors only)
+	EnableStage2 bool // weighted-MPSC concurrent routing
+
+	PeripheralDist int64
+	LPMaxIters     int
+
+	// RipUpRounds enables the rip-up-and-reroute extension (not part of
+	// the paper's flow): after sequential routing, up to this many rounds
+	// of ripping blocking nets and re-routing. 0 disables it.
+	RipUpRounds int
+
+	// NetOrder selects the sequential-stage routing order.
+	NetOrder NetOrder
+}
+
+// NetOrder is a sequential-stage net ordering strategy.
+type NetOrder uint8
+
+// Net ordering strategies.
+const (
+	// OrderShortest routes short nets first (the default; cheap nets claim
+	// resources that barely constrain others).
+	OrderShortest NetOrder = iota
+	// OrderLongest routes long nets first.
+	OrderLongest
+	// OrderCongested routes nets whose bounding boxes overlap the most
+	// other nets first (hardest-first).
+	OrderCongested
+)
+
+// DefaultOptions returns the paper's experimental configuration.
+func DefaultOptions() Options {
+	return Options{
+		Weights:        fanout.DefaultWeightParams(),
+		GlobalCells:    30,
+		Pitch:          design.Grid,
+		ViaCost:        0, // lattice default (3·pitch)
+		UseWeights:     true,
+		EnableLP:       true,
+		EnableVias:     true,
+		EnableStage2:   true,
+		PeripheralDist: 36,
+		LPMaxIters:     50,
+	}
+}
+
+// Result is the routing outcome with the metrics Table I reports plus
+// per-stage counters.
+type Result struct {
+	Layout      *layout.Layout
+	Routability float64 // percent
+	Wirelength  float64 // routed nets only (paper's metric)
+	RoutedNets  int
+	TotalNets   int
+
+	ConcurrentRouted int // nets completed in stage 2
+	SequentialRouted int // nets completed in stage 4
+	CorridorRouted   int // stage-4 nets that used a tile corridor
+	FallbackRouted   int // stage-4 nets routed without a corridor
+
+	RipUpRouted int // nets recovered by the rip-up extension
+
+	WirelengthBeforeLP float64
+	LPIterations       int
+	LPComponents       int
+
+	TileCount int // tiles in the stage-3 routing graph
+	Runtime   time.Duration
+}
+
+// Route runs the full flow on the design.
+func Route(d *design.Design, opts Options) (*Result, error) {
+	start := time.Now()
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("router: %w", err)
+	}
+	if opts.Pitch == 0 {
+		opts.Pitch = design.Grid
+	}
+	if opts.GlobalCells == 0 {
+		opts.GlobalCells = 30
+	}
+
+	la, err := lattice.New(d, opts.Pitch)
+	if err != nil {
+		return nil, err
+	}
+	lay := layout.New(d)
+	res := &Result{Layout: lay, TotalNets: len(d.Nets)}
+
+	// Stage 1: Preprocessing.
+	analysis, err := fanout.Analyze(d, fanout.Config{
+		PeripheralDist: opts.PeripheralDist,
+		TrackPitch:     opts.Pitch,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: Weighted-MPSC-based concurrent routing.
+	if opts.EnableStage2 {
+		res.ConcurrentRouted = concurrentRoute(d, analysis, la, lay, opts)
+	}
+
+	// Stage 3: Routing graph construction (octagonal tiles, via insertion).
+	model := ctile.NewModel(d, opts.GlobalCells)
+	seedModel(model, lay)
+	var sites []ctile.ViaSite
+	if opts.EnableVias {
+		sites = model.InsertVias()
+	}
+	for l := 0; l < d.WireLayers; l++ {
+		res.TileCount += model.TileCount(l)
+	}
+
+	// Stage 4: Sequential A*-search routing on the tile graph.
+	sequentialRoute(d, model, sites, la, lay, opts, res)
+
+	// Extension: rip-up and re-route for stubborn nets.
+	if opts.RipUpRounds > 0 {
+		res.RipUpRouted, _ = ripUpReroute(d, la, lay, opts, opts.RipUpRounds)
+	}
+
+	// Stage 5: LP-based layout optimization.
+	res.WirelengthBeforeLP = lay.Wirelength()
+	if opts.EnableLP {
+		stats := lpopt.Optimize(lay, lpopt.Options{MaxIters: opts.LPMaxIters})
+		res.LPIterations = stats.Iterations
+		res.LPComponents = stats.Components
+	}
+
+	res.RoutedNets = lay.RoutedCount()
+	res.Routability = lay.Routability()
+	res.Wirelength = lay.Wirelength()
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// concurrentRoute performs per-layer weighted-MPSC layer assignment and
+// concurrent detailed routing in the fan-out region. It returns the number
+// of nets routed.
+func concurrentRoute(d *design.Design, a *fanout.Analysis, la *lattice.Lattice, lay *layout.Layout, opts Options) int {
+	consumed := map[int]bool{}
+	routed := 0
+	weights := opts.Weights
+	if !opts.UseWeights {
+		weights = fanout.WeightParams{Alpha: 0, Beta: 0, Gamma: 0, Delta: 2}
+	}
+	for l := 0; l < d.WireLayers; l++ {
+		chords := a.Chords(weights, consumed)
+		if !opts.UseWeights {
+			for i := range chords {
+				chords[i].W = 1
+			}
+		}
+		if len(chords) == 0 {
+			break
+		}
+		picked, _ := mpsc.MaxPlanarSubset(a.CircleLen, chords)
+		// Route inner (short-span) chords first so nested nets claim the
+		// tracks nearest their pads.
+		sort.Slice(picked, func(i, j int) bool {
+			return chordSpan(chords, picked[i]) < chordSpan(chords, picked[j])
+		})
+		for _, pi := range picked {
+			ci := chords[pi].Tag
+			cand := a.Candidates[ci]
+			if tryConcurrentNet(d, la, lay, cand, l, opts) {
+				consumed[ci] = true
+				routed++
+			}
+		}
+		a.RecomputeCongestion(consumed)
+	}
+	return routed
+}
+
+func chordSpan(chords []mpsc.Chord, idx int) int {
+	c := chords[idx]
+	s := c.B - c.A
+	if s < 0 {
+		s = -s
+	}
+	return s
+}
+
+// tryConcurrentNet routes one MPSC-selected net on wire layer l: via
+// stacks at the pads when l > 0, then a single-layer wire through the
+// fan-out region (plus the net's own fan-in regions).
+func tryConcurrentNet(d *design.Design, la *lattice.Lattice, lay *layout.Layout, cand fanout.Candidate, l int, opts Options) bool {
+	net := cand.Net
+	n := d.Nets[net]
+	p1 := d.IOPads[n.P1.Index]
+	p2 := d.IOPads[n.P2.Index]
+	if l > 0 {
+		if !la.StackFree(p1.Center, 0, l, net) || !la.StackFree(p2.Center, 0, l, net) {
+			return false
+		}
+	}
+	mask := make([]bool, d.WireLayers)
+	mask[l] = true
+	chips := []geom.Rect{d.Chips[p1.Chip].Box, d.Chips[p2.Chip].Box}
+	region := func(_ int, p geom.Point) bool {
+		inOwn := false
+		for _, cb := range chips {
+			if cb.Contains(p) {
+				inOwn = true
+				break
+			}
+		}
+		if inOwn {
+			return true
+		}
+		for _, c := range d.Chips {
+			if c.Box.Contains(p) {
+				return false // a foreign fan-in region
+			}
+		}
+		return true // fan-out region
+	}
+	path, _, ok := la.Route(lattice.Request{
+		Net: net, From: p1.Center, To: p2.Center,
+		FromLayer: l, ToLayer: l,
+		LayerMask: mask, Region: region, ViaCost: opts.ViaCost,
+	})
+	if !ok {
+		return false
+	}
+	if l > 0 {
+		la.CommitStack(p1.Center, 0, l, net)
+		la.CommitStack(p2.Center, 0, l, net)
+		lay.AddStack(net, p1.Center, 0, l)
+		lay.AddStack(net, p2.Center, 0, l)
+	}
+	la.Commit(path, net)
+	lay.AddPath(net, path)
+	lay.MarkRouted(net)
+	return true
+}
+
+// seedModel loads the committed layout geometry into the tile model.
+func seedModel(m *ctile.Model, lay *layout.Layout) {
+	for i := range lay.Routes {
+		r := &lay.Routes[i]
+		r.Segments(func(s geom.Segment) { m.AddWire(r.Layer, s) })
+	}
+	for _, v := range lay.Vias {
+		m.AddVia(v.Slab, v.Center)
+	}
+}
+
+// sequentialRoute completes the remaining nets with tile-graph corridors
+// realized on the lattice, falling back to unrestricted multi-layer search.
+func sequentialRoute(d *design.Design, model *ctile.Model, sites []ctile.ViaSite, la *lattice.Lattice, lay *layout.Layout, opts Options, res *Result) {
+	type job struct {
+		net     int
+		direct  float64
+		bbox    geom.Rect
+		overlap int
+	}
+	var jobs []job
+	for ni := range d.Nets {
+		if lay.Routed(ni) {
+			continue
+		}
+		nn := d.Nets[ni]
+		p1, p2 := d.PadCenter(nn.P1), d.PadCenter(nn.P2)
+		jobs = append(jobs, job{net: ni, direct: geom.OctDist(p1, p2), bbox: geom.RectOf(p1, p2)})
+	}
+	switch opts.NetOrder {
+	case OrderLongest:
+		sort.Slice(jobs, func(i, j int) bool { return jobs[i].direct > jobs[j].direct })
+	case OrderCongested:
+		for i := range jobs {
+			for j := range jobs {
+				if i != j && jobs[i].bbox.Intersects(jobs[j].bbox) {
+					jobs[i].overlap++
+				}
+			}
+		}
+		sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].overlap > jobs[j].overlap })
+	default:
+		sort.Slice(jobs, func(i, j int) bool { return jobs[i].direct < jobs[j].direct })
+	}
+
+	viaCost := opts.ViaCost
+	if viaCost == 0 {
+		viaCost = 3 * float64(opts.Pitch)
+	}
+	for _, jb := range jobs {
+		nn := d.Nets[jb.net]
+		from, fromLayer := terminal(d, nn.P1)
+		to, toLayer := terminal(d, nn.P2)
+
+		var path []lattice.PathStep
+		var ok bool
+		corridor, cok := model.FindCorridor(from, fromLayer, to, toLayer, sites, viaCost)
+		if cok {
+			region := corridorRegion(d, model, corridor, opts.Pitch)
+			path, _, ok = la.Route(lattice.Request{
+				Net: jb.net, From: from, To: to,
+				FromLayer: fromLayer, ToLayer: toLayer,
+				Region: region, ViaCost: opts.ViaCost,
+			})
+			if ok {
+				res.CorridorRouted++
+			}
+		}
+		if !ok {
+			path, _, ok = la.Route(lattice.Request{
+				Net: jb.net, From: from, To: to,
+				FromLayer: fromLayer, ToLayer: toLayer,
+				ViaCost: opts.ViaCost,
+			})
+			if ok {
+				res.FallbackRouted++
+			}
+		}
+		if !ok {
+			continue
+		}
+		la.Commit(path, jb.net)
+		lay.AddPath(jb.net, path)
+		lay.MarkRouted(jb.net)
+		res.SequentialRouted++
+		// Incremental update: re-partition the frames the new net crossed.
+		for k := 0; k+1 < len(path); k++ {
+			a, b := path[k], path[k+1]
+			if a.Layer == b.Layer {
+				if !a.Pt.Eq(b.Pt) {
+					model.AddWire(a.Layer, geom.Seg(a.Pt, b.Pt))
+				}
+			} else {
+				slab := a.Layer
+				if b.Layer < slab {
+					slab = b.Layer
+				}
+				model.AddVia(slab, a.Pt)
+			}
+		}
+	}
+}
+
+func terminal(d *design.Design, r design.PadRef) (geom.Point, int) {
+	if r.Kind == design.IOKind {
+		return d.IOPads[r.Index].Center, 0
+	}
+	return d.BumpPads[r.Index].Center, d.WireLayers - 1
+}
+
+// corridorRegion converts a tile path into a per-layer region mask for the
+// lattice realization, grown so the wire centerline has room near tile
+// borders. The net's own chips are always allowed (escape under the pads).
+func corridorRegion(d *design.Design, model *ctile.Model, corridor []ctile.TileRef, pitch int64) func(int, geom.Point) bool {
+	perLayer := make([][]geom.Oct8, d.WireLayers)
+	for _, ref := range corridor {
+		perLayer[ref.Layer] = append(perLayer[ref.Layer], model.Region(ref).Grow(3*pitch))
+	}
+	return func(layer int, p geom.Point) bool {
+		if layer < 0 || layer >= len(perLayer) {
+			return false
+		}
+		for _, o := range perLayer[layer] {
+			if o.Contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+}

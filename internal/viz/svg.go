@@ -1,0 +1,116 @@
+// Package viz renders routed layouts as SVG for inspection: package
+// outline, fan-in regions (chips), pads, obstacles, per-layer wires with a
+// fixed color palette, and octagonal vias. The output is self-contained
+// SVG 1.1 consumable by any browser.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"rdlroute/internal/geom"
+	"rdlroute/internal/layout"
+)
+
+// Options tune rendering.
+type Options struct {
+	// Layer restricts output to one wire layer; −1 renders all layers.
+	Layer int
+	// Scale multiplies DBU coordinates (default 0.25).
+	Scale float64
+	// ShowBumps includes bump pads (they dominate dense bottom layers).
+	ShowBumps bool
+}
+
+// DefaultOptions renders every layer at quarter scale with bumps shown.
+func DefaultOptions() Options {
+	return Options{Layer: -1, Scale: 0.25, ShowBumps: true}
+}
+
+// layerColors is the wire palette, cycled when there are more layers.
+var layerColors = []string{
+	"#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+}
+
+// SVG writes the layout to w.
+func SVG(w io.Writer, l *layout.Layout, opts Options) error {
+	if opts.Scale <= 0 {
+		opts.Scale = 0.25
+	}
+	bw := bufio.NewWriter(w)
+	d := l.D
+	W := float64(d.Outline.W()) * opts.Scale
+	H := float64(d.Outline.H()) * opts.Scale
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f">`+"\n", W, H, W, H)
+	fmt.Fprintf(bw, `<rect width="%.2f" height="%.2f" fill="#fafafa" stroke="#222"/>`+"\n", W, H)
+
+	// y grows downward in SVG; flip.
+	tx := func(p geom.Point) (float64, float64) {
+		x := float64(p.X-d.Outline.X0) * opts.Scale
+		y := H - float64(p.Y-d.Outline.Y0)*opts.Scale
+		return x, y
+	}
+	rect := func(r geom.Rect, fill, stroke string, alpha float64) {
+		x0, y1 := tx(geom.Pt(r.X0, r.Y0))
+		x1, y0 := tx(geom.Pt(r.X1, r.Y1))
+		fmt.Fprintf(bw, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="%.2f" stroke="%s" stroke-width="0.5"/>`+"\n",
+			x0, y0, x1-x0, y1-y0, fill, alpha, stroke)
+	}
+	wantLayer := func(layer int) bool { return opts.Layer < 0 || opts.Layer == layer }
+
+	for _, c := range d.Chips {
+		rect(c.Box, "#ddd", "#888", 1)
+	}
+	for _, o := range d.Obstacles {
+		if wantLayer(o.Layer) {
+			rect(o.Box, "#555", "#333", 0.8)
+		}
+	}
+	if opts.ShowBumps && wantLayer(d.WireLayers-1) {
+		for _, p := range d.BumpPads {
+			poly(bw, tx, p.Oct(), "#eee", "#aaa")
+		}
+	}
+	if wantLayer(0) {
+		for _, p := range d.IOPads {
+			rect(p.Box(), "#ffd54f", "#996f00", 1)
+		}
+	}
+	for i := range l.Routes {
+		r := &l.Routes[i]
+		if !wantLayer(r.Layer) || len(r.Pts) < 2 {
+			continue
+		}
+		color := layerColors[r.Layer%len(layerColors)]
+		fmt.Fprintf(bw, `<polyline fill="none" stroke="%s" stroke-width="%.2f" stroke-opacity="0.85" points="`,
+			color, float64(d.Rules.WireWidth)*opts.Scale)
+		for _, p := range r.Pts {
+			x, y := tx(p)
+			fmt.Fprintf(bw, "%.2f,%.2f ", x, y)
+		}
+		fmt.Fprint(bw, `"/>`+"\n")
+	}
+	for _, v := range l.Vias {
+		if !wantLayer(v.Slab) && !wantLayer(v.Slab+1) {
+			continue
+		}
+		poly(bw, tx, v.Oct(), "#000", "#000")
+	}
+	fmt.Fprint(bw, "</svg>\n")
+	return bw.Flush()
+}
+
+// poly renders an Oct8 region as an SVG polygon.
+func poly(bw *bufio.Writer, tx func(geom.Point) (float64, float64), o geom.Oct8, fill, stroke string) {
+	vs := o.Vertices()
+	if len(vs) < 3 {
+		return
+	}
+	fmt.Fprintf(bw, `<polygon fill="%s" fill-opacity="0.9" stroke="%s" stroke-width="0.4" points="`, fill, stroke)
+	for _, v := range vs {
+		x, y := tx(geom.Pt(int64(v.X), int64(v.Y)))
+		fmt.Fprintf(bw, "%.2f,%.2f ", x, y)
+	}
+	fmt.Fprint(bw, `"/>`+"\n")
+}

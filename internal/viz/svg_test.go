@@ -1,0 +1,122 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/lattice"
+	"rdlroute/internal/layout"
+)
+
+func demoLayout() *layout.Layout {
+	d := &design.Design{
+		Name:       "demo",
+		Outline:    geom.RectWH(0, 0, 600, 400),
+		WireLayers: 2,
+		Rules:      design.Rules{Spacing: 5, WireWidth: 4, ViaWidth: 16},
+		Chips:      []design.Chip{{Name: "c", Box: geom.RectWH(48, 48, 120, 120)}},
+		IOPads: []design.IOPad{
+			{ID: 0, Chip: 0, Center: geom.Pt(96, 96), HalfW: 8},
+		},
+		BumpPads:  []design.BumpPad{{ID: 0, Center: geom.Pt(480, 96), W: 40}},
+		Obstacles: []design.Obstacle{{Layer: 0, Box: geom.RectWH(240, 240, 60, 60)}},
+		Nets: []design.Net{{
+			ID: 0,
+			P1: design.PadRef{Kind: design.IOKind, Index: 0},
+			P2: design.PadRef{Kind: design.BumpKind, Index: 0},
+		}},
+	}
+	l := layout.New(d)
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(96, 96)},
+		{Layer: 0, Pt: geom.Pt(240, 96)},
+		{Layer: 1, Pt: geom.Pt(240, 96)},
+		{Layer: 1, Pt: geom.Pt(480, 96)},
+	})
+	l.MarkRouted(0)
+	return l
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVG(&buf, demoLayout(), DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") {
+		t.Fatalf("not svg: %q", out[:40])
+	}
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	// Expect the main elements.
+	for _, want := range []string{"<polyline", "<polygon", "<rect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s element", want)
+		}
+	}
+	// Two wire layers → two polylines with different colors.
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("polylines = %d, want 2", strings.Count(out, "<polyline"))
+	}
+	if !strings.Contains(out, layerColors[0]) || !strings.Contains(out, layerColors[1]) {
+		t.Error("layer colors missing")
+	}
+}
+
+func TestSVGLayerFilter(t *testing.T) {
+	var buf bytes.Buffer
+	opts := DefaultOptions()
+	opts.Layer = 1
+	if err := SVG(&buf, demoLayout(), opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "<polyline") != 1 {
+		t.Errorf("layer filter: polylines = %d, want 1", strings.Count(out, "<polyline"))
+	}
+	if strings.Contains(out, layerColors[0]) {
+		t.Error("layer-0 color should be filtered out")
+	}
+	// Obstacle is on layer 0: filtered.
+	if strings.Contains(out, "#555") {
+		t.Error("layer-0 obstacle should be filtered out")
+	}
+}
+
+func TestSVGDefaultScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVG(&buf, demoLayout(), Options{Layer: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `width="150"`) { // 600 × 0.25
+		t.Errorf("default scale not applied: %s", buf.String()[:120])
+	}
+}
+
+func TestSVGNoBumps(t *testing.T) {
+	var with, without bytes.Buffer
+	opts := DefaultOptions()
+	if err := SVG(&with, demoLayout(), opts); err != nil {
+		t.Fatal(err)
+	}
+	opts.ShowBumps = false
+	if err := SVG(&without, demoLayout(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(without.String(), "<polygon") >= strings.Count(with.String(), "<polygon") {
+		t.Error("hiding bumps should drop polygons")
+	}
+}
