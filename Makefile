@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test verify verify-short bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+# Stricter local gate: build + vet + full suite under the race detector.
+verify:
+	sh scripts/verify.sh
+
+# Quick race pass (skips the dense benchmarks and randomized sweeps).
+verify-short:
+	sh scripts/verify.sh -short
+
+bench:
+	$(GO) run ./cmd/rdlbench -all -quick
+
+fmt:
+	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)

@@ -27,6 +27,7 @@ import (
 	"rdlroute/internal/design"
 	"rdlroute/internal/drc"
 	"rdlroute/internal/layout"
+	"rdlroute/internal/obs"
 	"rdlroute/internal/router"
 	"rdlroute/internal/viz"
 )
@@ -76,6 +77,40 @@ type (
 	// BaselineResult carries the Lin-ext metrics.
 	BaselineResult = baseline.Result
 )
+
+// Observability types. Set Options.Tracer (or BaselineOptions.Tracer) to
+// receive stage spans, per-net route events, counters and distribution
+// samples from a routing run; leave it nil for the zero-overhead default.
+type (
+	// Tracer receives spans, events, counters and observations.
+	Tracer = obs.Tracer
+	// Snapshot is the aggregated metrics view of a traced run
+	// (Result.Obs); render it with WriteText or encoding/json.
+	Snapshot = obs.Snapshot
+	// Collector is the in-memory Tracer sink whose Snapshot method
+	// aggregates everything it saw. Safe for concurrent use.
+	Collector = obs.Collector
+	// JSONLTracer streams every span and event as one JSON object per
+	// line. Call Close (or Flush) when the run finishes.
+	JSONLTracer = obs.JSONL
+	// TraceRecord is one line of a JSONL trace.
+	TraceRecord = obs.Record
+	// TraceEvent is one event captured by a Collector.
+	TraceEvent = obs.Event
+)
+
+// NewCollector returns an empty in-memory trace collector.
+func NewCollector() *Collector { return obs.NewCollector() }
+
+// NewJSONLTracer returns a Tracer streaming JSONL records to w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONL(w) }
+
+// MultiTracer fans emissions out to every given sink (nil and disabled
+// sinks are dropped; zero sinks yield the Nop tracer).
+func MultiTracer(ts ...Tracer) Tracer { return obs.Multi(ts...) }
+
+// ReadTrace parses a JSONL trace written by a JSONLTracer.
+func ReadTrace(r io.Reader) ([]TraceRecord, error) { return obs.ReadJSONL(r) }
 
 // DefaultOptions returns the paper's experimental configuration
 // (α, β, γ, δ = 0.1, 1, 1, 2 and 30×30 global cells).

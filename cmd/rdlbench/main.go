@@ -10,17 +10,28 @@
 //	rdlbench -fig2 -fig5 -fig7
 //	rdlbench -ablation -lpiters
 //	rdlbench -all
+//	rdlbench -all -quick -json results.json   # machine-readable report
+//	rdlbench -table1 -trace t.jsonl -cpuprofile cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"rdlroute/internal/bench"
+	"rdlroute/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run keeps cleanup (profile stop, trace flush, report write) in defers
+// and returns the process exit code, so no exit path skips them.
+func run() int {
 	var (
 		table1   = flag.Bool("table1", false, "regenerate Table I (ours vs Lin-ext)")
 		fig2     = flag.Bool("fig2", false, "regenerate the Figure 2 layer-count experiment")
@@ -31,6 +42,10 @@ func main() {
 		gsize    = flag.Bool("graphsize", false, "compare tile-graph vs uniform-grid node counts")
 		all      = flag.Bool("all", false, "run everything")
 		quick    = flag.Bool("quick", false, "restrict circuit sweeps to dense1..dense3")
+		jsonOut  = flag.String("json", "", "also write every result as a JSON report to this file (see EXPERIMENTS.md)")
+		trace    = flag.String("trace", "", "write a JSONL trace of all routing runs to this file")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile (stage-labelled) to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
 	flag.Parse()
 	if *all {
@@ -38,35 +53,81 @@ func main() {
 	}
 	if !*table1 && !*fig2 && !*fig5 && !*fig7 && !*ablation && !*lpiters && !*gsize {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	names := []string{"dense1", "dense2", "dense3", "dense4", "dense5"}
 	if *quick {
 		names = names[:3]
 	}
-	die := func(err error) {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "rdlbench:", err)
+		return 1
+	}
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var sinks []obs.Tracer
+	if *trace != "" {
+		tf, err := os.Create(*trace)
+		if err != nil {
+			return fail(err)
+		}
+		jl := obs.NewJSONL(tf)
+		defer func() {
+			jl.Close()
+			tf.Close()
+		}()
+		sinks = append(sinks, jl)
+	}
+	if *cpuprof != "" && len(sinks) == 0 {
+		// The stage spans only apply their pprof labels through an enabled
+		// tracer; give the profile one even without -trace.
+		sinks = append(sinks, obs.NewCollector())
+	}
+	bench.Tracer = obs.Multi(sinks...)
+
+	rep := &bench.Report{Circuits: names}
+	errCount := 0
+	die := func(err error) bool {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rdlbench:", err)
-			os.Exit(1)
+			errCount++
+			return true
 		}
+		return false
 	}
 
 	if *table1 {
 		fmt.Println("== Table I: pre-assignment routing, ours vs Lin-ext ==")
 		rows, err := bench.RunTable1(names)
-		die(err)
+		if die(err) {
+			return 1
+		}
 		fmt.Print(bench.FormatTable1(rows))
 		for _, r := range rows {
 			if r.OursDRC > 0 || r.LinDRC > 0 {
 				fmt.Printf("WARNING %s: DRC violations ours=%d lin=%d\n", r.Stats.Name, r.OursDRC, r.LinDRC)
 			}
+			rep.Table1 = append(rep.Table1, r.JSON())
 		}
 		fmt.Println()
 	}
 	if *fig2 {
 		fmt.Println("== Figure 2: flexible vias reduce the required RDL count ==")
 		res, err := bench.RunFig2()
-		die(err)
+		if die(err) {
+			return 1
+		}
+		rep.Fig2 = &res
 		fmt.Printf("entangled 3-net pattern: ours completes with %d RDLs; Lin-ext needs %d RDLs\n",
 			res.OursMinLayers, res.LinMinLayers)
 		fmt.Println("(paper: 2 vs 3)")
@@ -75,6 +136,7 @@ func main() {
 	if *fig5 {
 		fmt.Println("== Figure 5: weighted vs unweighted MPSC layer assignment ==")
 		res := bench.RunFig5()
+		rep.Fig5 = &res
 		fmt.Printf("unweighted MPSC: assigns %d nets, %d survive detailed routing\n",
 			res.UnweightedAssigned, res.UnweightedSurvive)
 		fmt.Printf("weighted MPSC (Eq.2): assigns %d nets, %d survive detailed routing\n",
@@ -87,7 +149,9 @@ func main() {
 	if needMetrics {
 		var err error
 		metrics, err = bench.RunMetrics(names)
-		die(err)
+		if die(err) {
+			return 1
+		}
 	}
 	if *fig7 {
 		fmt.Println("== Figure 7: LP-based layout optimization ==")
@@ -95,6 +159,7 @@ func main() {
 		for _, m := range metrics {
 			r := m.Fig7
 			fmt.Printf("%-8s %12.0f %12.0f %9.2f%% %6d\n", r.Name, r.Before, r.After, r.Reduction, r.Iterations)
+			rep.Fig7 = append(rep.Fig7, r)
 		}
 		fmt.Println()
 	}
@@ -105,7 +170,10 @@ func main() {
 			abNames = names[:2]
 		}
 		rows, err := bench.RunAblations(abNames)
-		die(err)
+		if die(err) {
+			return 1
+		}
+		rep.Ablations = rows
 		fmt.Printf("%-8s %-18s %12s %12s %6s %6s %8s\n",
 			"circuit", "config", "routability", "wirelength", "conc", "drc", "time")
 		for _, r := range rows {
@@ -119,6 +187,7 @@ func main() {
 		for _, m := range metrics {
 			r := m.LPIter
 			fmt.Printf("%-8s %d iterations over %d components\n", r.Name, r.Iterations, r.Components)
+			rep.LPIters = append(rep.LPIters, r)
 		}
 		fmt.Println()
 	}
@@ -128,6 +197,7 @@ func main() {
 		for _, m := range metrics {
 			r := m.Graph
 			fmt.Printf("%-8s %12d %12d %8.3f\n", r.Name, r.TileNodes, r.GridNodes, r.Ratio)
+			rep.GraphSize = append(rep.GraphSize, r)
 		}
 		fmt.Println()
 		fmt.Println("== Wirelength quality (vs octilinear lower bound) ==")
@@ -136,6 +206,36 @@ func main() {
 			r := m.Quality
 			fmt.Printf("%-8s %12.0f %12.0f %8.3f %8.3f %8.3f\n",
 				r.Name, r.LowerBound, r.Actual, r.MeanDetour, r.P95, r.MaxDetour)
+			rep.Quality = append(rep.Quality, r)
 		}
 	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return fail(err)
+		}
+		if err := bench.WriteJSON(f, rep); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		f.Close()
+		fmt.Printf("json report: %s\n", *jsonOut)
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			return fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		f.Close()
+	}
+	if errCount > 0 {
+		return 1
+	}
+	return 0
 }

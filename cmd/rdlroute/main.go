@@ -8,17 +8,28 @@
 //	rdlroute -in design.rdl -check        # route a netlist file and run DRC
 //	rdlroute -bench dense2 -flow linext   # run the baseline instead
 //	rdlroute -bench dense1 -no-lp         # ablation: disable stage 5
+//	rdlroute -bench dense1 -trace t.jsonl -stats   # observability
+//	rdlroute -bench dense1 -cpuprofile cpu.pprof   # stage-labelled profile
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"rdlroute"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run keeps all cleanup in defers (profile stop, trace flush) and returns
+// the process exit code, so no exit path skips them.
+func run() int {
 	var (
 		in     = flag.String("in", "", "input design file (text netlist)")
 		bench  = flag.String("bench", "", "generate a named benchmark (dense1..dense5) instead of reading a file")
@@ -33,8 +44,19 @@ func main() {
 		out    = flag.String("out", "", "write the routing result (text layout format) to this file")
 		heat   = flag.Bool("congest", false, "print per-layer congestion heatmaps")
 		ripup  = flag.Int("ripup", 0, "rip-up-and-reroute rounds (extension beyond the paper; 0 = off)")
+
+		trace     = flag.String("trace", "", "write a JSONL trace (stage spans, per-net events) to this file")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile (stage-labelled) to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile (taken after routing) to this file")
+		stats     = flag.Bool("stats", false, "print the aggregated metrics snapshot after routing")
+		statsJSON = flag.String("stats-json", "", "write the aggregated metrics snapshot as JSON to this file")
 	)
 	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "rdlroute:", err)
+		return 1
+	}
 
 	var d *rdlroute.Design
 	var err error
@@ -49,14 +71,49 @@ func main() {
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "rdlroute: need -in or -bench")
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rdlroute:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Assemble the tracer: a JSONL stream, an in-memory collector for the
+	// snapshot, or both. A CPU profile alone still needs an enabled tracer
+	// so the stage spans apply their pprof labels.
+	var sinks []rdlroute.Tracer
+	if *trace != "" {
+		tf, err := os.Create(*trace)
+		if err != nil {
+			return fail(err)
+		}
+		jl := rdlroute.NewJSONLTracer(tf)
+		defer func() {
+			jl.Close()
+			tf.Close()
+		}()
+		sinks = append(sinks, jl)
+	}
+	var coll *rdlroute.Collector
+	if *stats || *statsJSON != "" || (*cpuprof != "" && len(sinks) == 0) {
+		coll = rdlroute.NewCollector()
+		sinks = append(sinks, coll)
+	}
+	tracer := rdlroute.MultiTracer(sinks...)
+
 	var lay *rdlroute.Layout
+	var snap *rdlroute.Snapshot
 	switch *flow {
 	case "ours":
 		opts := rdlroute.DefaultOptions()
@@ -65,12 +122,13 @@ func main() {
 		opts.EnableVias = !*noVias
 		opts.GlobalCells = *cells
 		opts.RipUpRounds = *ripup
+		opts.Tracer = tracer
 		res, err := rdlroute.Route(d, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rdlroute:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		lay = res.Layout
+		snap = res.Obs
 		fmt.Printf("design      %s\n", d.Name)
 		fmt.Printf("flow        ours (via-based, 5 stages)\n")
 		fmt.Printf("routability %.1f%% (%d/%d nets)\n", res.Routability, res.RoutedNets, res.TotalNets)
@@ -82,10 +140,11 @@ func main() {
 		fmt.Printf("vias        %d\n", res.Layout.ViaCount())
 		fmt.Printf("runtime     %v\n", res.Runtime)
 	case "linext":
-		res, err := rdlroute.RouteLinExt(d, rdlroute.DefaultBaselineOptions())
+		opts := rdlroute.DefaultBaselineOptions()
+		opts.Tracer = tracer
+		res, err := rdlroute.RouteLinExt(d, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rdlroute:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		lay = res.Layout
 		fmt.Printf("design      %s\n", d.Name)
@@ -96,18 +155,41 @@ func main() {
 		fmt.Printf("runtime     %v\n", res.Runtime)
 	default:
 		fmt.Fprintf(os.Stderr, "rdlroute: unknown flow %q\n", *flow)
-		os.Exit(2)
+		return 2
+	}
+
+	if snap == nil && coll != nil {
+		snap = coll.Snapshot()
+	}
+	if *stats && snap != nil {
+		fmt.Println()
+		if err := snap.WriteText(os.Stdout); err != nil {
+			return fail(err)
+		}
+	}
+	if *statsJSON != "" && snap != nil {
+		f, err := os.Create(*statsJSON)
+		if err != nil {
+			return fail(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		f.Close()
+		fmt.Printf("stats       %s\n", *statsJSON)
 	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rdlroute:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		if err := rdlroute.WriteLayout(f, lay); err != nil {
-			fmt.Fprintln(os.Stderr, "rdlroute:", err)
-			os.Exit(1)
+			f.Close()
+			return fail(err)
 		}
 		f.Close()
 		fmt.Printf("routes      %s\n", *out)
@@ -117,8 +199,7 @@ func main() {
 		m := rdlroute.BuildCongestion(lay, 24)
 		for l := 0; l < d.WireLayers; l++ {
 			if err := m.Render(os.Stdout, l); err != nil {
-				fmt.Fprintln(os.Stderr, "rdlroute:", err)
-				os.Exit(1)
+				return fail(err)
 			}
 		}
 	}
@@ -126,17 +207,29 @@ func main() {
 	if *svg != "" {
 		f, err := os.Create(*svg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "rdlroute:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		opts := rdlroute.DefaultRenderOptions()
 		opts.Layer = *layer
 		if err := rdlroute.RenderSVG(f, lay, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "rdlroute:", err)
-			os.Exit(1)
+			f.Close()
+			return fail(err)
 		}
 		f.Close()
 		fmt.Printf("svg         %s\n", *svg)
+	}
+
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			return fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		f.Close()
 	}
 
 	if *check {
@@ -152,7 +245,8 @@ func main() {
 				}
 				fmt.Printf("  %v\n", v)
 			}
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

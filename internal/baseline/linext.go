@@ -21,12 +21,19 @@ import (
 	"rdlroute/internal/lattice"
 	"rdlroute/internal/layout"
 	"rdlroute/internal/mpsc"
+	"rdlroute/internal/obs"
 )
 
 // Options tune the baseline.
 type Options struct {
 	Pitch   int64
 	ViaCost float64
+
+	// Tracer, when non-nil and enabled, receives the baseline's stage
+	// spans (linext-assign / linext-concurrent / linext-sequential), the
+	// same per-net "net.route" events as the main flow, and the lattice's
+	// astar.* counters. Nil means the zero-overhead Nop tracer.
+	Tracer obs.Tracer
 }
 
 // DefaultOptions returns the configuration used in the benchmark harness.
@@ -55,10 +62,12 @@ func Route(d *design.Design, opts Options) (*Result, error) {
 	if opts.Pitch == 0 {
 		opts.Pitch = design.Grid
 	}
+	tr := obs.Or(opts.Tracer)
 	la, err := lattice.New(d, opts.Pitch)
 	if err != nil {
 		return nil, err
 	}
+	la.SetTracer(tr)
 	lay := layout.New(d)
 	res := &Result{Layout: lay, TotalNets: len(d.Nets)}
 
@@ -101,9 +110,12 @@ func Route(d *design.Design, opts Options) (*Result, error) {
 		return r
 	}
 
-	assigned := concentricAssign(d)
+	end := obs.Stage(tr, "linext-assign", obs.String("design", d.Name))
+	assigned := concentricAssign(d, tr)
+	end()
 
 	// Concurrent stage: route each layer's assignment, chip by chip.
+	end = obs.Stage(tr, "linext-concurrent")
 	routedSet := map[int]bool{}
 	for l := 0; l < d.WireLayers; l++ {
 		for _, ni := range assigned[l] {
@@ -113,14 +125,16 @@ func Route(d *design.Design, opts Options) (*Result, error) {
 			if l > netReach(ni) {
 				continue // pad stacks do not reach this layer
 			}
-			if routeSingleLayer(d, la, lay, ni, l, opts) {
+			if routeSingleLayer(d, la, lay, ni, l, opts, tr, "linext-concurrent") {
 				routedSet[ni] = true
 				res.ConcurrentRouted++
 			}
 		}
 	}
+	end(obs.Int("routed", res.ConcurrentRouted))
 
 	// Sequential stage: remaining nets try every layer in turn.
+	end = obs.Stage(tr, "linext-sequential")
 	var rest []int
 	for ni := range d.Nets {
 		if !routedSet[ni] {
@@ -134,18 +148,29 @@ func Route(d *design.Design, opts Options) (*Result, error) {
 	})
 	for _, ni := range rest {
 		for l := 0; l <= netReach(ni) && l < d.WireLayers; l++ {
-			if routeSingleLayer(d, la, lay, ni, l, opts) {
+			if routeSingleLayer(d, la, lay, ni, l, opts, tr, "linext-sequential") {
 				routedSet[ni] = true
 				res.SequentialRouted++
 				break
 			}
 		}
 	}
+	end(obs.Int("routed", res.SequentialRouted))
 
 	res.RoutedNets = lay.RoutedCount()
 	res.Routability = lay.Routability()
 	res.Wirelength = lay.Wirelength()
 	res.Runtime = time.Since(start)
+	if tr.Enabled() {
+		tr.Count("linext.nets_total", int64(res.TotalNets))
+		tr.Count("linext.nets_routed", int64(res.RoutedNets))
+		tr.Event("route.done",
+			obs.String("design", d.Name),
+			obs.String("flow", "linext"),
+			obs.Float("routability", res.Routability),
+			obs.Float("wirelength", res.Wirelength),
+			obs.Float("runtime_ms", float64(res.Runtime.Nanoseconds())/1e6))
+	}
 	return res, nil
 }
 
@@ -157,7 +182,7 @@ func directLen(d *design.Design, ni int) float64 {
 // routeSingleLayer routes a net entirely on one wire layer (its pads reach
 // the layer through their fixed stacks). Chip-to-board nets terminate on a
 // bump pad and therefore only route on the bottom layer.
-func routeSingleLayer(d *design.Design, la *lattice.Lattice, lay *layout.Layout, ni, l int, opts Options) bool {
+func routeSingleLayer(d *design.Design, la *lattice.Lattice, lay *layout.Layout, ni, l int, opts Options, tr obs.Tracer, stage string) bool {
 	n := d.Nets[ni]
 	if n.P1.Kind != design.IOKind {
 		return false
@@ -169,17 +194,38 @@ func routeSingleLayer(d *design.Design, la *lattice.Lattice, lay *layout.Layout,
 	to := d.PadCenter(n.P2)
 	mask := make([]bool, d.WireLayers)
 	mask[l] = true
-	path, _, ok := la.Route(lattice.Request{
+	var st lattice.SearchStats
+	req := lattice.Request{
 		Net: ni, From: from, To: to,
 		FromLayer: l, ToLayer: l,
 		LayerMask: mask, ViaCost: opts.ViaCost,
-	})
+	}
+	if tr.Enabled() {
+		req.Stats = &st
+	}
+	path, _, ok := la.Route(req)
 	if !ok {
 		return false
 	}
 	la.Commit(path, ni)
 	lay.AddPath(ni, path)
 	lay.MarkRouted(ni)
+	if tr.Enabled() {
+		wl := 0.0
+		for k := 0; k+1 < len(path); k++ {
+			wl += geom.OctDist(path[k].Pt, path[k+1].Pt)
+		}
+		tr.Event("net.route",
+			obs.Int("net", ni),
+			obs.String("stage", stage),
+			obs.String("mode", "layer"),
+			obs.Int("layer", l),
+			obs.String("outcome", "routed"),
+			obs.Int("expanded", st.NodesExpanded),
+			obs.Int("visited", st.NodesVisited),
+			obs.Int("steps", len(path)),
+			obs.Float("wl", wl))
+	}
 	return true
 }
 
@@ -188,12 +234,12 @@ func routeSingleLayer(d *design.Design, la *lattice.Lattice, lay *layout.Layout,
 // planar subset of that chip's unassigned nets on a circular model ordered
 // by angle around the chip center (unweighted — Lin's model has no
 // congestion term).
-func concentricAssign(d *design.Design) [][]int {
+func concentricAssign(d *design.Design, tr obs.Tracer) [][]int {
 	assigned := make([][]int, d.WireLayers)
 	done := map[int]bool{}
 	for l := 0; l < d.WireLayers; l++ {
 		for chip := range d.Chips {
-			picked := planarAroundChip(d, chip, done)
+			picked := planarAroundChip(d, chip, done, tr, l)
 			for _, ni := range picked {
 				done[ni] = true
 				assigned[l] = append(assigned[l], ni)
@@ -205,7 +251,7 @@ func concentricAssign(d *design.Design) [][]int {
 
 // planarAroundChip builds the chip's circular model and returns a maximum
 // planar subset of its incident unassigned nets.
-func planarAroundChip(d *design.Design, chip int, done map[int]bool) []int {
+func planarAroundChip(d *design.Design, chip int, done map[int]bool, tr obs.Tracer, layer int) []int {
 	center := d.Chips[chip].Box.Center()
 	type ev struct {
 		net   int
@@ -252,7 +298,8 @@ func planarAroundChip(d *design.Design, chip int, done map[int]bool) []int {
 		chords = append(chords, mpsc.Chord{A: ps[0], B: ps[1], W: 1, Tag: net})
 	}
 	sort.Slice(chords, func(i, j int) bool { return chords[i].Tag < chords[j].Tag })
-	picked, _ := mpsc.MaxPlanarSubset(len(evs), chords)
+	picked, _ := mpsc.MaxPlanarSubsetTraced(len(evs), chords, tr,
+		obs.Int("layer", layer), obs.Int("chip", chip))
 	var out []int
 	for _, ci := range picked {
 		out = append(out, chords[ci].Tag)

@@ -1,0 +1,44 @@
+package baseline
+
+import (
+	"testing"
+
+	"rdlroute/internal/obs"
+)
+
+func TestBaselineTracedRun(t *testing.T) {
+	d := crossing4(4)
+	c := obs.NewCollector()
+	opts := DefaultOptions()
+	opts.Tracer = c
+	res, err := Route(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"linext-assign", "linext-concurrent", "linext-sequential"} {
+		if n := len(c.Spans("stage:" + stage)); n != 1 {
+			t.Errorf("stage %q: %d spans, want 1", stage, n)
+		}
+	}
+	conc := c.CountEvents("net.route", func(e obs.Event) bool {
+		return e.Str("stage") == "linext-concurrent"
+	})
+	seq := c.CountEvents("net.route", func(e obs.Event) bool {
+		return e.Str("stage") == "linext-sequential"
+	})
+	if conc != res.ConcurrentRouted {
+		t.Errorf("linext-concurrent events = %d, want %d", conc, res.ConcurrentRouted)
+	}
+	if seq != res.SequentialRouted {
+		t.Errorf("linext-sequential events = %d, want %d", seq, res.SequentialRouted)
+	}
+	if n := c.Counter("linext.nets_routed"); n != int64(res.RoutedNets) {
+		t.Errorf("linext.nets_routed = %d, want %d", n, res.RoutedNets)
+	}
+	if len(c.Events("mpsc.select")) == 0 {
+		t.Error("no mpsc.select events from the concentric assignment")
+	}
+	if len(c.Events("route.done")) != 1 {
+		t.Error("missing route.done event")
+	}
+}

@@ -18,8 +18,29 @@ import (
 	"rdlroute/internal/drc"
 	"rdlroute/internal/geom"
 	"rdlroute/internal/mpsc"
+	"rdlroute/internal/obs"
 	"rdlroute/internal/router"
 )
+
+// Tracer, when non-nil, is attached to every routing run the Run* entry
+// points perform (both flows). cmd/rdlbench sets it from its -trace and
+// -cpuprofile flags; tests may point it at an obs.Collector. Runs execute
+// sequentially, so one shared sink sees a well-ordered stream.
+var Tracer obs.Tracer
+
+// routerOptions is DefaultOptions plus the package tracer.
+func routerOptions() router.Options {
+	o := router.DefaultOptions()
+	o.Tracer = Tracer
+	return o
+}
+
+// baselineOptions is the baseline's DefaultOptions plus the package tracer.
+func baselineOptions() baseline.Options {
+	o := baseline.DefaultOptions()
+	o.Tracer = Tracer
+	return o
+}
 
 // Table1Row is one circuit's comparison between Lin-ext and our flow.
 type Table1Row struct {
@@ -42,7 +63,7 @@ func RunTable1(names []string) ([]Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		ours, err := router.Route(d, router.DefaultOptions())
+		ours, err := router.Route(d, routerOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -52,7 +73,7 @@ func RunTable1(names []string) ([]Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		lin, err := baseline.Route(d2, baseline.DefaultOptions())
+		lin, err := baseline.Route(d2, baselineOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -99,8 +120,8 @@ func FormatTable1(rows []Table1Row) string {
 // Fig2Result reports the minimum RDL (wire-layer) count each flow needs to
 // fully route the entangled three-net pattern of Figure 2.
 type Fig2Result struct {
-	OursMinLayers int
-	LinMinLayers  int
+	OursMinLayers int `json:"ours_min_layers"`
+	LinMinLayers  int `json:"lin_min_layers"`
 }
 
 // RunFig2 builds the Figure 2 pattern — three pairwise-crossing nets
@@ -110,7 +131,7 @@ func RunFig2() (Fig2Result, error) {
 	res := Fig2Result{OursMinLayers: -1, LinMinLayers: -1}
 	for layers := 1; layers <= 4; layers++ {
 		d := fig2Design(layers)
-		r, err := router.Route(d, router.DefaultOptions())
+		r, err := router.Route(d, routerOptions())
 		if err != nil {
 			return res, err
 		}
@@ -121,7 +142,7 @@ func RunFig2() (Fig2Result, error) {
 	}
 	for layers := 1; layers <= 5; layers++ {
 		d := fig2Design(layers)
-		r, err := baseline.Route(d, baseline.DefaultOptions())
+		r, err := baseline.Route(d, baselineOptions())
 		if err != nil {
 			return res, err
 		}
@@ -170,10 +191,12 @@ func fig2Design(layers int) *design.Design {
 // Fig5Result compares unweighted and weighted (Eq. 2) MPSC layer
 // assignment on the paper's Figure 5 narrow-channel scenario.
 type Fig5Result struct {
-	UnweightedAssigned int // nets the unweighted MPSC assigns to the layer
-	UnweightedSurvive  int // of those, nets that survive capacity-1 routing
-	WeightedAssigned   int
-	WeightedSurvive    int
+	// UnweightedAssigned counts nets the unweighted MPSC assigns to the
+	// layer; UnweightedSurvive counts those surviving capacity-1 routing.
+	UnweightedAssigned int `json:"unweighted_assigned"`
+	UnweightedSurvive  int `json:"unweighted_survive"`
+	WeightedAssigned   int `json:"weighted_assigned"`
+	WeightedSurvive    int `json:"weighted_survive"`
 }
 
 // RunFig5 reproduces the Figure 5 example at the algorithm level: five net
@@ -256,11 +279,11 @@ func RunFig5() Fig5Result {
 
 // Fig7Row reports the LP optimization's wirelength effect on one circuit.
 type Fig7Row struct {
-	Name       string
-	Before     float64 // wirelength entering stage 5
-	After      float64 // wirelength after LP optimization
-	Reduction  float64 // percent
-	Iterations int
+	Name       string  `json:"circuit"`
+	Before     float64 `json:"wl_before"` // wirelength entering stage 5
+	After      float64 `json:"wl_after"`  // wirelength after LP optimization
+	Reduction  float64 `json:"reduction_pct"`
+	Iterations int     `json:"iterations"`
 }
 
 // RunFig7 delegates to RunMetrics (one routing run per circuit shared by
@@ -279,13 +302,13 @@ func RunFig7(names []string) ([]Fig7Row, error) {
 
 // AblationRow is one configuration's outcome on one circuit.
 type AblationRow struct {
-	Config      string
-	Name        string
-	Routability float64
-	Wirelength  float64
-	Concurrent  int
-	DRC         int
-	Seconds     float64
+	Config      string  `json:"config"`
+	Name        string  `json:"circuit"`
+	Routability float64 `json:"routability"`
+	Wirelength  float64 `json:"wirelength"`
+	Concurrent  int     `json:"concurrent_routed"`
+	DRC         int     `json:"drc_violations"`
+	Seconds     float64 `json:"seconds"`
 }
 
 // Ablations returns the named toggles applied to DefaultOptions.
@@ -318,7 +341,7 @@ func RunAblations(names []string) ([]AblationRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			opts := router.DefaultOptions()
+			opts := routerOptions()
 			ab.Mut(&opts)
 			r, err := router.Route(d, opts)
 			if err != nil {
@@ -341,9 +364,12 @@ func RunAblations(names []string) ([]AblationRow, error) {
 // QualityRow reports wirelength quality (routed length vs the octilinear
 // pad-to-pad lower bound) per circuit.
 type QualityRow struct {
-	Name                       string
-	LowerBound, Actual         float64
-	MeanDetour, P95, MaxDetour float64
+	Name       string  `json:"circuit"`
+	LowerBound float64 `json:"lower_bound"`
+	Actual     float64 `json:"actual"`
+	MeanDetour float64 `json:"mean_detour"`
+	P95        float64 `json:"p95_detour"`
+	MaxDetour  float64 `json:"max_detour"`
 }
 
 // RunQuality delegates to RunMetrics (one routing run per circuit shared by
@@ -364,10 +390,10 @@ func RunQuality(names []string) ([]QualityRow, error) {
 // equivalent uniform-lattice graph on one circuit — the resource-modeling
 // argument behind the paper's tile model.
 type GraphSizeRow struct {
-	Name      string
-	TileNodes int // octagonal tiles across all layers, after routing
-	GridNodes int // uniform detailed-routing lattice nodes across layers
-	Ratio     float64
+	Name      string  `json:"circuit"`
+	TileNodes int     `json:"tile_nodes"` // octagonal tiles across all layers, after routing
+	GridNodes int     `json:"grid_nodes"` // uniform detailed-routing lattice nodes across layers
+	Ratio     float64 `json:"ratio"`
 }
 
 // RunGraphSize delegates to RunMetrics (one routing run per circuit shared by
@@ -387,9 +413,9 @@ func RunGraphSize(names []string) ([]GraphSizeRow, error) {
 // LPIterRow reports stage-5 convergence per circuit (Section III-E-4: the
 // paper observes ≤ 50 iterations on its largest benchmark).
 type LPIterRow struct {
-	Name       string
-	Iterations int
-	Components int
+	Name       string `json:"circuit"`
+	Iterations int    `json:"iterations"`
+	Components int    `json:"components"`
 }
 
 // RunLPIters delegates to RunMetrics (one routing run per circuit shared by
@@ -430,7 +456,7 @@ func RunMetrics(names []string) ([]MetricsRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := router.Route(d, router.DefaultOptions())
+		r, err := router.Route(d, routerOptions())
 		if err != nil {
 			return nil, err
 		}

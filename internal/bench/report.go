@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ReportSchema identifies the rdlbench JSON report format. Bump it when a
+// field changes meaning; adding fields is backward-compatible.
+const ReportSchema = "rdlbench/v1"
+
+// Report is the machine-readable form of one rdlbench invocation: every
+// experiment the run performed, keyed by section; absent sections were not
+// requested. EXPERIMENTS.md documents the schema.
+type Report struct {
+	Schema    string         `json:"schema"`
+	Circuits  []string       `json:"circuits,omitempty"`
+	Table1    []Table1JSON   `json:"table1,omitempty"`
+	Fig2      *Fig2Result    `json:"fig2,omitempty"`
+	Fig5      *Fig5Result    `json:"fig5,omitempty"`
+	Fig7      []Fig7Row      `json:"fig7,omitempty"`
+	LPIters   []LPIterRow    `json:"lp_iters,omitempty"`
+	GraphSize []GraphSizeRow `json:"graph_size,omitempty"`
+	Quality   []QualityRow   `json:"quality,omitempty"`
+	Ablations []AblationRow  `json:"ablations,omitempty"`
+}
+
+// Table1JSON is one Table-I comparison row flattened for serialization.
+type Table1JSON struct {
+	Circuit    string `json:"circuit"`
+	Chips      int    `json:"chips"`
+	Q          int    `json:"io_pads"`
+	G          int    `json:"bump_pads"`
+	N          int    `json:"nets"`
+	WireLayers int    `json:"wire_layers"`
+	ViaLayers  int    `json:"via_layers"`
+
+	OursRoutability float64 `json:"ours_routability"`
+	OursWirelength  float64 `json:"ours_wirelength"`
+	OursSeconds     float64 `json:"ours_seconds"`
+	OursDRC         int     `json:"ours_drc_violations"`
+
+	LinRoutability float64 `json:"lin_routability"`
+	LinWirelength  float64 `json:"lin_wirelength"`
+	LinSeconds     float64 `json:"lin_seconds"`
+	LinDRC         int     `json:"lin_drc_violations"`
+}
+
+// JSON flattens the row for the report.
+func (r *Table1Row) JSON() Table1JSON {
+	s := r.Stats
+	return Table1JSON{
+		Circuit: s.Name, Chips: s.Chips, Q: s.Q, G: s.G, N: s.N,
+		WireLayers: s.WireLayers, ViaLayers: s.ViaLayers,
+		OursRoutability: r.Ours.Routability,
+		OursWirelength:  r.Ours.Wirelength,
+		OursSeconds:     r.Ours.Runtime.Seconds(),
+		OursDRC:         r.OursDRC,
+		LinRoutability:  r.Lin.Routability,
+		LinWirelength:   r.Lin.Wirelength,
+		LinSeconds:      r.Lin.Runtime.Seconds(),
+		LinDRC:          r.LinDRC,
+	}
+}
+
+// WriteJSON writes the report as indented JSON, stamping the schema.
+func WriteJSON(w io.Writer, rep *Report) error {
+	rep.Schema = ReportSchema
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

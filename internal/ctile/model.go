@@ -11,6 +11,7 @@ import (
 
 	"rdlroute/internal/design"
 	"rdlroute/internal/geom"
+	"rdlroute/internal/obs"
 )
 
 // Tile is one octagonal free-space tile on a wire layer.
@@ -264,6 +265,33 @@ func (m *Model) TileCount(layer int) int {
 		total += len(m.Tiles(layer, c))
 	}
 	return total
+}
+
+// TraceStats emits one "ctile.layer" event per wire layer — tile count
+// and the via sites usable on the layer — plus graph-wide counters, when
+// the tracer is enabled. The router calls it after stage 3 so traces
+// expose the routing graph the sequential stage searches.
+func (m *Model) TraceStats(tr obs.Tracer, sites []ViaSite) {
+	if tr == nil || !tr.Enabled() {
+		return
+	}
+	totalTiles := 0
+	for l := 0; l < m.D.WireLayers; l++ {
+		tiles := m.TileCount(l)
+		totalTiles += tiles
+		siteCount := 0
+		for _, s := range sites {
+			if s.L0 <= l && l <= s.L1 {
+				siteCount++
+			}
+		}
+		tr.Event("ctile.layer",
+			obs.Int("layer", l),
+			obs.Int("tiles", tiles),
+			obs.Int("via_sites", siteCount))
+	}
+	tr.Count("ctile.tiles", int64(totalTiles))
+	tr.Count("ctile.via_sites", int64(len(sites)))
 }
 
 func uniq(v []int64) []int64 {

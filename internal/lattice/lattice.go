@@ -22,6 +22,7 @@ import (
 
 	"rdlroute/internal/design"
 	"rdlroute/internal/geom"
+	"rdlroute/internal/obs"
 )
 
 // Owner encoding inside occupancy slabs.
@@ -53,6 +54,20 @@ type Lattice struct {
 	rShapeV   float64 // design shape edge to via node
 
 	search *searchState
+
+	// tr, when non-nil, receives per-search effort metrics
+	// (astar.expanded / astar.visited observations and search counters).
+	tr obs.Tracer
+}
+
+// SetTracer attaches an observability tracer to the lattice. Disabled
+// tracers are dropped so the search never pays for them.
+func (la *Lattice) SetTracer(t obs.Tracer) {
+	if t != nil && t.Enabled() {
+		la.tr = t
+	} else {
+		la.tr = nil
+	}
 }
 
 // New builds a lattice over the design outline and pre-blocks design

@@ -52,6 +52,34 @@ type Request struct {
 	// blockages still block): a ghost search used by rip-up planning to
 	// find which nets stand in the way.
 	IgnoreForeign bool
+	// Stats, when non-nil, receives the search-effort counters of this
+	// call (nodes expanded/visited), whether or not a path was found.
+	Stats *SearchStats
+}
+
+// SearchStats reports one A* search's effort.
+type SearchStats struct {
+	// NodesExpanded counts states popped from the frontier and finalized.
+	NodesExpanded int
+	// NodesVisited counts state relaxations (frontier pushes).
+	NodesVisited int
+}
+
+// recordSearch publishes one search's effort to the caller and the
+// attached tracer.
+func (la *Lattice) recordSearch(req *Request, expanded, visited int, ok bool) {
+	if req.Stats != nil {
+		req.Stats.NodesExpanded = expanded
+		req.Stats.NodesVisited = visited
+	}
+	if la.tr != nil {
+		la.tr.Count("astar.searches", 1)
+		if !ok {
+			la.tr.Count("astar.failures", 1)
+		}
+		la.tr.Observe("astar.expanded", float64(expanded))
+		la.tr.Observe("astar.visited", float64(visited))
+	}
 }
 
 // searchState holds reusable A* buffers (epoch-stamped).
@@ -203,17 +231,20 @@ func (la *Lattice) Route(req Request) (path []PathStep, cost float64, ok bool) {
 		return d + float64(dl)*req.ViaCost
 	}
 
+	expanded, visited := 0, 0
 	relax := func(s int32, d float64, from int32, fpri float64) {
 		if ss.epoch[s] != ss.cur || d < ss.dist[s] {
 			ss.epoch[s] = ss.cur
 			ss.dist[s] = d
 			ss.prev[s] = from
 			ss.heap.push(fpri, s)
+			visited++
 		}
 	}
 
 	start := la.stateID(req.FromLayer, fi, fj, noDir)
 	if !wireOK(req.FromLayer, fi, fj) {
+		la.recordSearch(&req, 0, 0, false)
 		return nil, 0, false
 	}
 	relax(start, 0, -1, h(fi, fj, req.FromLayer))
@@ -224,11 +255,14 @@ func (la *Lattice) Route(req Request) (path []PathStep, cost float64, ok bool) {
 			continue
 		}
 		ss.done[s] = ss.cur
+		expanded++
 		if f > req.MaxCost {
+			la.recordSearch(&req, expanded, visited, false)
 			return nil, 0, false
 		}
 		l, i, j, dir := la.unpack(s)
 		if l == req.ToLayer && la.idx(i, j) == goalNode {
+			la.recordSearch(&req, expanded, visited, true)
 			return la.rebuild(ss, s), ss.dist[s], true
 		}
 		d := ss.dist[s]
@@ -276,6 +310,7 @@ func (la *Lattice) Route(req Request) (path []PathStep, cost float64, ok bool) {
 			relax(ns, nd2, s, nd2+h(i, j, nl))
 		}
 	}
+	la.recordSearch(&req, expanded, visited, false)
 	return nil, 0, false
 }
 

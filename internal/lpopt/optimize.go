@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"rdlroute/internal/geom"
+	"rdlroute/internal/obs"
 )
 
 // Options tune the optimizer.
@@ -25,6 +26,10 @@ type Options struct {
 	// monotonicity margins on dense layouts; with vias frozen the rounding
 	// error per route delta is provably within margin.
 	MoveVias bool
+	// Tracer, when enabled, receives one "lp.iter" event per repair-loop
+	// iteration (objective value, residual violations, reverted
+	// components) — the convergence curve of Section III-E-4.
+	Tracer obs.Tracer
 }
 
 // Stats reports what the optimizer did.

@@ -9,6 +9,7 @@ import (
 	"rdlroute/internal/geom"
 	"rdlroute/internal/layout"
 	"rdlroute/internal/lp"
+	"rdlroute/internal/obs"
 )
 
 // Optimize runs the LP-based layout optimization on the layout in place:
@@ -27,6 +28,7 @@ func Optimize(l *layout.Layout, opt Options) Stats {
 	if opt.NearRadius == 0 {
 		opt.NearRadius = 4 * design.Grid
 	}
+	tr := obs.Or(opt.Tracer)
 	st := Stats{Before: l.Wirelength()}
 	m := buildModel(l, opt.MoveVias)
 	if m.nvars == 0 {
@@ -166,6 +168,18 @@ func Optimize(l *layout.Layout, opt Options) Stats {
 				violations = append(violations, viol{k})
 			}
 		}
+		if tr.Enabled() {
+			// The per-iteration convergence curve: the LP objective (the
+			// wirelength surrogate being minimized) and the residual
+			// geometric violations the next iteration must repair.
+			tr.Event("lp.iter",
+				obs.Int("iter", iter),
+				obs.Float("objective", objValue(m.obj, vals)),
+				obs.Int("violations", len(violations)),
+				obs.Int("reverted", st.Reverted))
+			tr.Count("lp.iterations", 1)
+			tr.Count("lp.violations", int64(len(violations)))
+		}
 		if len(violations) == 0 {
 			break
 		}
@@ -225,6 +239,16 @@ func Optimize(l *layout.Layout, opt Options) Stats {
 	m.writeBack(vals)
 	st.After = l.Wirelength()
 	return st
+}
+
+// objValue evaluates the LP objective (without its affine constant) at
+// the current assignment — the wirelength surrogate traced per iteration.
+func objValue(obj []term, vals []float64) float64 {
+	v := 0.0
+	for _, t := range obj {
+		v += t.c * vals[t.v]
+	}
+	return v
 }
 
 // Joint-solve limits: components within the dense limits get one dense

@@ -11,7 +11,11 @@
 // fan-out access point).
 package mpsc
 
-import "fmt"
+import (
+	"fmt"
+
+	"rdlroute/internal/obs"
+)
 
 // Chord is a chord of the circular model joining positions A and B
 // (order irrelevant) with weight W. Tag carries the caller's net index
@@ -139,6 +143,25 @@ func MaxPlanarSubset(m int, chords []Chord) ([]int, float64) {
 	}
 	walk(0, m-1)
 	return picked, best[idx(0, m-1)]
+}
+
+// MaxPlanarSubsetTraced runs MaxPlanarSubset and, when the tracer is
+// enabled, emits an "mpsc.select" event carrying the chords considered,
+// the chords picked and the selected weight, plus any extra attributes
+// the caller tags on (e.g. the wire layer being assigned).
+func MaxPlanarSubsetTraced(m int, chords []Chord, tr obs.Tracer, extra ...obs.Attr) ([]int, float64) {
+	picked, weight := MaxPlanarSubset(m, chords)
+	if tr != nil && tr.Enabled() {
+		attrs := append([]obs.Attr{
+			obs.Int("considered", len(chords)),
+			obs.Int("picked", len(picked)),
+			obs.Float("weight", weight),
+		}, extra...)
+		tr.Event("mpsc.select", attrs...)
+		tr.Count("mpsc.chords_considered", int64(len(chords)))
+		tr.Count("mpsc.chords_picked", int64(len(picked)))
+	}
+	return picked, weight
 }
 
 // Validate reports an error when the chord set violates the circular-model

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one collected point-in-time event.
+type Event struct {
+	Name  string
+	Time  time.Duration // since the collector was created
+	Attrs map[string]any
+}
+
+// Str returns the named string attribute ("" when absent or non-string).
+func (e Event) Str(key string) string {
+	s, _ := e.Attrs[key].(string)
+	return s
+}
+
+// Num returns the named numeric attribute as float64 (0 when absent).
+func (e Event) Num(key string) float64 {
+	switch v := e.Attrs[key].(type) {
+	case int64:
+		return float64(v)
+	case float64:
+		return v
+	default:
+		return 0
+	}
+}
+
+// SpanRec is one collected closed span.
+type SpanRec struct {
+	Name  string
+	Start time.Duration // since the collector was created
+	Dur   time.Duration
+	Attrs map[string]any
+}
+
+// Collector is the in-memory sink: it retains every span, event, counter
+// and distribution sample, for tests and for Snapshot aggregation. Safe
+// for concurrent use.
+type Collector struct {
+	mu       sync.Mutex
+	start    time.Time
+	events   []Event
+	spans    []SpanRec
+	counters map[string]int64
+	dists    map[string][]float64
+}
+
+// NewCollector returns an empty in-memory collector.
+func NewCollector() *Collector {
+	return &Collector{
+		start:    now(),
+		counters: map[string]int64{},
+		dists:    map[string][]float64{},
+	}
+}
+
+func (c *Collector) Enabled() bool { return true }
+
+type collectorSpan struct {
+	c     *Collector
+	name  string
+	attrs map[string]any
+	t0    time.Time
+}
+
+func (s *collectorSpan) End(attrs ...Attr) {
+	m := s.attrs
+	if len(attrs) > 0 {
+		if m == nil {
+			m = make(map[string]any, len(attrs))
+		}
+		for _, a := range attrs {
+			m[a.Key] = a.Value()
+		}
+	}
+	end := now()
+	s.c.mu.Lock()
+	s.c.spans = append(s.c.spans, SpanRec{
+		Name:  s.name,
+		Start: s.t0.Sub(s.c.start),
+		Dur:   end.Sub(s.t0),
+		Attrs: m,
+	})
+	s.c.mu.Unlock()
+}
+
+func (c *Collector) Span(name string, attrs ...Attr) Span {
+	return &collectorSpan{c: c, name: name, attrs: attrMap(attrs), t0: now()}
+}
+
+func (c *Collector) Event(name string, attrs ...Attr) {
+	e := Event{Name: name, Time: now().Sub(c.start), Attrs: attrMap(attrs)}
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+func (c *Collector) Count(name string, delta int64) {
+	c.mu.Lock()
+	c.counters[name] += delta
+	c.mu.Unlock()
+}
+
+func (c *Collector) Observe(name string, v float64) {
+	c.mu.Lock()
+	c.dists[name] = append(c.dists[name], v)
+	c.mu.Unlock()
+}
+
+// Events returns the collected events with the given name (all events
+// when name is empty), in emission order.
+func (c *Collector) Events(name string) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Event
+	for _, e := range c.events {
+		if name == "" || e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Spans returns the collected spans with the given name (all spans when
+// name is empty), in completion order.
+func (c *Collector) Spans(name string) []SpanRec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []SpanRec
+	for _, s := range c.spans {
+		if name == "" || s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Counter returns the current value of the named counter.
+func (c *Collector) Counter(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
+
+// CountEvents counts events with the given name for which match returns
+// true (match nil counts them all).
+func (c *Collector) CountEvents(name string, match func(Event) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.events {
+		if e.Name == name && (match == nil || match(e)) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Record is one JSONL trace line. T is the record type: "span", "event",
+// "count" or "observe". Ms is milliseconds since the tracer was created;
+// DurMs is the span duration; V carries the counter delta or the observed
+// sample.
+type Record struct {
+	T     string         `json:"t"`
+	Name  string         `json:"name"`
+	Ms    float64        `json:"ms"`
+	DurMs float64        `json:"dur_ms,omitempty"`
+	V     float64        `json:"v,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Str returns the named string attribute ("" when absent or non-string).
+func (r Record) Str(key string) string {
+	s, _ := r.Attrs[key].(string)
+	return s
+}
+
+// Num returns the named numeric attribute (0 when absent). JSON decoding
+// yields float64; records built in-process may hold int64.
+func (r Record) Num(key string) float64 {
+	switch v := r.Attrs[key].(type) {
+	case float64:
+		return v
+	case int64:
+		return float64(v)
+	default:
+		return 0
+	}
+}
+
+// JSONL writes one JSON object per line for every span, event, counter
+// increment and observation. It buffers internally; call Close (or Flush)
+// to drain. Safe for concurrent use.
+type JSONL struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	start time.Time
+	err   error
+}
+
+// NewJSONL returns a tracer writing JSONL records to w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{bw: bw, enc: json.NewEncoder(bw), start: now()}
+}
+
+func (j *JSONL) Enabled() bool { return true }
+
+func (j *JSONL) since() float64 { return float64(now().Sub(j.start)) / float64(time.Millisecond) }
+
+func (j *JSONL) emit(r Record) {
+	j.mu.Lock()
+	if err := j.enc.Encode(r); err != nil && j.err == nil {
+		j.err = err
+	}
+	j.mu.Unlock()
+}
+
+type jsonlSpan struct {
+	j     *JSONL
+	name  string
+	attrs map[string]any
+	t0    time.Time
+}
+
+func (s *jsonlSpan) End(attrs ...Attr) {
+	m := s.attrs
+	if len(attrs) > 0 {
+		if m == nil {
+			m = make(map[string]any, len(attrs))
+		}
+		for _, a := range attrs {
+			m[a.Key] = a.Value()
+		}
+	}
+	s.j.emit(Record{
+		T: "span", Name: s.name,
+		Ms:    float64(s.t0.Sub(s.j.start)) / float64(time.Millisecond),
+		DurMs: float64(now().Sub(s.t0)) / float64(time.Millisecond),
+		Attrs: m,
+	})
+}
+
+func (j *JSONL) Span(name string, attrs ...Attr) Span {
+	return &jsonlSpan{j: j, name: name, attrs: attrMap(attrs), t0: now()}
+}
+
+func (j *JSONL) Event(name string, attrs ...Attr) {
+	j.emit(Record{T: "event", Name: name, Ms: j.since(), Attrs: attrMap(attrs)})
+}
+
+func (j *JSONL) Count(name string, delta int64) {
+	j.emit(Record{T: "count", Name: name, Ms: j.since(), V: float64(delta)})
+}
+
+func (j *JSONL) Observe(name string, v float64) {
+	j.emit(Record{T: "observe", Name: name, Ms: j.since(), V: v})
+}
+
+// Flush drains the internal buffer and reports any write error so far.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.bw.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// Close flushes the writer (the underlying io.Writer is not closed).
+func (j *JSONL) Close() error { return j.Flush() }
+
+// ReadJSONL parses a JSONL trace back into records, for replay validation.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	var out []Record
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("obs: line %d: %w", len(out)+1, err)
+		}
+		out = append(out, rec)
+	}
+}

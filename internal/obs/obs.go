@@ -1,0 +1,210 @@
+// Package obs is the stdlib-only observability layer threaded through the
+// five-stage routing flow. It provides a Tracer interface with span, event,
+// counter and distribution primitives, three built-in sinks — Nop (the
+// zero-overhead default), a JSONL event writer, and an in-memory Collector
+// for tests and snapshots — and pprof-labeled stage spans so CPU profiles
+// attribute samples per pipeline stage.
+//
+// Emitters follow one discipline: every call site that constructs
+// attributes first checks Enabled(), so a routing run with no tracer
+// attached allocates no obs objects on the hot path:
+//
+//	if tr.Enabled() {
+//		tr.Event("net.route", obs.Int("net", ni), obs.String("stage", "sequential"))
+//	}
+//
+// All sinks are safe for concurrent use by multiple goroutines.
+package obs
+
+import "time"
+
+// Tracer receives spans, events, counters and distribution samples from
+// the routing flow. Implementations must be safe for concurrent use.
+type Tracer interface {
+	// Enabled reports whether the tracer records anything. Hot paths must
+	// check it before constructing attributes.
+	Enabled() bool
+	// Span opens a span; call End on the result to close it.
+	Span(name string, attrs ...Attr) Span
+	// Event records a point-in-time event.
+	Event(name string, attrs ...Attr)
+	// Count adds delta to the named monotonic counter.
+	Count(name string, delta int64)
+	// Observe records one sample of the named distribution.
+	Observe(name string, v float64)
+}
+
+// Span is an open interval of work; End closes it, attaching final attrs.
+type Span interface {
+	End(attrs ...Attr)
+}
+
+// Snapshotter is implemented by tracers that can summarize everything they
+// recorded (the Collector, and Multi when any child can).
+type Snapshotter interface {
+	Snapshot() *Snapshot
+}
+
+// attrKind discriminates the value stored in an Attr.
+type attrKind uint8
+
+const (
+	kindString attrKind = iota
+	kindInt
+	kindFloat
+	kindBool
+)
+
+// Attr is one key/value attribute attached to a span or event. The value
+// is stored unboxed so building attrs does not allocate per value.
+type Attr struct {
+	Key  string
+	kind attrKind
+	s    string
+	n    int64
+	f    float64
+}
+
+// String returns a string-valued attribute.
+func String(k, v string) Attr { return Attr{Key: k, kind: kindString, s: v} }
+
+// Int returns an integer-valued attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, kind: kindInt, n: int64(v)} }
+
+// Int64 returns an integer-valued attribute.
+func Int64(k string, v int64) Attr { return Attr{Key: k, kind: kindInt, n: v} }
+
+// Float returns a float-valued attribute.
+func Float(k string, v float64) Attr { return Attr{Key: k, kind: kindFloat, f: v} }
+
+// Bool returns a boolean-valued attribute.
+func Bool(k string, v bool) Attr {
+	a := Attr{Key: k, kind: kindBool}
+	if v {
+		a.n = 1
+	}
+	return a
+}
+
+// Value returns the attribute value boxed for generic consumption (JSON
+// encoding, map building).
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindString:
+		return a.s
+	case kindInt:
+		return a.n
+	case kindFloat:
+		return a.f
+	default:
+		return a.n != 0
+	}
+}
+
+// attrMap boxes an attribute list into a map (nil for an empty list).
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value()
+	}
+	return m
+}
+
+// nop is the zero-overhead default tracer.
+type nop struct{}
+
+type nopSpan struct{}
+
+func (nopSpan) End(...Attr) {}
+
+func (nop) Enabled() bool             { return false }
+func (nop) Span(string, ...Attr) Span { return nopSpan{} }
+func (nop) Event(string, ...Attr)     {}
+func (nop) Count(string, int64)       {}
+func (nop) Observe(string, float64)   {}
+
+// Nop returns the tracer that records nothing.
+func Nop() Tracer { return nop{} }
+
+// Or returns t, or the Nop tracer when t is nil. Pipeline entry points use
+// it so an unset Options.Tracer needs no nil checks downstream.
+func Or(t Tracer) Tracer {
+	if t == nil {
+		return Nop()
+	}
+	return t
+}
+
+// multi fans out to several sinks.
+type multi struct{ ts []Tracer }
+
+type multiSpan struct{ ss []Span }
+
+func (m multiSpan) End(attrs ...Attr) {
+	for _, s := range m.ss {
+		s.End(attrs...)
+	}
+}
+
+func (m *multi) Enabled() bool { return true }
+
+func (m *multi) Span(name string, attrs ...Attr) Span {
+	ss := make([]Span, len(m.ts))
+	for i, t := range m.ts {
+		ss[i] = t.Span(name, attrs...)
+	}
+	return multiSpan{ss}
+}
+
+func (m *multi) Event(name string, attrs ...Attr) {
+	for _, t := range m.ts {
+		t.Event(name, attrs...)
+	}
+}
+
+func (m *multi) Count(name string, delta int64) {
+	for _, t := range m.ts {
+		t.Count(name, delta)
+	}
+}
+
+func (m *multi) Observe(name string, v float64) {
+	for _, t := range m.ts {
+		t.Observe(name, v)
+	}
+}
+
+// Snapshot returns the first child snapshot available, or nil.
+func (m *multi) Snapshot() *Snapshot {
+	for _, t := range m.ts {
+		if s, ok := t.(Snapshotter); ok {
+			return s.Snapshot()
+		}
+	}
+	return nil
+}
+
+// Multi fans every record out to all enabled tracers in ts. Nil and
+// disabled tracers are dropped; with none left it returns Nop.
+func Multi(ts ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range ts {
+		if t != nil && t.Enabled() {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return Nop()
+	case 1:
+		return live[0]
+	default:
+		return &multi{live}
+	}
+}
+
+// now is the wall clock, a variable so tests can pin it.
+var now = time.Now

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNopZeroAlloc pins the acceptance requirement: with no tracer
+// attached (Nop), the emission discipline — guard with Enabled(), wrap
+// stages with Stage — performs zero allocations.
+func TestNopZeroAlloc(t *testing.T) {
+	tr := Or(nil)
+	if tr.Enabled() {
+		t.Fatal("Or(nil) must be disabled")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if tr.Enabled() {
+			tr.Event("net.route", Int("net", 1), String("stage", "sequential"))
+			tr.Observe("astar.expanded", 42)
+			tr.Count("astar.searches", 1)
+		}
+		end := Stage(tr, "sequential")
+		end()
+	})
+	if allocs != 0 {
+		t.Errorf("nop path allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestCollectorRecords(t *testing.T) {
+	c := NewCollector()
+	end := Stage(c, "graph")
+	c.Event("net.route", Int("net", 3), String("stage", "concurrent"), Bool("ok", true))
+	c.Count("astar.searches", 2)
+	c.Count("astar.searches", 3)
+	c.Observe("astar.expanded", 10)
+	c.Observe("astar.expanded", 30)
+	end(Int("tiles", 7))
+
+	evs := c.Events("net.route")
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1", len(evs))
+	}
+	if evs[0].Num("net") != 3 || evs[0].Str("stage") != "concurrent" {
+		t.Errorf("event attrs = %+v", evs[0].Attrs)
+	}
+	if got, _ := evs[0].Attrs["ok"].(bool); !got {
+		t.Errorf("bool attr lost: %+v", evs[0].Attrs)
+	}
+	spans := c.Spans("stage:graph")
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	if spans[0].Attrs["tiles"] != int64(7) {
+		t.Errorf("span end attrs = %+v", spans[0].Attrs)
+	}
+	if c.Counter("astar.searches") != 5 {
+		t.Errorf("counter = %d, want 5", c.Counter("astar.searches"))
+	}
+
+	s := c.Snapshot()
+	if s.Counters["astar.searches"] != 5 {
+		t.Errorf("snapshot counter = %d", s.Counters["astar.searches"])
+	}
+	d := s.Dists["astar.expanded"]
+	if d.Count != 2 || d.Min != 10 || d.Max != 30 || d.Mean != 20 {
+		t.Errorf("dist = %+v", d)
+	}
+	if len(s.Spans) != 1 || s.Spans[0].Name != "stage:graph" || s.Spans[0].Count != 1 {
+		t.Errorf("span stats = %+v", s.Spans)
+	}
+	var b bytes.Buffer
+	if err := s.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stage:graph", "astar.searches", "astar.expanded"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	sp := j.Span("stage:lp", String("design", "dense1"))
+	j.Event("lp.iter", Int("iter", 1), Float("objective", 123.5))
+	j.Count("lp.violations", 4)
+	j.Observe("astar.expanded", 99)
+	sp.End(Int("iterations", 2))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want 4", len(recs))
+	}
+	byType := map[string]Record{}
+	for _, r := range recs {
+		byType[r.T] = r
+	}
+	ev := byType["event"]
+	if ev.Name != "lp.iter" || ev.Num("iter") != 1 || ev.Num("objective") != 123.5 {
+		t.Errorf("event record = %+v", ev)
+	}
+	spr := byType["span"]
+	if spr.Name != "stage:lp" || spr.Str("design") != "dense1" || spr.Num("iterations") != 2 {
+		t.Errorf("span record = %+v", spr)
+	}
+	if byType["count"].V != 4 || byType["observe"].V != 99 {
+		t.Errorf("count/observe = %+v / %+v", byType["count"], byType["observe"])
+	}
+}
+
+func TestMulti(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	c := NewCollector()
+	tr := Multi(nil, Nop(), j, c)
+	if !tr.Enabled() {
+		t.Fatal("multi with live sinks must be enabled")
+	}
+	tr.Event("x", Int("a", 1))
+	tr.Span("s").End()
+	tr.Count("n", 2)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Events("x")); got != 1 {
+		t.Errorf("collector missed event: %d", got)
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil || len(recs) != 3 {
+		t.Errorf("jsonl records = %d (%v), want 3", len(recs), err)
+	}
+	snap, ok := tr.(Snapshotter)
+	if !ok {
+		t.Fatal("multi with a collector child must snapshot")
+	}
+	if s := snap.Snapshot(); s == nil || s.Counters["n"] != 2 {
+		t.Errorf("multi snapshot = %+v", snap.Snapshot())
+	}
+	if Multi(nil, Nop()).Enabled() {
+		t.Error("multi of disabled sinks must collapse to Nop")
+	}
+}
+
+// TestConcurrentSinks exercises every sink from many goroutines; run
+// under -race (scripts/verify.sh does) to prove the obs layer's
+// concurrency safety.
+func TestConcurrentSinks(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	c := NewCollector()
+	tr := Multi(j, c)
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Event("net.route", Int("net", w*per+i))
+				tr.Count("nets", 1)
+				tr.Observe("wl", float64(i))
+				tr.Span("probe").End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CountEvents("net.route", nil); got != workers*per {
+		t.Errorf("events = %d, want %d", got, workers*per)
+	}
+	if c.Counter("nets") != workers*per {
+		t.Errorf("counter = %d", c.Counter("nets"))
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != workers*per*4 {
+		t.Errorf("jsonl records = %d, want %d", len(recs), workers*per*4)
+	}
+}
+
+func TestStagePprofLabelRestored(t *testing.T) {
+	c := NewCollector()
+	end := Stage(c, "sequential", Int("jobs", 5))
+	end(Int("routed", 4))
+	spans := c.Spans("stage:sequential")
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Attrs["jobs"] != int64(5) || spans[0].Attrs["routed"] != int64(4) {
+		t.Errorf("stage span attrs = %+v", spans[0].Attrs)
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SpanStat aggregates all closed spans sharing one name.
+type SpanStat struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+}
+
+// Dist summarizes one observed distribution.
+type Dist struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+}
+
+// Snapshot is the aggregated metrics view of one routing run: counters,
+// span totals and distribution summaries. Route attaches it to Result
+// when the tracer can produce one; the CLIs render it as text or JSON.
+type Snapshot struct {
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Spans    []SpanStat       `json:"spans,omitempty"`
+	Dists    map[string]Dist  `json:"dists,omitempty"`
+	Events   int              `json:"events"`
+}
+
+// Snapshot aggregates everything the collector has seen so far.
+func (c *Collector) Snapshot() *Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &Snapshot{Events: len(c.events)}
+	if len(c.counters) > 0 {
+		s.Counters = make(map[string]int64, len(c.counters))
+		for k, v := range c.counters {
+			s.Counters[k] = v
+		}
+	}
+	byName := map[string]*SpanStat{}
+	for _, sp := range c.spans {
+		st := byName[sp.Name]
+		if st == nil {
+			st = &SpanStat{Name: sp.Name}
+			byName[sp.Name] = st
+		}
+		st.Count++
+		st.TotalMs += float64(sp.Dur.Nanoseconds()) / 1e6
+	}
+	for _, st := range byName {
+		s.Spans = append(s.Spans, *st)
+	}
+	sort.Slice(s.Spans, func(i, j int) bool { return s.Spans[i].Name < s.Spans[j].Name })
+	if len(c.dists) > 0 {
+		s.Dists = make(map[string]Dist, len(c.dists))
+		for k, samples := range c.dists {
+			s.Dists[k] = summarize(samples)
+		}
+	}
+	return s
+}
+
+func summarize(samples []float64) Dist {
+	d := Dist{Count: len(samples)}
+	if len(samples) == 0 {
+		return d
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	d.Min = sorted[0]
+	d.Max = sorted[len(sorted)-1]
+	for _, v := range sorted {
+		d.Sum += v
+	}
+	d.Mean = d.Sum / float64(len(sorted))
+	d.P50 = quantile(sorted, 0.50)
+	d.P95 = quantile(sorted, 0.95)
+	return d
+}
+
+// quantile returns the q-quantile of a sorted sample (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// WriteText renders the snapshot as an aligned plain-text report.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	if len(s.Spans) > 0 {
+		if _, err := fmt.Fprintf(w, "spans (%d events total)\n", s.Events); err != nil {
+			return err
+		}
+		for _, sp := range s.Spans {
+			if _, err := fmt.Fprintf(w, "  %-28s %6d× %10.2fms\n", sp.Name, sp.Count, sp.TotalMs); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Counters) > 0 {
+		if _, err := fmt.Fprintln(w, "counters"); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(s.Counters))
+		for k := range s.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "  %-28s %10d\n", k, s.Counters[k]); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Dists) > 0 {
+		if _, err := fmt.Fprintln(w, "distributions"); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(s.Dists))
+		for k := range s.Dists {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			d := s.Dists[k]
+			if _, err := fmt.Fprintf(w, "  %-28s n=%-6d mean=%-10.1f p50=%-10.1f p95=%-10.1f max=%.1f\n",
+				k, d.Count, d.Mean, d.P50, d.P95, d.Max); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// EndStage closes a stage opened by Stage.
+type EndStage func(attrs ...Attr)
+
+var endNop EndStage = func(...Attr) {}
+
+// Stage opens a span named "stage:<name>" and, while it is open, tags the
+// calling goroutine with a runtime/pprof label ("stage" → name) so CPU
+// profiles attribute samples per pipeline stage. Close it with the
+// returned func. Stage spans do not nest: ending one clears the label set
+// entirely, so callers open them strictly sequentially (the five-stage
+// flow is sequential by construction).
+//
+// With a disabled tracer Stage is a no-op that performs no allocation, so
+// wrapping every stage unconditionally is free in the default path.
+func Stage(tr Tracer, name string, attrs ...Attr) EndStage {
+	if tr == nil || !tr.Enabled() {
+		return endNop
+	}
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), pprof.Labels("stage", name)))
+	sp := tr.Span("stage:"+name, attrs...)
+	return func(end ...Attr) {
+		sp.End(end...)
+		pprof.SetGoroutineLabels(context.Background())
+	}
+}

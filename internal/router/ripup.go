@@ -6,6 +6,7 @@ import (
 	"rdlroute/internal/design"
 	"rdlroute/internal/lattice"
 	"rdlroute/internal/layout"
+	"rdlroute/internal/obs"
 )
 
 // ripUpReroute is an extension beyond the paper's flow: for each net that
@@ -15,7 +16,7 @@ import (
 // result is accepted only when strictly more nets end up routed, so the
 // stage never regresses. It returns the net count gained and the rebuilt
 // lattice in use afterwards.
-func ripUpReroute(d *design.Design, la *lattice.Lattice, lay *layout.Layout, opts Options, rounds int) (int, *lattice.Lattice) {
+func ripUpReroute(d *design.Design, la *lattice.Lattice, lay *layout.Layout, opts Options, rounds int, tr obs.Tracer) (int, *lattice.Lattice) {
 	gained := 0
 	for round := 0; round < rounds; round++ {
 		var unrouted []int
@@ -58,6 +59,7 @@ func ripUpReroute(d *design.Design, la *lattice.Lattice, lay *layout.Layout, opt
 			if err != nil {
 				continue
 			}
+			la2.SetTracer(tr)
 			if !routeOn(d, la2, cand, ni, opts) {
 				continue
 			}
@@ -69,6 +71,16 @@ func ripUpReroute(d *design.Design, la *lattice.Lattice, lay *layout.Layout, opt
 				*lay = *cand
 				la = la2
 				progress = true
+				if tr.Enabled() {
+					tr.Event("net.route",
+						obs.Int("net", ni),
+						obs.String("stage", "ripup"),
+						obs.String("mode", "ripup"),
+						obs.Int("round", round),
+						obs.String("outcome", "routed"),
+						obs.Int("victims", len(victims)))
+					tr.Count("ripup.recovered", 1)
+				}
 			}
 		}
 		if !progress {

@@ -17,6 +17,7 @@ import (
 	"rdlroute/internal/layout"
 	"rdlroute/internal/lpopt"
 	"rdlroute/internal/mpsc"
+	"rdlroute/internal/obs"
 )
 
 // Options tune the flow. The zero value is not usable; call
@@ -43,6 +44,12 @@ type Options struct {
 
 	// NetOrder selects the sequential-stage routing order.
 	NetOrder NetOrder
+
+	// Tracer, when non-nil, receives stage spans (tagged with pprof
+	// labels), per-net route events, counters and distribution samples
+	// from the whole flow. Nil means the zero-overhead Nop tracer: no obs
+	// object is allocated on the hot path.
+	Tracer obs.Tracer
 }
 
 // NetOrder is a sequential-stage net ordering strategy.
@@ -98,6 +105,11 @@ type Result struct {
 
 	TileCount int // tiles in the stage-3 routing graph
 	Runtime   time.Duration
+
+	// Obs is the aggregated metrics snapshot of this run, present when
+	// Options.Tracer can produce one (the in-memory Collector, or a Multi
+	// containing one); nil otherwise.
+	Obs *obs.Snapshot
 }
 
 // Route runs the full flow on the design.
@@ -113,28 +125,35 @@ func Route(d *design.Design, opts Options) (*Result, error) {
 		opts.GlobalCells = 30
 	}
 
+	tr := obs.Or(opts.Tracer)
 	la, err := lattice.New(d, opts.Pitch)
 	if err != nil {
 		return nil, err
 	}
+	la.SetTracer(tr)
 	lay := layout.New(d)
 	res := &Result{Layout: lay, TotalNets: len(d.Nets)}
 
 	// Stage 1: Preprocessing.
+	end := obs.Stage(tr, "preprocess", obs.String("design", d.Name))
 	analysis, err := fanout.Analyze(d, fanout.Config{
 		PeripheralDist: opts.PeripheralDist,
 		TrackPitch:     opts.Pitch,
 	})
+	end()
 	if err != nil {
 		return nil, err
 	}
 
 	// Stage 2: Weighted-MPSC-based concurrent routing.
 	if opts.EnableStage2 {
-		res.ConcurrentRouted = concurrentRoute(d, analysis, la, lay, opts)
+		end = obs.Stage(tr, "concurrent")
+		res.ConcurrentRouted = concurrentRoute(d, analysis, la, lay, opts, tr)
+		end(obs.Int("routed", res.ConcurrentRouted))
 	}
 
 	// Stage 3: Routing graph construction (octagonal tiles, via insertion).
+	end = obs.Stage(tr, "graph")
 	model := ctile.NewModel(d, opts.GlobalCells)
 	seedModel(model, lay)
 	var sites []ctile.ViaSite
@@ -144,34 +163,57 @@ func Route(d *design.Design, opts Options) (*Result, error) {
 	for l := 0; l < d.WireLayers; l++ {
 		res.TileCount += model.TileCount(l)
 	}
+	model.TraceStats(tr, sites)
+	end(obs.Int("tiles", res.TileCount), obs.Int("via_sites", len(sites)))
 
 	// Stage 4: Sequential A*-search routing on the tile graph.
-	sequentialRoute(d, model, sites, la, lay, opts, res)
+	end = obs.Stage(tr, "sequential")
+	sequentialRoute(d, model, sites, la, lay, opts, res, tr)
+	end(obs.Int("routed", res.SequentialRouted),
+		obs.Int("corridor", res.CorridorRouted),
+		obs.Int("fallback", res.FallbackRouted))
 
 	// Extension: rip-up and re-route for stubborn nets.
 	if opts.RipUpRounds > 0 {
-		res.RipUpRouted, _ = ripUpReroute(d, la, lay, opts, opts.RipUpRounds)
+		end = obs.Stage(tr, "ripup")
+		res.RipUpRouted, _ = ripUpReroute(d, la, lay, opts, opts.RipUpRounds, tr)
+		end(obs.Int("recovered", res.RipUpRouted))
 	}
 
 	// Stage 5: LP-based layout optimization.
 	res.WirelengthBeforeLP = lay.Wirelength()
 	if opts.EnableLP {
-		stats := lpopt.Optimize(lay, lpopt.Options{MaxIters: opts.LPMaxIters})
+		end = obs.Stage(tr, "lp")
+		stats := lpopt.Optimize(lay, lpopt.Options{MaxIters: opts.LPMaxIters, Tracer: tr})
 		res.LPIterations = stats.Iterations
 		res.LPComponents = stats.Components
+		end(obs.Int("iterations", stats.Iterations),
+			obs.Int("components", stats.Components))
 	}
 
 	res.RoutedNets = lay.RoutedCount()
 	res.Routability = lay.Routability()
 	res.Wirelength = lay.Wirelength()
 	res.Runtime = time.Since(start)
+	if tr.Enabled() {
+		tr.Count("router.nets_total", int64(res.TotalNets))
+		tr.Count("router.nets_routed", int64(res.RoutedNets))
+		tr.Event("route.done",
+			obs.String("design", d.Name),
+			obs.Float("routability", res.Routability),
+			obs.Float("wirelength", res.Wirelength),
+			obs.Float("runtime_ms", float64(res.Runtime.Nanoseconds())/1e6))
+		if s, ok := tr.(obs.Snapshotter); ok {
+			res.Obs = s.Snapshot()
+		}
+	}
 	return res, nil
 }
 
 // concurrentRoute performs per-layer weighted-MPSC layer assignment and
 // concurrent detailed routing in the fan-out region. It returns the number
 // of nets routed.
-func concurrentRoute(d *design.Design, a *fanout.Analysis, la *lattice.Lattice, lay *layout.Layout, opts Options) int {
+func concurrentRoute(d *design.Design, a *fanout.Analysis, la *lattice.Lattice, lay *layout.Layout, opts Options, tr obs.Tracer) int {
 	consumed := map[int]bool{}
 	routed := 0
 	weights := opts.Weights
@@ -188,7 +230,7 @@ func concurrentRoute(d *design.Design, a *fanout.Analysis, la *lattice.Lattice, 
 		if len(chords) == 0 {
 			break
 		}
-		picked, _ := mpsc.MaxPlanarSubset(a.CircleLen, chords)
+		picked, _ := mpsc.MaxPlanarSubsetTraced(a.CircleLen, chords, tr, obs.Int("layer", l))
 		// Route inner (short-span) chords first so nested nets claim the
 		// tracks nearest their pads.
 		sort.Slice(picked, func(i, j int) bool {
@@ -197,7 +239,7 @@ func concurrentRoute(d *design.Design, a *fanout.Analysis, la *lattice.Lattice, 
 		for _, pi := range picked {
 			ci := chords[pi].Tag
 			cand := a.Candidates[ci]
-			if tryConcurrentNet(d, la, lay, cand, l, opts) {
+			if tryConcurrentNet(d, la, lay, cand, l, opts, tr) {
 				consumed[ci] = true
 				routed++
 			}
@@ -219,7 +261,7 @@ func chordSpan(chords []mpsc.Chord, idx int) int {
 // tryConcurrentNet routes one MPSC-selected net on wire layer l: via
 // stacks at the pads when l > 0, then a single-layer wire through the
 // fan-out region (plus the net's own fan-in regions).
-func tryConcurrentNet(d *design.Design, la *lattice.Lattice, lay *layout.Layout, cand fanout.Candidate, l int, opts Options) bool {
+func tryConcurrentNet(d *design.Design, la *lattice.Lattice, lay *layout.Layout, cand fanout.Candidate, l int, opts Options, tr obs.Tracer) bool {
 	net := cand.Net
 	n := d.Nets[net]
 	p1 := d.IOPads[n.P1.Index]
@@ -250,11 +292,16 @@ func tryConcurrentNet(d *design.Design, la *lattice.Lattice, lay *layout.Layout,
 		}
 		return true // fan-out region
 	}
-	path, _, ok := la.Route(lattice.Request{
+	var st lattice.SearchStats
+	req := lattice.Request{
 		Net: net, From: p1.Center, To: p2.Center,
 		FromLayer: l, ToLayer: l,
 		LayerMask: mask, Region: region, ViaCost: opts.ViaCost,
-	})
+	}
+	if tr.Enabled() {
+		req.Stats = &st
+	}
+	path, _, ok := la.Route(req)
 	if !ok {
 		return false
 	}
@@ -267,7 +314,48 @@ func tryConcurrentNet(d *design.Design, la *lattice.Lattice, lay *layout.Layout,
 	la.Commit(path, net)
 	lay.AddPath(net, path)
 	lay.MarkRouted(net)
+	if tr.Enabled() {
+		emitNetEvent(tr, net, "concurrent", "layer", l, path, &st, true)
+	}
 	return true
+}
+
+// emitNetEvent publishes one per-net route event: the net, the stage that
+// completed (or gave up on) it, the routing mode ("corridor" when a tile
+// corridor constrained the search, "fallback" for unrestricted search,
+// "layer" for single-layer concurrent routing), the A* effort, and the
+// realized path's step count, octilinear length and via count. Callers
+// gate on tr.Enabled().
+func emitNetEvent(tr obs.Tracer, net int, stage, mode string, layer int, path []lattice.PathStep, st *lattice.SearchStats, ok bool) {
+	wl := 0.0
+	vias := 0
+	for k := 0; k+1 < len(path); k++ {
+		a, b := path[k], path[k+1]
+		if a.Layer == b.Layer {
+			wl += geom.OctDist(a.Pt, b.Pt)
+		} else {
+			vias++
+		}
+	}
+	outcome := "routed"
+	if !ok {
+		outcome = "failed"
+	}
+	tr.Event("net.route",
+		obs.Int("net", net),
+		obs.String("stage", stage),
+		obs.String("mode", mode),
+		obs.Int("layer", layer),
+		obs.String("outcome", outcome),
+		obs.Int("expanded", st.NodesExpanded),
+		obs.Int("visited", st.NodesVisited),
+		obs.Int("steps", len(path)),
+		obs.Int("vias", vias),
+		obs.Float("wl", wl))
+	if ok {
+		tr.Observe("net.wirelength", wl)
+		tr.Observe("net.vias", float64(vias))
+	}
 }
 
 // seedModel loads the committed layout geometry into the tile model.
@@ -283,7 +371,7 @@ func seedModel(m *ctile.Model, lay *layout.Layout) {
 
 // sequentialRoute completes the remaining nets with tile-graph corridors
 // realized on the lattice, falling back to unrestricted multi-layer search.
-func sequentialRoute(d *design.Design, model *ctile.Model, sites []ctile.ViaSite, la *lattice.Lattice, lay *layout.Layout, opts Options, res *Result) {
+func sequentialRoute(d *design.Design, model *ctile.Model, sites []ctile.ViaSite, la *lattice.Lattice, lay *layout.Layout, opts Options, res *Result, tr obs.Tracer) {
 	type job struct {
 		net     int
 		direct  float64
@@ -304,9 +392,10 @@ func sequentialRoute(d *design.Design, model *ctile.Model, sites []ctile.ViaSite
 		sort.Slice(jobs, func(i, j int) bool { return jobs[i].direct > jobs[j].direct })
 	case OrderCongested:
 		for i := range jobs {
-			for j := range jobs {
-				if i != j && jobs[i].bbox.Intersects(jobs[j].bbox) {
+			for j := i + 1; j < len(jobs); j++ {
+				if jobs[i].bbox.Intersects(jobs[j].bbox) {
 					jobs[i].overlap++
+					jobs[j].overlap++
 				}
 			}
 		}
@@ -319,6 +408,7 @@ func sequentialRoute(d *design.Design, model *ctile.Model, sites []ctile.ViaSite
 	if viaCost == 0 {
 		viaCost = 3 * float64(opts.Pitch)
 	}
+	traced := tr.Enabled()
 	for _, jb := range jobs {
 		nn := d.Nets[jb.net]
 		from, fromLayer := terminal(d, nn.P1)
@@ -326,27 +416,44 @@ func sequentialRoute(d *design.Design, model *ctile.Model, sites []ctile.ViaSite
 
 		var path []lattice.PathStep
 		var ok bool
+		var corSt, fbSt lattice.SearchStats
+		mode := "fallback"
 		corridor, cok := model.FindCorridor(from, fromLayer, to, toLayer, sites, viaCost)
 		if cok {
 			region := corridorRegion(d, model, corridor, opts.Pitch)
-			path, _, ok = la.Route(lattice.Request{
+			req := lattice.Request{
 				Net: jb.net, From: from, To: to,
 				FromLayer: fromLayer, ToLayer: toLayer,
 				Region: region, ViaCost: opts.ViaCost,
-			})
+			}
+			if traced {
+				req.Stats = &corSt
+			}
+			path, _, ok = la.Route(req)
 			if ok {
+				mode = "corridor"
 				res.CorridorRouted++
 			}
 		}
 		if !ok {
-			path, _, ok = la.Route(lattice.Request{
+			req := lattice.Request{
 				Net: jb.net, From: from, To: to,
 				FromLayer: fromLayer, ToLayer: toLayer,
 				ViaCost: opts.ViaCost,
-			})
+			}
+			if traced {
+				req.Stats = &fbSt
+			}
+			path, _, ok = la.Route(req)
 			if ok {
 				res.FallbackRouted++
 			}
+		}
+		if traced {
+			// Report the combined effort of both attempts.
+			corSt.NodesExpanded += fbSt.NodesExpanded
+			corSt.NodesVisited += fbSt.NodesVisited
+			emitNetEvent(tr, jb.net, "sequential", mode, fromLayer, path, &corSt, ok)
 		}
 		if !ok {
 			continue

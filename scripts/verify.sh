@@ -1,0 +1,16 @@
+#!/bin/sh
+# Full verification: build everything, vet, then the whole test suite
+# under the race detector (the obs sinks advertise concurrency safety;
+# -race holds them to it). Tier-1 CI is `go build ./... && go test ./...`;
+# this script is the stricter local gate. Pass extra go-test flags through,
+# e.g. `scripts/verify.sh -short`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./... =="
+go build ./...
+echo "== go vet ./... =="
+go vet ./...
+echo "== go test -race $* ./... =="
+go test -race "$@" ./...
+echo "== verify OK =="
