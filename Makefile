@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-short bench fmt
+.PHONY: build test verify verify-short bench bench-json fmt
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ verify-short:
 
 bench:
 	$(GO) run ./cmd/rdlbench -all -quick
+
+# Machine-readable perf baseline for the full Table-I sweep; compare the
+# committed BENCH_seed.json / BENCH_pr2.json per EXPERIMENTS.md.
+BENCH_JSON ?= BENCH_pr2.json
+bench-json:
+	$(GO) run ./cmd/rdlbench -table1 -json $(BENCH_JSON)
 
 fmt:
 	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)

@@ -35,6 +35,15 @@ func routerOptions() router.Options {
 	return o
 }
 
+// instrumentedOptions is routerOptions plus a fresh per-run Collector (in
+// front of the package tracer), so Result.Obs carries this run's stage
+// timings and A* effort rather than a cumulative stream.
+func instrumentedOptions() router.Options {
+	o := router.DefaultOptions()
+	o.Tracer = obs.Multi(obs.NewCollector(), Tracer)
+	return o
+}
+
 // baselineOptions is the baseline's DefaultOptions plus the package tracer.
 func baselineOptions() baseline.Options {
 	o := baseline.DefaultOptions()
@@ -63,7 +72,7 @@ func RunTable1(names []string) ([]Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		ours, err := router.Route(d, routerOptions())
+		ours, err := router.Route(d, instrumentedOptions())
 		if err != nil {
 			return nil, err
 		}

@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"strings"
 )
 
 // ReportSchema identifies the rdlbench JSON report format. Bump it when a
@@ -44,12 +45,21 @@ type Table1JSON struct {
 	LinWirelength  float64 `json:"lin_wirelength"`
 	LinSeconds     float64 `json:"lin_seconds"`
 	LinDRC         int     `json:"lin_drc_violations"`
+
+	// Per-stage wall-clock of our flow (keys: preprocess, concurrent,
+	// graph, sequential, ripup, lp) and aggregate A* effort, extracted
+	// from the run's obs snapshot. Present since PR 2; absent when the
+	// run carried no snapshotting tracer.
+	OursStageMs       map[string]float64 `json:"ours_stage_ms,omitempty"`
+	OursAstarSearches int64              `json:"ours_astar_searches,omitempty"`
+	OursAstarExpanded float64            `json:"ours_astar_expanded,omitempty"`
+	OursAstarVisited  float64            `json:"ours_astar_visited,omitempty"`
 }
 
 // JSON flattens the row for the report.
 func (r *Table1Row) JSON() Table1JSON {
 	s := r.Stats
-	return Table1JSON{
+	j := Table1JSON{
 		Circuit: s.Name, Chips: s.Chips, Q: s.Q, G: s.G, N: s.N,
 		WireLayers: s.WireLayers, ViaLayers: s.ViaLayers,
 		OursRoutability: r.Ours.Routability,
@@ -61,6 +71,18 @@ func (r *Table1Row) JSON() Table1JSON {
 		LinSeconds:      r.Lin.Runtime.Seconds(),
 		LinDRC:          r.LinDRC,
 	}
+	if o := r.Ours.Obs; o != nil {
+		j.OursStageMs = make(map[string]float64)
+		for _, sp := range o.Spans {
+			if name, ok := strings.CutPrefix(sp.Name, "stage:"); ok {
+				j.OursStageMs[name] += sp.TotalMs
+			}
+		}
+		j.OursAstarSearches = o.Counters["astar.searches"]
+		j.OursAstarExpanded = o.Dists["astar.expanded"].Sum
+		j.OursAstarVisited = o.Dists["astar.visited"].Sum
+	}
+	return j
 }
 
 // WriteJSON writes the report as indented JSON, stamping the schema.

@@ -73,10 +73,85 @@ func (m *Model) adjacent(a geom.Oct8, abb geom.Rect, b geom.Oct8, bbb geom.Rect)
 	return geom.Max64(in.XHi-in.XLo, in.YHi-in.YLo) >= m.minTouch()
 }
 
+// arc is one cached same-layer corridor adjacency: the neighbor tile and
+// the center-to-center octilinear move cost.
+type arc struct {
+	cell, idx int
+	cost      float64
+}
+
+// cellAdj caches the outgoing arcs of every tile in one cell. It is valid
+// while no cell in the ring (the cell plus its eight neighbors) has been
+// re-partitioned; ringGen records each ring cell's generation at build
+// time so validation is a handful of integer compares.
+type cellAdj struct {
+	ring    []int
+	ringGen []uint32
+	arcs    [][]arc
+}
+
+// cellArcs returns the per-tile arc lists for the cell, rebuilding the
+// cache when any ring cell was re-partitioned since the last build. This
+// turns corridor-graph expansion from O(ring tiles · adjacency test) per
+// A* pop into an amortized array walk: tile adjacency is geometric and
+// only changes when a committed net re-partitions a nearby cell.
+func (m *Model) cellArcs(layer, cell int) [][]arc {
+	if e := m.adj[layer][cell]; e != nil && m.arcsValid(layer, e) {
+		return e.arcs
+	}
+	e := m.buildArcs(layer, cell)
+	m.adj[layer][cell] = e
+	return e.arcs
+}
+
+func (m *Model) arcsValid(layer int, e *cellAdj) bool {
+	for k, rc := range e.ring {
+		m.Tiles(layer, rc) // force a rebuild so the generation is current
+		if m.gen[layer][rc] != e.ringGen[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Model) buildArcs(layer, cell int) *cellAdj {
+	tiles := m.Tiles(layer, cell)
+	bbs := m.TileBBs(layer, cell)
+	centers := m.TileCenters(layer, cell)
+	e := &cellAdj{ring: m.neighborCells(cell), arcs: make([][]arc, len(tiles))}
+	for i := range tiles {
+		// Ring order then index order, matching the seed's per-pop emit
+		// order so heap tie-breaking (and thus chosen corridors) is
+		// unchanged.
+		for _, rc := range e.ring {
+			rTiles := m.Tiles(layer, rc)
+			rBBs := m.TileBBs(layer, rc)
+			rCenters := m.TileCenters(layer, rc)
+			for i2 := range rTiles {
+				if rc == cell && i2 == i {
+					continue
+				}
+				if m.adjacent(tiles[i], bbs[i], rTiles[i2], rBBs[i2]) {
+					e.arcs[i] = append(e.arcs[i], arc{
+						cell: rc, idx: i2,
+						cost: geom.OctDist(centers[i], rCenters[i2]),
+					})
+				}
+			}
+		}
+	}
+	e.ringGen = make([]uint32, len(e.ring))
+	for k, rc := range e.ring {
+		e.ringGen[k] = m.gen[layer][rc]
+	}
+	return e
+}
+
 // snapshot freezes tile ids for one search.
 type snapshot struct {
 	m       *Model
-	offsets [][]int // [layer][cell] -> base id
+	offsets [][]int   // [layer][cell] -> base id
+	refs    []TileRef // id -> TileRef, precomputed so lookups are O(1)
 	total   int
 	sites   map[int][]ViaSite // by cell
 }
@@ -93,6 +168,15 @@ func (m *Model) snapshot(sites []ViaSite) *snapshot {
 		}
 	}
 	s.total = id
+	s.refs = make([]TileRef, id)
+	for l := 0; l < m.D.WireLayers; l++ {
+		for c := 0; c < m.CellsX*m.CellsY; c++ {
+			base := s.offsets[l][c]
+			for i := range m.Tiles(l, c) {
+				s.refs[base+i] = TileRef{Layer: l, Cell: c, Idx: i}
+			}
+		}
+	}
 	for _, v := range sites {
 		s.sites[v.Cell] = append(s.sites[v.Cell], v)
 	}
@@ -101,32 +185,7 @@ func (m *Model) snapshot(sites []ViaSite) *snapshot {
 
 func (s *snapshot) id(r TileRef) int { return s.offsets[r.Layer][r.Cell] + r.Idx }
 
-func (s *snapshot) ref(id int) TileRef {
-	// Binary search over layers then cells.
-	for l := 0; l < len(s.offsets); l++ {
-		cells := s.offsets[l]
-		var top int
-		if l+1 < len(s.offsets) {
-			top = s.offsets[l+1][0]
-		} else {
-			top = s.total
-		}
-		if id >= top {
-			continue
-		}
-		lo, hi := 0, len(cells)-1
-		for lo < hi {
-			mid := (lo + hi + 1) / 2
-			if cells[mid] <= id {
-				lo = mid
-			} else {
-				hi = mid - 1
-			}
-		}
-		return TileRef{Layer: l, Cell: lo, Idx: id - cells[lo]}
-	}
-	return TileRef{}
-}
+func (s *snapshot) ref(id int) TileRef { return s.refs[id] }
 
 // neighborCells returns cells within one ring of c plus c itself.
 func (m *Model) neighborCells(c int) []int {
@@ -184,41 +243,35 @@ func (m *Model) FindCorridor(from geom.Point, fromLayer int, to geom.Point, toLa
 	goalID := s.id(goalRef)
 
 	expand := func(u int, emit func(int, float64)) {
-		r := s.ref(u)
-		region := m.Region(r)
-		rbb := m.TileBBs(r.Layer, r.Cell)[r.Idx]
-		center := region.Center()
-		// Same-layer adjacencies.
-		for _, c := range m.neighborCells(r.Cell) {
-			tiles := m.Tiles(r.Layer, c)
-			bbs := m.TileBBs(r.Layer, c)
-			for i := range tiles {
-				if c == r.Cell && i == r.Idx {
-					continue
-				}
-				if m.adjacent(region, rbb, tiles[i], bbs[i]) {
-					emit(s.id(TileRef{r.Layer, c, i}), geom.OctDist(center, tiles[i].Center()))
-				}
-			}
+		r := s.refs[u]
+		// Same-layer adjacencies from the generation-validated cache; the
+		// arc order matches the per-pop scan it replaces, so heap
+		// tie-breaking (and the chosen corridor) is unchanged.
+		arcs := m.cellArcs(r.Layer, r.Cell)
+		for _, a := range arcs[r.Idx] {
+			emit(s.id(TileRef{r.Layer, a.cell, a.idx}), a.cost)
 		}
 		// Via moves at sites inside this tile.
-		for _, v := range s.sites[r.Cell] {
-			if !region.Contains(v.P) {
-				continue
-			}
-			for _, nl := range []int{r.Layer - 1, r.Layer + 1} {
-				if nl < v.L0 || nl > v.L1 || nl < 0 || nl >= m.D.WireLayers {
+		if vs := s.sites[r.Cell]; len(vs) > 0 {
+			region := m.Region(r)
+			for _, v := range vs {
+				if !region.Contains(v.P) {
 					continue
 				}
-				if nr, ok := m.TileAt(nl, v.P); ok {
-					emit(s.id(nr), viaCost)
+				for _, nl := range []int{r.Layer - 1, r.Layer + 1} {
+					if nl < v.L0 || nl > v.L1 || nl < 0 || nl >= m.D.WireLayers {
+						continue
+					}
+					if nr, ok := m.TileAt(nl, v.P); ok {
+						emit(s.id(nr), viaCost)
+					}
 				}
 			}
 		}
 	}
 	h := func(u int) float64 {
-		r := s.ref(u)
-		d := geom.OctDist(m.Region(r).Center(), to)
+		r := s.refs[u]
+		d := geom.OctDist(m.TileCenters(r.Layer, r.Cell)[r.Idx], to)
 		dl := r.Layer - toLayer
 		if dl < 0 {
 			dl = -dl

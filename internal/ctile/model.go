@@ -34,6 +34,15 @@ type Model struct {
 	tiles [][][]geom.Oct8
 	// tileBB mirrors tiles with cached bounding boxes for quick rejects.
 	tileBB [][][]geom.Rect
+	// centers mirrors tiles with cached tile centers (corridor arc costs
+	// and the corridor heuristic both need them on every A* pop).
+	centers [][][]geom.Point
+	// gen[layer][cell] counts re-partitions of the cell, validating adj.
+	gen [][]uint32
+	// adj[layer][cell] caches every tile's same-layer corridor arcs; see
+	// cellArcs. nil means never built; entries self-validate against the
+	// generation of each cell in their ring.
+	adj [][]*cellAdj
 	// minDim: tiles thinner than this in bounding box are dropped (too
 	// narrow for any wire).
 	minDim int64
@@ -58,10 +67,16 @@ func NewModel(d *design.Design, cells int) *Model {
 	m.blockers = make([][][]geom.Oct8, d.WireLayers)
 	m.tiles = make([][][]geom.Oct8, d.WireLayers)
 	m.tileBB = make([][][]geom.Rect, d.WireLayers)
+	m.centers = make([][][]geom.Point, d.WireLayers)
+	m.gen = make([][]uint32, d.WireLayers)
+	m.adj = make([][]*cellAdj, d.WireLayers)
 	for l := range m.blockers {
 		m.blockers[l] = make([][]geom.Oct8, n)
 		m.tiles[l] = make([][]geom.Oct8, n)
 		m.tileBB[l] = make([][]geom.Rect, n)
+		m.centers[l] = make([][]geom.Point, n)
+		m.gen[l] = make([]uint32, n)
+		m.adj[l] = make([]*cellAdj, n)
 	}
 	for _, o := range d.Obstacles {
 		m.addBlocker(o.Layer, geom.OctFromRect(o.Box).Grow(m.clear))
@@ -156,12 +171,23 @@ func (m *Model) Tiles(layer, cell int) []geom.Oct8 {
 		return t
 	}
 	t := m.buildCell(layer, cell)
+	if t == nil {
+		// Distinguish "built, empty" from "dirty": a nil result would be
+		// rebuilt on every call, bumping gen and invalidating the arc
+		// caches of the whole ring each time.
+		t = []geom.Oct8{}
+	}
 	m.tiles[layer][cell] = t
 	bb := make([]geom.Rect, len(t))
+	ct := make([]geom.Point, len(t))
 	for i := range t {
 		bb[i] = geom.Rect{X0: t[i].XLo, Y0: t[i].YLo, X1: t[i].XHi, Y1: t[i].YHi}
+		ct[i] = t[i].Center()
 	}
 	m.tileBB[layer][cell] = bb
+	m.centers[layer][cell] = ct
+	m.gen[layer][cell]++
+	m.adj[layer][cell] = nil
 	return t
 }
 
@@ -169,6 +195,12 @@ func (m *Model) Tiles(layer, cell int) []geom.Oct8 {
 func (m *Model) TileBBs(layer, cell int) []geom.Rect {
 	m.Tiles(layer, cell)
 	return m.tileBB[layer][cell]
+}
+
+// TileCenters returns the cached tile centers parallel to Tiles.
+func (m *Model) TileCenters(layer, cell int) []geom.Point {
+	m.Tiles(layer, cell)
+	return m.centers[layer][cell]
 }
 
 // buildCell performs frame partitioning then octagonal-tile subtraction

@@ -175,7 +175,11 @@ func checkSpacingAndCrossing(l *layout.Layout) []Violation {
 	var out []Violation
 	s := float64(l.D.Rules.Spacing)
 	perLayer := collectItems(l)
-	cell := 4 * (l.D.Rules.WireWidth + l.D.Rules.Spacing) * 4
+	// Cell edge: a few wire pitches, so a segment lands in O(length/cell)
+	// buckets while each bucket stays small. The seed multiplied the
+	// pitch by 4 twice, producing 16×-oversized cells whose buckets held
+	// most of a layer and degraded the check to near-quadratic pairing.
+	cell := 4 * (l.D.Rules.WireWidth + l.D.Rules.Spacing)
 	if cell <= 0 {
 		cell = 64
 	}

@@ -253,12 +253,43 @@ func (o Oct8) Center() Point {
 	if c.Contains(p) {
 		return p
 	}
-	// Fall back to a vertex.
+	// Exact contained-integer-point search. A column x holds an integer
+	// point iff ylo(x) = max(YLo, SLo−x, DLo+x) ≤ yhi(x) = min(YHi,
+	// SHi−x, DHi+x); expanding the nine pairwise combinations (the three
+	// x-free ones hold for any non-empty canonical region) shows the
+	// feasible columns are exactly the interval below. The earlier
+	// truncated-vertex fallback could return a point outside the region
+	// when a half-integer vertex was the only candidate.
+	xlo := Max64(Max64(c.XLo, c.YLo-c.DHi), Max64(c.SLo-c.YHi, ceilHalf(c.SLo-c.DHi)))
+	xhi := Min64(Min64(c.XHi, c.YHi-c.DLo), Min64(c.SHi-c.YLo, floorHalf(c.SHi-c.DLo)))
+	if xlo <= xhi {
+		x := clamp64((c.XLo+c.XHi)/2, xlo, xhi)
+		ylo := Max64(c.YLo, Max64(c.SLo-x, c.DLo+x))
+		yhi := Min64(c.YHi, Min64(c.SHi-x, c.DHi+x))
+		return Point{x, clamp64((c.YLo+c.YHi)/2, ylo, yhi)}
+	}
+	// No integer point exists (e.g. a sub-unit diagonal sliver); best
+	// effort for callers that only need a nearby anchor.
 	v := c.Vertices()
 	if len(v) > 0 {
 		return Point{int64(v[0].X), int64(v[0].Y)}
 	}
 	return Point{c.XLo, c.YLo}
+}
+
+// floorHalf and ceilHalf are floor(v/2) and ceil(v/2), exact for negative
+// v (Go's / truncates toward zero).
+func floorHalf(v int64) int64 { return v >> 1 }
+func ceilHalf(v int64) int64  { return (v + 1) >> 1 }
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 // Poly returns the region as a convex polygon for distance computations.

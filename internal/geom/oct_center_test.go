@@ -1,0 +1,86 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteIntegerPoint scans the bounding box for any contained integer
+// point. Only usable for small test regions.
+func bruteIntegerPoint(c Oct8) (Point, bool) {
+	for x := c.XLo; x <= c.XHi; x++ {
+		for y := c.YLo; y <= c.YHi; y++ {
+			if c.Contains(Pt(x, y)) {
+				return Pt(x, y), true
+			}
+		}
+	}
+	return Point{}, false
+}
+
+// TestCenterContainedProperty: whenever the region holds at least one
+// integer point, Center() must return one of them. The seed's fallback
+// truncated the first (possibly half-integer) vertex, which can land
+// outside the region.
+func TestCenterContainedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	span := func() (int64, int64) {
+		a := int64(rng.Intn(41)) - 20
+		b := a + int64(rng.Intn(12))
+		return a, b
+	}
+	checked := 0
+	for iter := 0; iter < 50000; iter++ {
+		var o Oct8
+		o.XLo, o.XHi = span()
+		o.YLo, o.YHi = span()
+		o.SLo, o.SHi = span()
+		o.DLo, o.DHi = span()
+		// Shift the diagonal bands near the box so intersections are
+		// common but not guaranteed.
+		o.SLo += o.XLo + o.YLo
+		o.SHi += o.XLo + o.YLo
+		o.DLo += o.YLo - o.XHi
+		o.DHi += o.YLo - o.XHi
+		c := o.Canonical()
+		if o.Empty() {
+			continue
+		}
+		if _, ok := bruteIntegerPoint(c); !ok {
+			continue
+		}
+		checked++
+		p := o.Center()
+		if !c.Contains(p) {
+			t.Fatalf("iter %d: Center() = %v outside %v", iter, p, c)
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("property exercised only %d times; generator too narrow", checked)
+	}
+}
+
+// TestCenterDegenerate pins down shapes where the bbox centroid and the
+// diagonal clamp both fail and the exact column search must take over.
+func TestCenterDegenerate(t *testing.T) {
+	cases := []Oct8{
+		// A diagonal segment y = x, single integer point per column.
+		{XLo: 0, XHi: 6, YLo: 0, YHi: 6, SLo: 0, SHi: 12, DLo: 0, DHi: 0},
+		// A one-point region.
+		{XLo: 3, XHi: 3, YLo: 4, YHi: 4, SLo: 7, SHi: 7, DLo: 1, DHi: 1},
+		// A thin anti-diagonal band.
+		{XLo: -5, XHi: 5, YLo: -5, YHi: 5, SLo: 1, SHi: 1, DLo: -10, DHi: 10},
+		// Sliver triangle with half-integer vertices: integer points only
+		// on x+y = 9.
+		{XLo: 0, XHi: 9, YLo: 0, YHi: 9, SLo: 9, SHi: 10, DLo: -9, DHi: 9},
+	}
+	for i, o := range cases {
+		c := o.Canonical()
+		if _, ok := bruteIntegerPoint(c); !ok {
+			t.Fatalf("case %d: test premise broken, no integer point in %v", i, c)
+		}
+		if p := o.Center(); !c.Contains(p) {
+			t.Errorf("case %d: Center() = %v outside %v", i, p, c)
+		}
+	}
+}

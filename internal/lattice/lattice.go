@@ -81,6 +81,11 @@ func New(d *design.Design, pitch int64) (*Lattice, error) {
 	}
 	nx := int((d.Outline.W())/pitch) + 1
 	ny := int((d.Outline.H())/pitch) + 1
+	if s := stateSpace(d.WireLayers, nx, ny); s > math.MaxInt32 {
+		return nil, fmt.Errorf(
+			"lattice: %d layers × %d×%d nodes needs %d search states, beyond the int32 id space (%d); use a coarser pitch",
+			d.WireLayers, nx, ny, s, math.MaxInt32)
+	}
 	la := &Lattice{
 		D: d, Pitch: pitch,
 		X0: d.Outline.X0, Y0: d.Outline.Y0,
@@ -133,6 +138,33 @@ func New(d *design.Design, pitch int64) (*Lattice, error) {
 		la.blockVia(v.Slab, v.Center, owner)
 	}
 	return la, nil
+}
+
+// stateSpace is the number of A* states the lattice would need: 9
+// directional states per node. stateID packs a state into an int32, so New
+// rejects lattices whose state space exceeds math.MaxInt32 — beyond that
+// the packing silently wraps and the search corrupts its buffers.
+func stateSpace(layers, nx, ny int) int64 {
+	return int64(layers) * int64(nx) * int64(ny) * 9
+}
+
+// Fingerprint hashes the occupancy state (wire and via ownership of every
+// node). Two lattices over the same design agree iff the same set of
+// commits was applied — markDisk is commutative (same-owner marks are
+// idempotent and conflicting marks collapse to hard regardless of order),
+// so commit order does not matter.
+func (la *Lattice) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(occ []int32) {
+		for _, v := range occ {
+			h ^= uint64(uint32(v))
+			h *= prime
+		}
+	}
+	mix(la.wireOcc)
+	mix(la.viaOcc)
+	return h
 }
 
 // blockVia blocks wire and via space around a pre-assigned via.

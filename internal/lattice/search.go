@@ -40,8 +40,14 @@ type Request struct {
 	// LayerMask, when non-nil, restricts which wire layers may carry wire;
 	// vias may only join two allowed layers.
 	LayerMask []bool
-	// Region, when non-nil, restricts wire nodes to Region(layer, pt).
-	// Terminal nodes are always allowed.
+	// RegionMask, when non-nil, restricts wire nodes to the rasterized
+	// region (one bit test per probe). Terminal nodes are always allowed.
+	// It takes precedence over Region.
+	RegionMask *RegionMask
+	// Region, when non-nil and RegionMask is nil, restricts wire nodes to
+	// Region(layer, pt). Terminal nodes are always allowed. This is the
+	// fallback path for callers with regions that are impractical to
+	// rasterize; per-net hot paths should build a RegionMask instead.
 	Region func(layer int, p geom.Point) bool
 	// ViaCost is the cost of one layer change (default 3·pitch).
 	ViaCost float64
@@ -63,6 +69,44 @@ type SearchStats struct {
 	NodesExpanded int
 	// NodesVisited counts state relaxations (frontier pushes).
 	NodesVisited int
+}
+
+// SearchWindow returns the inclusive node-index window that a Route call
+// with these terminals and cost budget can ever usefully expand. For a
+// node offset m beyond the terminals' bounding box on one axis, both the
+// path cost from the start and the octilinear heuristic to the goal are
+// ≥ m, so f ≥ 2m + axis-gap; the window is sized so that every outside
+// node has f > maxCost and would be discarded anyway. maxCost ≤ 0 means
+// the Route default (4·direct + 40·pitch). Callers that rasterize a
+// RegionMask use the same window so mask and search clipping agree.
+func (la *Lattice) SearchWindow(from, to geom.Point, maxCost float64) (i0, j0, i1, j1 int) {
+	if maxCost <= 0 {
+		maxCost = 4*geom.OctDist(from, to) + 40*float64(la.Pitch)
+	}
+	slack := func(gap int64) int64 {
+		s := (maxCost - float64(gap)) / 2
+		if s < 0 {
+			s = 0
+		}
+		return int64(s) + 2*la.Pitch // safety margin over the exact bound
+	}
+	dx := geom.Abs64(from.X - to.X)
+	dy := geom.Abs64(from.Y - to.Y)
+	mx, my := slack(dx), slack(dy)
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	i0 = clamp(int((geom.Min64(from.X, to.X)-mx-la.X0)/la.Pitch)-1, la.NX-1)
+	i1 = clamp(int((geom.Max64(from.X, to.X)+mx-la.X0)/la.Pitch)+1, la.NX-1)
+	j0 = clamp(int((geom.Min64(from.Y, to.Y)-my-la.Y0)/la.Pitch)-1, la.NY-1)
+	j1 = clamp(int((geom.Max64(from.Y, to.Y)+my-la.Y0)/la.Pitch)+1, la.NY-1)
+	return
 }
 
 // recordSearch publishes one search's effort to the caller and the
@@ -92,55 +136,57 @@ type searchState struct {
 	heap  pqueue
 }
 
-type pqueue struct {
-	pri []float64
-	id  []int32
+// pqEntry keeps priority and state id adjacent so each heap sift touches
+// one cache line per node instead of two parallel arrays.
+type pqEntry struct {
+	pri float64
+	id  int32
 }
 
-func (h *pqueue) reset() { h.pri = h.pri[:0]; h.id = h.id[:0] }
+type pqueue struct {
+	e []pqEntry
+}
+
+func (h *pqueue) reset() { h.e = h.e[:0] }
 
 func (h *pqueue) push(p float64, id int32) {
-	h.pri = append(h.pri, p)
-	h.id = append(h.id, id)
-	i := len(h.pri) - 1
+	h.e = append(h.e, pqEntry{p, id})
+	i := len(h.e) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.pri[parent] <= h.pri[i] {
+		if h.e[parent].pri <= h.e[i].pri {
 			break
 		}
-		h.pri[i], h.pri[parent] = h.pri[parent], h.pri[i]
-		h.id[i], h.id[parent] = h.id[parent], h.id[i]
+		h.e[i], h.e[parent] = h.e[parent], h.e[i]
 		i = parent
 	}
 }
 
 func (h *pqueue) pop() (float64, int32) {
-	p, id := h.pri[0], h.id[0]
-	n := len(h.pri) - 1
-	h.pri[0], h.id[0] = h.pri[n], h.id[n]
-	h.pri = h.pri[:n]
-	h.id = h.id[:n]
+	top := h.e[0]
+	n := len(h.e) - 1
+	h.e[0] = h.e[n]
+	h.e = h.e[:n]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		m := i
-		if l < n && h.pri[l] < h.pri[m] {
+		if l < n && h.e[l].pri < h.e[m].pri {
 			m = l
 		}
-		if r < n && h.pri[r] < h.pri[m] {
+		if r < n && h.e[r].pri < h.e[m].pri {
 			m = r
 		}
 		if m == i {
 			break
 		}
-		h.pri[i], h.pri[m] = h.pri[m], h.pri[i]
-		h.id[i], h.id[m] = h.id[m], h.id[i]
+		h.e[i], h.e[m] = h.e[m], h.e[i]
 		i = m
 	}
-	return p, id
+	return top.pri, top.id
 }
 
-func (h *pqueue) empty() bool { return len(h.pri) == 0 }
+func (h *pqueue) empty() bool { return len(h.e) == 0 }
 
 // stateID packs (layer, j, i, dir) into an int32.
 func (la *Lattice) stateID(l, i, j, dir int) int32 {
@@ -199,11 +245,21 @@ func (la *Lattice) Route(req Request) (path []PathStep, cost float64, ok bool) {
 		return (i == fi && j == fj) || (i == ti && j == tj)
 	}
 	regionOK := func(l, i, j int) bool {
+		if req.RegionMask != nil {
+			return req.RegionMask.Allowed(l, i, j) || isTerminal(i, j)
+		}
 		if req.Region == nil || isTerminal(i, j) {
 			return true
 		}
 		return req.Region(l, la.NodePoint(i, j))
 	}
+
+	// Search window: nodes outside it provably have f > MaxCost (each
+	// axis offset is a lower bound on both the cost so far and the
+	// remaining heuristic), so clipping expansion to it cannot change the
+	// search outcome — it only stops the frontier from flooding the whole
+	// lattice on hard or unroutable nets.
+	wi0, wj0, wi1, wj1 := la.SearchWindow(req.From, req.To, req.MaxCost)
 
 	wireOK := func(l, i, j int) bool {
 		if req.IgnoreForeign {
@@ -272,7 +328,7 @@ func (la *Lattice) Route(req Request) (path []PathStep, cost float64, ok bool) {
 				continue
 			}
 			ni, nj := i+mv.dx, j+mv.dy
-			if ni < 0 || nj < 0 || ni >= la.NX || nj >= la.NY {
+			if ni < wi0 || nj < wj0 || ni > wi1 || nj > wj1 {
 				continue
 			}
 			if !wireOK(l, ni, nj) || !regionOK(l, ni, nj) {
@@ -287,7 +343,15 @@ func (la *Lattice) Route(req Request) (path []PathStep, cost float64, ok bool) {
 				continue
 			}
 			nd2 := d + step
-			relax(ns, nd2, s, nd2+h(ni, nj, l))
+			pri := nd2 + h(ni, nj, l)
+			if pri > req.MaxCost {
+				// A consistent heuristic pops states in f order, so a
+				// state over budget can never precede the goal of a
+				// successful search; dropping it here instead of at pop
+				// time keeps the frontier small without changing results.
+				continue
+			}
+			relax(ns, nd2, s, pri)
 		}
 		// Via moves.
 		for _, dl := range []int{-1, 1} {
@@ -307,7 +371,11 @@ func (la *Lattice) Route(req Request) (path []PathStep, cost float64, ok bool) {
 				continue
 			}
 			nd2 := d + req.ViaCost
-			relax(ns, nd2, s, nd2+h(i, j, nl))
+			pri := nd2 + h(i, j, nl)
+			if pri > req.MaxCost {
+				continue
+			}
+			relax(ns, nd2, s, pri)
 		}
 	}
 	la.recordSearch(&req, expanded, visited, false)

@@ -214,6 +214,11 @@ func (l *Layout) Connected(net int) bool {
 		id[k] = v
 		return v
 	}
+	type layerSeg struct {
+		layer int
+		s     geom.Segment
+	}
+	var segs []layerSeg
 	for i := range l.Routes {
 		r := &l.Routes[i]
 		if r.Net != net {
@@ -221,6 +226,9 @@ func (l *Layout) Connected(net int) bool {
 		}
 		for j := 0; j+1 < len(r.Pts); j++ {
 			union(get(key{r.Layer, r.Pts[j]}), get(key{r.Layer, r.Pts[j+1]}))
+			if !r.Pts[j].Eq(r.Pts[j+1]) {
+				segs = append(segs, layerSeg{r.Layer, geom.Seg(r.Pts[j], r.Pts[j+1])})
+			}
 		}
 	}
 	for _, v := range l.Vias {
@@ -237,11 +245,24 @@ func (l *Layout) Connected(net int) bool {
 		return key{l.D.WireLayers - 1, l.D.BumpPads[r.Index].Center}
 	}
 	k1, k2 := padKey(n.P1), padKey(n.P2)
-	if _, ok := id[k1]; !ok {
-		return false
+	v1, v2 := get(k1), get(k2)
+	// T-junctions: a polyline (or via, or pad center) may land on the
+	// interior of another segment of the same net without sharing a
+	// vertex. Exact-coincidence unions alone would call such a net
+	// disconnected, so union every vertex with the segments it lies on.
+	verts := make([]key, 0, len(id))
+	for k := range id {
+		verts = append(verts, k)
 	}
-	if _, ok := id[k2]; !ok {
-		return false
+	for _, k := range verts {
+		for _, ls := range segs {
+			if ls.layer != k.layer || k.p.Eq(ls.s.A) || k.p.Eq(ls.s.B) {
+				continue
+			}
+			if ls.s.ContainsPoint(k.p) {
+				union(get(k), get(key{ls.layer, ls.s.A}))
+			}
+		}
 	}
-	return find(get(k1)) == find(get(k2))
+	return find(v1) == find(v2)
 }

@@ -98,6 +98,72 @@ func TestConnectivity(t *testing.T) {
 	}
 }
 
+func TestConnectedTJunction(t *testing.T) {
+	// A branch ending on the interior of another segment of the same net
+	// — no shared vertex — still connects (endpoint-on-segment union).
+	l := New(dsn())
+	// Trunk passes over the second pad's x at y=144; drop to it via a
+	// branch whose junction (240,144) is strictly inside the trunk run.
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 48)},
+		{Layer: 0, Pt: geom.Pt(48, 144)},
+		{Layer: 0, Pt: geom.Pt(480, 144)},
+	})
+	l.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(240, 144)}, // interior of the trunk's 48→480 run
+		{Layer: 0, Pt: geom.Pt(240, 48)},
+		{Layer: 0, Pt: geom.Pt(480, 48)},
+	})
+	if !l.Connected(0) {
+		t.Error("T-junction touch should connect the net")
+	}
+	// Same branch on a different layer must not connect.
+	l2 := New(dsn())
+	l2.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 48)},
+		{Layer: 0, Pt: geom.Pt(48, 144)},
+		{Layer: 0, Pt: geom.Pt(480, 144)},
+	})
+	l2.AddPath(0, []lattice.PathStep{
+		{Layer: 1, Pt: geom.Pt(240, 144)},
+		{Layer: 1, Pt: geom.Pt(240, 48)},
+		{Layer: 1, Pt: geom.Pt(480, 48)},
+	})
+	if l2.Connected(0) {
+		t.Error("touch on a different layer must not connect")
+	}
+	// A near miss (one unit off the segment) must not connect.
+	l3 := New(dsn())
+	l3.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 48)},
+		{Layer: 0, Pt: geom.Pt(48, 144)},
+		{Layer: 0, Pt: geom.Pt(480, 144)},
+	})
+	l3.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(240, 145)},
+		{Layer: 0, Pt: geom.Pt(240, 48)},
+		{Layer: 0, Pt: geom.Pt(480, 48)},
+	})
+	if l3.Connected(0) {
+		t.Error("a point one unit off the segment must not connect")
+	}
+	// A diagonal trunk with an on-segment touch also connects (exact
+	// collinearity, not bbox membership).
+	l4 := New(dsn())
+	l4.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 48)},
+		{Layer: 0, Pt: geom.Pt(288, 288)},
+	})
+	l4.AddPath(0, []lattice.PathStep{
+		{Layer: 0, Pt: geom.Pt(120, 120)}, // on the diagonal
+		{Layer: 0, Pt: geom.Pt(480, 120)},
+		{Layer: 0, Pt: geom.Pt(480, 48)},
+	})
+	if !l4.Connected(0) {
+		t.Error("diagonal T-junction touch should connect")
+	}
+}
+
 func TestConnectedRespectsPadLayer(t *testing.T) {
 	// A route that reaches the pad's x/y on the wrong layer does not count.
 	l := New(dsn())

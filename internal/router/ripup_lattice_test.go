@@ -1,0 +1,45 @@
+package router
+
+import (
+	"testing"
+
+	"rdlroute/internal/design"
+)
+
+// TestRipUpLatticeMatchesLayout is the regression test for the bug where
+// Route discarded the lattice ripUpReroute handed back: after an accepted
+// rip-up candidate the flow continued on a lattice still claiming space
+// for ripped-out routes. The lattice the flow ends on must describe
+// exactly the occupancy of the accepted layout — the same fingerprint as a
+// lattice rebuilt from that layout from scratch.
+func TestRipUpLatticeMatchesLayout(t *testing.T) {
+	// The known-recoverable single-layer instance from
+	// TestRipUpRecoversNets, so the rip-up path actually accepts a
+	// candidate. LP stays off: it moves layout geometry without updating
+	// the lattice, which is fine for the flow (the lattice is done by
+	// then) but would make this comparison vacuous.
+	d, err := design.Generate(design.GenSpec{
+		Name: "hunt", Chips: 3, IOPads: 43, BumpPads: 0, WireLayers: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.RipUpRounds = 2
+	opts.EnableLP = false
+	res, la, err := route(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RipUpRouted == 0 {
+		t.Fatal("rip-up recovered nothing; the regression is not exercised")
+	}
+	rebuilt, err := rebuildLattice(d, res.Layout, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := la.Fingerprint(), rebuilt.Fingerprint(); got != want {
+		t.Errorf("flow lattice fingerprint %#x != rebuilt-from-layout %#x: "+
+			"Route kept routing on a lattice that does not match the accepted layout", got, want)
+	}
+}

@@ -114,9 +114,18 @@ type Result struct {
 
 // Route runs the full flow on the design.
 func Route(d *design.Design, opts Options) (*Result, error) {
+	res, _, err := route(d, opts)
+	return res, err
+}
+
+// route is Route plus the lattice the flow ended on — after rip-up this is
+// the rebuilt lattice of the accepted layout, not the one the flow started
+// with. Exposed separately so tests can assert lattice occupancy matches
+// the returned layout.
+func route(d *design.Design, opts Options) (*Result, *lattice.Lattice, error) {
 	start := time.Now()
 	if err := d.Validate(); err != nil {
-		return nil, fmt.Errorf("router: %w", err)
+		return nil, nil, fmt.Errorf("router: %w", err)
 	}
 	if opts.Pitch == 0 {
 		opts.Pitch = design.Grid
@@ -128,7 +137,7 @@ func Route(d *design.Design, opts Options) (*Result, error) {
 	tr := obs.Or(opts.Tracer)
 	la, err := lattice.New(d, opts.Pitch)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	la.SetTracer(tr)
 	lay := layout.New(d)
@@ -142,7 +151,7 @@ func Route(d *design.Design, opts Options) (*Result, error) {
 	})
 	end()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Stage 2: Weighted-MPSC-based concurrent routing.
@@ -173,10 +182,13 @@ func Route(d *design.Design, opts Options) (*Result, error) {
 		obs.Int("corridor", res.CorridorRouted),
 		obs.Int("fallback", res.FallbackRouted))
 
-	// Extension: rip-up and re-route for stubborn nets.
+	// Extension: rip-up and re-route for stubborn nets. ripUpReroute hands
+	// back the lattice matching the accepted layout — when a candidate was
+	// accepted that is a rebuilt lattice, and dropping it here would leave
+	// `la` describing occupancy of routes the layout no longer contains.
 	if opts.RipUpRounds > 0 {
 		end = obs.Stage(tr, "ripup")
-		res.RipUpRouted, _ = ripUpReroute(d, la, lay, opts, opts.RipUpRounds, tr)
+		res.RipUpRouted, la = ripUpReroute(d, la, lay, opts, opts.RipUpRounds, tr)
 		end(obs.Int("recovered", res.RipUpRouted))
 	}
 
@@ -207,7 +219,7 @@ func Route(d *design.Design, opts Options) (*Result, error) {
 			res.Obs = s.Snapshot()
 		}
 	}
-	return res, nil
+	return res, la, nil
 }
 
 // concurrentRoute performs per-layer weighted-MPSC layer assignment and
@@ -273,30 +285,12 @@ func tryConcurrentNet(d *design.Design, la *lattice.Lattice, lay *layout.Layout,
 	}
 	mask := make([]bool, d.WireLayers)
 	mask[l] = true
-	chips := []geom.Rect{d.Chips[p1.Chip].Box, d.Chips[p2.Chip].Box}
-	region := func(_ int, p geom.Point) bool {
-		inOwn := false
-		for _, cb := range chips {
-			if cb.Contains(p) {
-				inOwn = true
-				break
-			}
-		}
-		if inOwn {
-			return true
-		}
-		for _, c := range d.Chips {
-			if c.Box.Contains(p) {
-				return false // a foreign fan-in region
-			}
-		}
-		return true // fan-out region
-	}
+	region := concurrentMask(d, la, p1, p2, l)
 	var st lattice.SearchStats
 	req := lattice.Request{
 		Net: net, From: p1.Center, To: p2.Center,
 		FromLayer: l, ToLayer: l,
-		LayerMask: mask, Region: region, ViaCost: opts.ViaCost,
+		LayerMask: mask, RegionMask: region, ViaCost: opts.ViaCost,
 	}
 	if tr.Enabled() {
 		req.Stats = &st
@@ -420,11 +414,11 @@ func sequentialRoute(d *design.Design, model *ctile.Model, sites []ctile.ViaSite
 		mode := "fallback"
 		corridor, cok := model.FindCorridor(from, fromLayer, to, toLayer, sites, viaCost)
 		if cok {
-			region := corridorRegion(d, model, corridor, opts.Pitch)
+			region := corridorMask(la, model, corridor, opts.Pitch)
 			req := lattice.Request{
 				Net: jb.net, From: from, To: to,
 				FromLayer: fromLayer, ToLayer: toLayer,
-				Region: region, ViaCost: opts.ViaCost,
+				RegionMask: region, ViaCost: opts.ViaCost,
 			}
 			if traced {
 				req.Stats = &corSt
@@ -487,23 +481,39 @@ func terminal(d *design.Design, r design.PadRef) (geom.Point, int) {
 	return d.BumpPads[r.Index].Center, d.WireLayers - 1
 }
 
-// corridorRegion converts a tile path into a per-layer region mask for the
-// lattice realization, grown so the wire centerline has room near tile
-// borders. The net's own chips are always allowed (escape under the pads).
-func corridorRegion(d *design.Design, model *ctile.Model, corridor []ctile.TileRef, pitch int64) func(int, geom.Point) bool {
-	perLayer := make([][]geom.Oct8, d.WireLayers)
+// corridorMask rasterizes a tile path into a per-layer lattice bitmap,
+// each tile grown so the wire centerline has room near tile borders.
+// Rasterizing once per net replaces the seed's per-probe closure that
+// linearly scanned every corridor octagon for every A* neighbor — the
+// sequential stage's hot path.
+func corridorMask(la *lattice.Lattice, model *ctile.Model, corridor []ctile.TileRef, pitch int64) *lattice.RegionMask {
+	m := la.NewRegionMask()
 	for _, ref := range corridor {
-		perLayer[ref.Layer] = append(perLayer[ref.Layer], model.Region(ref).Grow(3*pitch))
+		m.AllowOct(ref.Layer, model.Region(ref).Grow(3*pitch))
 	}
-	return func(layer int, p geom.Point) bool {
-		if layer < 0 || layer >= len(perLayer) {
-			return false
+	return m
+}
+
+// concurrentMask rasterizes the stage-2 region predicate — the fan-out
+// region plus the net's own chips, minus foreign fan-in regions — onto
+// the net's single assigned layer, bounded to the search window the
+// lattice will use for this net anyway.
+func concurrentMask(d *design.Design, la *lattice.Lattice, p1, p2 design.IOPad, l int) *lattice.RegionMask {
+	m := la.NewRegionMask()
+	i0, j0, i1, j1 := la.SearchWindow(p1.Center, p2.Center, 0)
+	m.AllowWindow(l, i0, j0, i1, j1)
+	for ci := range d.Chips {
+		if ci != p1.Chip && ci != p2.Chip {
+			m.ClearRect(l, d.Chips[ci].Box)
 		}
-		for _, o := range perLayer[layer] {
-			if o.Contains(p) {
-				return true
-			}
-		}
-		return false
 	}
+	// Re-allow the net's own chips in case a foreign clear overlapped
+	// them (chips never overlap today; this keeps the mask equivalent to
+	// the old closure, where own-chip membership won).
+	for _, ci := range []int{p1.Chip, p2.Chip} {
+		if ci >= 0 {
+			m.AllowRect(l, d.Chips[ci].Box)
+		}
+	}
+	return m
 }

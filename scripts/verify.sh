@@ -11,6 +11,13 @@ echo "== go build ./... =="
 go build ./...
 echo "== go vet ./... =="
 go vet ./...
+echo "== regression gate (lattice/router/geom) =="
+# Fast fail on the targeted regression tests before the full sweep: the
+# rip-up lattice threading, the int32 state-space bound, the Oct8.Center
+# containment property and the T-junction connectivity union.
+go test -race -run \
+  'TestRipUpLatticeMatchesLayout|TestNewRejectsStateSpaceBeyondInt32|TestStateSpaceNoOverflow|TestFingerprintCommitOrderIndependent|TestCenterContainedProperty|TestCenterDegenerate|TestConnectedTJunction' \
+  ./internal/lattice/ ./internal/router/ ./internal/geom/ ./internal/layout/
 echo "== go test -race $* ./... =="
 go test -race "$@" ./...
 echo "== verify OK =="
