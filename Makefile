@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-short bench bench-json fmt
+.PHONY: build test verify verify-short bench bench-json serve serve-smoke serve-bench fmt
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,19 @@ bench:
 BENCH_JSON ?= BENCH_pr2.json
 bench-json:
 	$(GO) run ./cmd/rdlbench -table1 -json $(BENCH_JSON)
+
+# Boot the HTTP routing service on :8080 (SIGINT/SIGTERM drain gracefully).
+serve:
+	$(GO) run ./cmd/rdlserver -addr :8080 -workers 4 -queue 8
+
+# CI smoke: boot on a random port, route dense1 over HTTP, assert DRC-clean.
+serve-smoke:
+	$(GO) run ./cmd/rdlserver -smoke
+
+# Serving throughput (jobs/min) at 1/2/4 workers on dense1..dense3; the
+# numbers feed the EXPERIMENTS.md serving-throughput note.
+serve-bench:
+	$(GO) run ./cmd/rdlserver -throughput 1,2,4 -circuits dense1,dense2,dense3 -jobs 4
 
 fmt:
 	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)

@@ -20,9 +20,11 @@
 package rdlroute
 
 import (
+	"context"
 	"io"
 
 	"rdlroute/internal/baseline"
+	"rdlroute/internal/codec"
 	"rdlroute/internal/congest"
 	"rdlroute/internal/design"
 	"rdlroute/internal/drc"
@@ -119,6 +121,16 @@ func DefaultOptions() Options { return router.DefaultOptions() }
 // Route runs the five-stage via-based RDL routing flow on the design.
 func Route(d *Design, opts Options) (*Result, error) { return router.Route(d, opts) }
 
+// RouteContext is Route with cancellation and deadline support: the A*
+// relax loops, the MPSC dynamic program and the LP pivot loops all poll
+// ctx, so a cancelled or deadlined run stops promptly and returns an error
+// wrapping context.Canceled or context.DeadlineExceeded. Aborted runs
+// leave no shared state behind; a subsequent Route on the same design is
+// unaffected.
+func RouteContext(ctx context.Context, d *Design, opts Options) (*Result, error) {
+	return router.RouteContext(ctx, d, opts)
+}
+
 // DefaultBaselineOptions returns the Lin-ext configuration used by the
 // benchmark harness.
 func DefaultBaselineOptions() BaselineOptions { return baseline.DefaultOptions() }
@@ -127,6 +139,12 @@ func DefaultBaselineOptions() BaselineOptions { return baseline.DefaultOptions()
 // routing extended with A* sequential routing; no flexible vias).
 func RouteLinExt(d *Design, opts BaselineOptions) (*BaselineResult, error) {
 	return baseline.Route(d, opts)
+}
+
+// RouteLinExtContext is RouteLinExt with cancellation and deadline
+// support, mirroring RouteContext.
+func RouteLinExtContext(ctx context.Context, d *Design, opts BaselineOptions) (*BaselineResult, error) {
+	return baseline.RouteContext(ctx, d, opts)
 }
 
 // Check runs the design-rule checker on a layout and returns every
@@ -159,6 +177,41 @@ func DefaultRenderOptions() RenderOptions { return viz.DefaultOptions() }
 func RenderSVG(w io.Writer, l *Layout, opts RenderOptions) error {
 	return viz.SVG(w, l, opts)
 }
+
+// CodecError is the typed decode failure of the JSON wire codec: recover
+// it with errors.As and inspect Kind (syntax, schema, validate) and Path
+// (the JSON path of the offending value, e.g. "nets[3].p1.index").
+type CodecError = codec.Error
+
+// JSON schema identifiers of the wire codec (version 1).
+const (
+	DesignSchemaV1  = codec.DesignSchema
+	OptionsSchemaV1 = codec.OptionsSchema
+	ResultSchemaV1  = codec.ResultSchema
+)
+
+// EncodeDesignJSON writes the design as an rdl-design/v1 JSON document.
+// Encoding the same design twice yields identical bytes.
+func EncodeDesignJSON(w io.Writer, d *Design) error { return codec.EncodeDesign(w, d) }
+
+// DecodeDesignJSON reads an rdl-design/v1 document and returns a
+// validated design; malformed payloads yield a *CodecError.
+func DecodeDesignJSON(r io.Reader) (*Design, error) { return codec.DecodeDesign(r) }
+
+// EncodeOptionsJSON writes the options as an rdl-options/v1 document.
+func EncodeOptionsJSON(w io.Writer, opts Options) error { return codec.EncodeOptions(w, opts) }
+
+// DecodeOptionsJSON reads an rdl-options/v1 document, overlaying it on
+// DefaultOptions (absent fields keep their defaults).
+func DecodeOptionsJSON(r io.Reader) (Options, error) { return codec.DecodeOptions(r) }
+
+// EncodeResultJSON writes the result (metrics plus full layout geometry)
+// as an rdl-result/v1 document.
+func EncodeResultJSON(w io.Writer, res *Result) error { return codec.EncodeResult(w, res) }
+
+// DecodeResultJSON reads an rdl-result/v1 document against the design it
+// was computed on (matched by name; every reference is range-checked).
+func DecodeResultJSON(r io.Reader, d *Design) (*Result, error) { return codec.DecodeResult(r, d) }
 
 // ParseDesign reads a design from the text netlist format.
 func ParseDesign(r io.Reader) (*Design, error) { return design.Parse(r) }

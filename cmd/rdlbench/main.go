@@ -42,6 +42,7 @@ func run() int {
 		gsize    = flag.Bool("graphsize", false, "compare tile-graph vs uniform-grid node counts")
 		all      = flag.Bool("all", false, "run everything")
 		quick    = flag.Bool("quick", false, "restrict circuit sweeps to dense1..dense3")
+		timeout  = flag.Duration("timeout", 0, `per-circuit routing deadline for the Table-I sweep; timed-out circuits are reported with status "timeout" (0 = none)`)
 		jsonOut  = flag.String("json", "", "also write every result as a JSON report to this file (see EXPERIMENTS.md)")
 		trace    = flag.String("trace", "", "write a JSONL trace of all routing runs to this file")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile (stage-labelled) to this file")
@@ -94,6 +95,7 @@ func run() int {
 		sinks = append(sinks, obs.NewCollector())
 	}
 	bench.Tracer = obs.Multi(sinks...)
+	bench.Timeout = *timeout
 
 	rep := &bench.Report{Circuits: names}
 	errCount := 0

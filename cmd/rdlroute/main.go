@@ -10,6 +10,8 @@
 //	rdlroute -bench dense1 -no-lp         # ablation: disable stage 5
 //	rdlroute -bench dense1 -trace t.jsonl -stats   # observability
 //	rdlroute -bench dense1 -cpuprofile cpu.pprof   # stage-labelled profile
+//	rdlroute -bench dense1 -export-design d.json   # write rdl-design/v1 JSON
+//	rdlroute -design d.json -o result.json         # JSON in, rdl-result/v1 out
 package main
 
 import (
@@ -31,19 +33,22 @@ func main() {
 // the process exit code, so no exit path skips them.
 func run() int {
 	var (
-		in     = flag.String("in", "", "input design file (text netlist)")
-		bench  = flag.String("bench", "", "generate a named benchmark (dense1..dense5) instead of reading a file")
-		flow   = flag.String("flow", "ours", `routing flow: "ours" or "linext"`)
-		check  = flag.Bool("check", false, "run the design-rule checker on the result")
-		noLP   = flag.Bool("no-lp", false, "disable LP-based layout optimization")
-		noW    = flag.Bool("no-weights", false, "disable Eq.(2) chord weights (unweighted MPSC)")
-		noVias = flag.Bool("no-via-insertion", false, "disable stage-3 via insertion")
-		cells  = flag.Int("cells", 30, "global cells per axis")
-		svg    = flag.String("svg", "", "write the routed layout as SVG to this file")
-		layer  = flag.Int("svg-layer", -1, "restrict the SVG to one wire layer (-1 = all)")
-		out    = flag.String("out", "", "write the routing result (text layout format) to this file")
-		heat   = flag.Bool("congest", false, "print per-layer congestion heatmaps")
-		ripup  = flag.Int("ripup", 0, "rip-up-and-reroute rounds (extension beyond the paper; 0 = off)")
+		in        = flag.String("in", "", "input design file (text netlist)")
+		designIn  = flag.String("design", "", "input design file (rdl-design/v1 JSON)")
+		designOut = flag.String("export-design", "", "write the loaded design as rdl-design/v1 JSON to this file before routing")
+		bench     = flag.String("bench", "", "generate a named benchmark (dense1..dense5) instead of reading a file")
+		flow      = flag.String("flow", "ours", `routing flow: "ours" or "linext"`)
+		check     = flag.Bool("check", false, "run the design-rule checker on the result")
+		noLP      = flag.Bool("no-lp", false, "disable LP-based layout optimization")
+		noW       = flag.Bool("no-weights", false, "disable Eq.(2) chord weights (unweighted MPSC)")
+		noVias    = flag.Bool("no-via-insertion", false, "disable stage-3 via insertion")
+		cells     = flag.Int("cells", 30, "global cells per axis")
+		svg       = flag.String("svg", "", "write the routed layout as SVG to this file")
+		layer     = flag.Int("svg-layer", -1, "restrict the SVG to one wire layer (-1 = all)")
+		out       = flag.String("out", "", "write the routing result (text layout format) to this file")
+		oJSON     = flag.String("o", "", `write the routing result (rdl-result/v1 JSON) to this file (flow "ours" only)`)
+		heat      = flag.Bool("congest", false, "print per-layer congestion heatmaps")
+		ripup     = flag.Int("ripup", 0, "rip-up-and-reroute rounds (extension beyond the paper; 0 = off)")
 
 		trace     = flag.String("trace", "", "write a JSONL trace (stage spans, per-net events) to this file")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile (stage-labelled) to this file")
@@ -69,12 +74,31 @@ func run() int {
 			d, err = rdlroute.ParseDesign(f)
 			f.Close()
 		}
+	case *designIn != "":
+		var f *os.File
+		if f, err = os.Open(*designIn); err == nil {
+			d, err = rdlroute.DecodeDesignJSON(f)
+			f.Close()
+		}
 	default:
-		fmt.Fprintln(os.Stderr, "rdlroute: need -in or -bench")
+		fmt.Fprintln(os.Stderr, "rdlroute: need -in, -design or -bench")
 		return 2
 	}
 	if err != nil {
 		return fail(err)
+	}
+
+	if *designOut != "" {
+		f, err := os.Create(*designOut)
+		if err != nil {
+			return fail(err)
+		}
+		if err := rdlroute.EncodeDesignJSON(f, d); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		f.Close()
+		fmt.Printf("design json %s\n", *designOut)
 	}
 
 	if *cpuprof != "" {
@@ -114,6 +138,7 @@ func run() int {
 
 	var lay *rdlroute.Layout
 	var snap *rdlroute.Snapshot
+	var routeRes *rdlroute.Result
 	switch *flow {
 	case "ours":
 		opts := rdlroute.DefaultOptions()
@@ -129,6 +154,7 @@ func run() int {
 		}
 		lay = res.Layout
 		snap = res.Obs
+		routeRes = res
 		fmt.Printf("design      %s\n", d.Name)
 		fmt.Printf("flow        ours (via-based, 5 stages)\n")
 		fmt.Printf("routability %.1f%% (%d/%d nets)\n", res.Routability, res.RoutedNets, res.TotalNets)
@@ -193,6 +219,22 @@ func run() int {
 		}
 		f.Close()
 		fmt.Printf("routes      %s\n", *out)
+	}
+
+	if *oJSON != "" {
+		if routeRes == nil {
+			return fail(fmt.Errorf(`-o needs flow "ours" (the baseline has no result document)`))
+		}
+		f, err := os.Create(*oJSON)
+		if err != nil {
+			return fail(err)
+		}
+		if err := rdlroute.EncodeResultJSON(f, routeRes); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		f.Close()
+		fmt.Printf("result      %s\n", *oJSON)
 	}
 
 	if *heat {

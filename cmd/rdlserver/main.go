@@ -1,0 +1,271 @@
+// Command rdlserver serves the five-stage routing flow over HTTP: a
+// bounded job queue in front of a fixed worker pool, with per-job
+// timeouts, 429 backpressure when the queue is full, idempotency keys and
+// graceful drain on SIGINT/SIGTERM.
+//
+// API (JSON everywhere; schemas are versioned, see README):
+//
+//	POST /v1/jobs             submit {"schema":"rdl-job/v1", "benchmark":"dense1"}
+//	                          or an inline rdl-design/v1 document; 202 + job id
+//	GET  /v1/jobs/{id}        job state; embeds the rdl-result/v1 doc when done
+//	POST /v1/jobs/{id}/cancel cancel a queued or running job
+//	GET  /v1/jobs/{id}/trace  the job's observability trace (JSONL)
+//	GET  /healthz             liveness + queue occupancy
+//	GET  /metrics             job counters + aggregated routing metrics
+//
+// Usage:
+//
+//	rdlserver -addr :8080 -workers 4 -queue 8 -job-timeout 5m
+//	rdlserver -smoke                  # self-test: boot, route dense1, DRC-check
+//	rdlserver -throughput 1,2,4       # jobs/min at several worker counts
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"rdlroute/internal/codec"
+	"rdlroute/internal/design"
+	"rdlroute/internal/drc"
+	"rdlroute/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 2, "worker pool size")
+		queue      = flag.Int("queue", 8, "job queue depth (excess submissions get 429)")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-job routing deadline (0 = none)")
+		drain      = flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
+		smoke      = flag.Bool("smoke", false, "self-test: boot on a random port, route dense1 over HTTP, DRC-check, exit")
+		throughput = flag.String("throughput", "", "comma-separated worker counts: measure jobs/min per count and exit")
+		circuits   = flag.String("circuits", "dense1,dense2,dense3", "benchmark circuits for -throughput")
+		jobs       = flag.Int("jobs", 4, "jobs per circuit for -throughput")
+	)
+	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "rdlserver:", err)
+		return 1
+	}
+
+	if *smoke {
+		if err := runSmoke(*workers, *queue); err != nil {
+			return fail(err)
+		}
+		fmt.Println("smoke: PASS")
+		return 0
+	}
+	if *throughput != "" {
+		if err := runThroughput(*throughput, *circuits, *jobs); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	s := serve.New(serve.Config{Workers: *workers, QueueDepth: *queue, JobTimeout: *jobTimeout})
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("rdlserver: listening on %s (workers %d, queue %d)\n", ln.Addr(), *workers, *queue)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fail(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("rdlserver: draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "rdlserver: drain incomplete:", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return fail(err)
+	}
+	fmt.Println("rdlserver: drained")
+	return 0
+}
+
+// boot starts a server on a random loopback port and returns its base
+// URL plus a shutdown function.
+func boot(workers, queue int) (string, *serve.Server, func() error, error) {
+	s := serve.New(serve.Config{Workers: workers, QueueDepth: queue})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			return err
+		}
+		return hs.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), s, stop, nil
+}
+
+type jobView struct {
+	ID     string          `json:"id"`
+	State  serve.JobState  `json:"state"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func submitBenchmark(base, name string) (jobView, error) {
+	var jv jobView
+	body := fmt.Sprintf(`{"schema":%q,"benchmark":%q}`, serve.JobSchema, name)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return jv, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return jv, fmt.Errorf("submit %s: HTTP %d", name, resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&jv)
+	return jv, err
+}
+
+func pollDone(base, id string, timeout time.Duration) (jobView, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return jobView{}, err
+		}
+		var jv jobView
+		err = json.NewDecoder(resp.Body).Decode(&jv)
+		resp.Body.Close()
+		if err != nil {
+			return jv, err
+		}
+		switch jv.State {
+		case serve.JobDone:
+			return jv, nil
+		case serve.JobFailed, serve.JobCancelled:
+			return jv, fmt.Errorf("job %s: %s (%s)", id, jv.State, jv.Error)
+		}
+		if time.Now().After(deadline) {
+			return jv, fmt.Errorf("job %s: stuck in %s", id, jv.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// runSmoke boots a real server, routes dense1 through the HTTP API and
+// asserts the decoded result is DRC-clean. verify.sh runs this in CI.
+func runSmoke(workers, queue int) error {
+	base, _, stop, err := boot(workers, queue)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	fmt.Printf("smoke: server at %s\n", base)
+
+	jv, err := submitBenchmark(base, "dense1")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("smoke: submitted %s\n", jv.ID)
+	if jv, err = pollDone(base, jv.ID, 5*time.Minute); err != nil {
+		return err
+	}
+	if jv.Result == nil {
+		return errors.New("smoke: done job carries no result document")
+	}
+	spec, err := design.DenseSpec("dense1")
+	if err != nil {
+		return err
+	}
+	d, err := design.Generate(spec)
+	if err != nil {
+		return err
+	}
+	res, err := codec.DecodeResult(bytes.NewReader(jv.Result), d)
+	if err != nil {
+		return err
+	}
+	if v := drc.Check(res.Layout); len(v) != 0 {
+		return fmt.Errorf("smoke: %d DRC violations; first: %v", len(v), v[0])
+	}
+	fmt.Printf("smoke: dense1 routability %.1f%% wirelength %.0f, DRC clean\n",
+		res.Routability, res.Wirelength)
+	if err := stop(); err != nil {
+		return fmt.Errorf("smoke: drain: %w", err)
+	}
+	return nil
+}
+
+// runThroughput measures jobs/min at each worker count: per circuit it
+// submits -jobs copies and waits for all of them, all through the HTTP
+// API (the EXPERIMENTS.md serving-throughput table).
+func runThroughput(workerList, circuitList string, jobsPer int) error {
+	var counts []int
+	for _, f := range strings.Split(workerList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad worker count %q", f)
+		}
+		counts = append(counts, n)
+	}
+	circuits := strings.Split(circuitList, ",")
+	fmt.Printf("%-8s %-28s %8s %10s\n", "workers", "circuits", "jobs", "jobs/min")
+	for _, w := range counts {
+		base, _, stop, err := boot(w, 2*jobsPer*len(circuits))
+		if err != nil {
+			return err
+		}
+		var ids []string
+		t0 := time.Now()
+		for _, c := range circuits {
+			for i := 0; i < jobsPer; i++ {
+				jv, err := submitBenchmark(base, strings.TrimSpace(c))
+				if err != nil {
+					stop()
+					return err
+				}
+				ids = append(ids, jv.ID)
+			}
+		}
+		for _, id := range ids {
+			if _, err := pollDone(base, id, 10*time.Minute); err != nil {
+				stop()
+				return err
+			}
+		}
+		dt := time.Since(t0)
+		if err := stop(); err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %-28s %8d %10.1f\n",
+			w, circuitList, len(ids), float64(len(ids))/dt.Minutes())
+	}
+	return nil
+}

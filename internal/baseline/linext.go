@@ -12,6 +12,8 @@
 package baseline
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sort"
 	"time"
@@ -55,6 +57,13 @@ type Result struct {
 
 // Route runs Lin-ext on the design.
 func Route(d *design.Design, opts Options) (*Result, error) {
+	return RouteContext(context.Background(), d, opts)
+}
+
+// RouteContext is Route with cancellation: the layer-assignment DP and
+// every per-net A* search poll ctx, and a fired deadline surfaces as an
+// error wrapping context.Canceled or context.DeadlineExceeded.
+func RouteContext(ctx context.Context, d *design.Design, opts Options) (*Result, error) {
 	start := time.Now()
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -111,21 +120,27 @@ func Route(d *design.Design, opts Options) (*Result, error) {
 	}
 
 	end := obs.Stage(tr, "linext-assign", obs.String("design", d.Name))
-	assigned := concentricAssign(d, tr)
+	assigned, err := concentricAssign(ctx, d, tr)
 	end()
+	if err != nil {
+		return nil, err
+	}
 
 	// Concurrent stage: route each layer's assignment, chip by chip.
 	end = obs.Stage(tr, "linext-concurrent")
 	routedSet := map[int]bool{}
 	for l := 0; l < d.WireLayers; l++ {
 		for _, ni := range assigned[l] {
+			if err := ctxWrap(ctx); err != nil {
+				return nil, err
+			}
 			if routedSet[ni] {
 				continue
 			}
 			if l > netReach(ni) {
 				continue // pad stacks do not reach this layer
 			}
-			if routeSingleLayer(d, la, lay, ni, l, opts, tr, "linext-concurrent") {
+			if routeSingleLayer(ctx, d, la, lay, ni, l, opts, tr, "linext-concurrent") {
 				routedSet[ni] = true
 				res.ConcurrentRouted++
 			}
@@ -147,8 +162,11 @@ func Route(d *design.Design, opts Options) (*Result, error) {
 		return di < dj
 	})
 	for _, ni := range rest {
+		if err := ctxWrap(ctx); err != nil {
+			return nil, err
+		}
 		for l := 0; l <= netReach(ni) && l < d.WireLayers; l++ {
-			if routeSingleLayer(d, la, lay, ni, l, opts, tr, "linext-sequential") {
+			if routeSingleLayer(ctx, d, la, lay, ni, l, opts, tr, "linext-sequential") {
 				routedSet[ni] = true
 				res.SequentialRouted++
 				break
@@ -174,6 +192,14 @@ func Route(d *design.Design, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// ctxWrap returns ctx's error wrapped for the baseline flow, or nil.
+func ctxWrap(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	return nil
+}
+
 func directLen(d *design.Design, ni int) float64 {
 	n := d.Nets[ni]
 	return geom.OctDist(d.PadCenter(n.P1), d.PadCenter(n.P2))
@@ -182,7 +208,7 @@ func directLen(d *design.Design, ni int) float64 {
 // routeSingleLayer routes a net entirely on one wire layer (its pads reach
 // the layer through their fixed stacks). Chip-to-board nets terminate on a
 // bump pad and therefore only route on the bottom layer.
-func routeSingleLayer(d *design.Design, la *lattice.Lattice, lay *layout.Layout, ni, l int, opts Options, tr obs.Tracer, stage string) bool {
+func routeSingleLayer(ctx context.Context, d *design.Design, la *lattice.Lattice, lay *layout.Layout, ni, l int, opts Options, tr obs.Tracer, stage string) bool {
 	n := d.Nets[ni]
 	if n.P1.Kind != design.IOKind {
 		return false
@@ -199,6 +225,7 @@ func routeSingleLayer(d *design.Design, la *lattice.Lattice, lay *layout.Layout,
 		Net: ni, From: from, To: to,
 		FromLayer: l, ToLayer: l,
 		LayerMask: mask, ViaCost: opts.ViaCost,
+		Ctx: ctx,
 	}
 	if tr.Enabled() {
 		req.Stats = &st
@@ -234,24 +261,27 @@ func routeSingleLayer(d *design.Design, la *lattice.Lattice, lay *layout.Layout,
 // planar subset of that chip's unassigned nets on a circular model ordered
 // by angle around the chip center (unweighted — Lin's model has no
 // congestion term).
-func concentricAssign(d *design.Design, tr obs.Tracer) [][]int {
+func concentricAssign(ctx context.Context, d *design.Design, tr obs.Tracer) ([][]int, error) {
 	assigned := make([][]int, d.WireLayers)
 	done := map[int]bool{}
 	for l := 0; l < d.WireLayers; l++ {
 		for chip := range d.Chips {
-			picked := planarAroundChip(d, chip, done, tr, l)
+			picked, err := planarAroundChip(ctx, d, chip, done, tr, l)
+			if err != nil {
+				return nil, err
+			}
 			for _, ni := range picked {
 				done[ni] = true
 				assigned[l] = append(assigned[l], ni)
 			}
 		}
 	}
-	return assigned
+	return assigned, nil
 }
 
 // planarAroundChip builds the chip's circular model and returns a maximum
 // planar subset of its incident unassigned nets.
-func planarAroundChip(d *design.Design, chip int, done map[int]bool, tr obs.Tracer, layer int) []int {
+func planarAroundChip(ctx context.Context, d *design.Design, chip int, done map[int]bool, tr obs.Tracer, layer int) ([]int, error) {
 	center := d.Chips[chip].Box.Center()
 	type ev struct {
 		net   int
@@ -278,7 +308,7 @@ func planarAroundChip(d *design.Design, chip int, done map[int]bool, tr obs.Trac
 		seq++
 	}
 	if len(evs) == 0 {
-		return nil
+		return nil, nil
 	}
 	sort.Slice(evs, func(i, j int) bool {
 		if evs[i].angle != evs[j].angle {
@@ -298,14 +328,17 @@ func planarAroundChip(d *design.Design, chip int, done map[int]bool, tr obs.Trac
 		chords = append(chords, mpsc.Chord{A: ps[0], B: ps[1], W: 1, Tag: net})
 	}
 	sort.Slice(chords, func(i, j int) bool { return chords[i].Tag < chords[j].Tag })
-	picked, _ := mpsc.MaxPlanarSubsetTraced(len(evs), chords, tr,
+	picked, _, err := mpsc.MaxPlanarSubsetTracedCtx(ctx, len(evs), chords, tr,
 		obs.Int("layer", layer), obs.Int("chip", chip))
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
 	var out []int
 	for _, ci := range picked {
 		out = append(out, chords[ci].Tag)
 	}
 	sort.Ints(out)
-	return out
+	return out, nil
 }
 
 func angleOf(p, q geom.Point) float64 {

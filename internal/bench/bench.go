@@ -9,9 +9,12 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"rdlroute/internal/baseline"
 	"rdlroute/internal/design"
@@ -27,6 +30,20 @@ import (
 // -cpuprofile flags; tests may point it at an obs.Collector. Runs execute
 // sequentially, so one shared sink sees a well-ordered stream.
 var Tracer obs.Tracer
+
+// Timeout, when positive, caps each routing run of the Table-I sweep (one
+// deadline per flow per circuit). A circuit whose run exceeds it is
+// recorded with Status "timeout" instead of aborting the whole sweep.
+// cmd/rdlbench sets it from its -timeout flag.
+var Timeout time.Duration
+
+// timeoutCtx returns the per-run context under the package Timeout.
+func timeoutCtx() (context.Context, context.CancelFunc) {
+	if Timeout > 0 {
+		return context.WithTimeout(context.Background(), Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
 
 // routerOptions is DefaultOptions plus the package tracer.
 func routerOptions() router.Options {
@@ -54,8 +71,11 @@ func baselineOptions() baseline.Options {
 // Table1Row is one circuit's comparison between Lin-ext and our flow.
 type Table1Row struct {
 	Stats design.Stats
-	Ours  *router.Result
-	Lin   *baseline.Result
+	// Status is "ok", or "timeout" when either flow exceeded the package
+	// Timeout (the timed-out flow's result pointer is nil).
+	Status string
+	Ours   *router.Result
+	Lin    *baseline.Result
 	// DRC violation counts (0 expected for both flows).
 	OursDRC, LinDRC int
 }
@@ -72,9 +92,18 @@ func RunTable1(names []string) ([]Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		ours, err := router.Route(d, instrumentedOptions())
-		if err != nil {
+		row := Table1Row{Stats: d.Stats(), Status: "ok"}
+		ctx, cancel := timeoutCtx()
+		ours, err := router.RouteContext(ctx, d, instrumentedOptions())
+		cancel()
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			row.Status = "timeout"
+		case err != nil:
 			return nil, err
+		default:
+			row.Ours = ours
+			row.OursDRC = len(drc.Check(ours.Layout))
 		}
 		// The two flows mutate independent lattices; regenerate for a
 		// clean slate (pads/nets identical by determinism).
@@ -82,17 +111,19 @@ func RunTable1(names []string) ([]Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		lin, err := baseline.Route(d2, baselineOptions())
-		if err != nil {
+		ctx, cancel = timeoutCtx()
+		lin, err := baseline.RouteContext(ctx, d2, baselineOptions())
+		cancel()
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			row.Status = "timeout"
+		case err != nil:
 			return nil, err
+		default:
+			row.Lin = lin
+			row.LinDRC = len(drc.Check(lin.Layout))
 		}
-		rows = append(rows, Table1Row{
-			Stats:   d.Stats(),
-			Ours:    ours,
-			Lin:     lin,
-			OursDRC: len(drc.Check(ours.Layout)),
-			LinDRC:  len(drc.Check(lin.Layout)),
-		})
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -104,8 +135,15 @@ func FormatTable1(rows []Table1Row) string {
 		"Circuit", "#Chips", "|Q|", "|G|", "|N|", "|Lw|", "|Lv|",
 		"Lin-ext R", "Ours R", "Lin-ext WL", "Ours WL", "Lin-ext t", "Ours t")
 	var rLin, rOurs, tRatio float64
+	var full int
 	for _, r := range rows {
 		s := r.Stats
+		if r.Ours == nil || r.Lin == nil {
+			fmt.Fprintf(&b, "%-8s %6d %5d %5d %5d %5d %5d | %s\n",
+				s.Name, s.Chips, s.Q, s.G, s.N, s.WireLayers, s.ViaLayers,
+				"timeout")
+			continue
+		}
 		fmt.Fprintf(&b, "%-8s %6d %5d %5d %5d %5d %5d | %8.1f%% %8.1f%% | %10.0f %10.0f | %8.2fs %8.2fs\n",
 			s.Name, s.Chips, s.Q, s.G, s.N, s.WireLayers, s.ViaLayers,
 			r.Lin.Routability, r.Ours.Routability,
@@ -116,8 +154,9 @@ func FormatTable1(rows []Table1Row) string {
 		if r.Ours.Runtime > 0 {
 			tRatio += r.Lin.Runtime.Seconds() / r.Ours.Runtime.Seconds()
 		}
+		full++
 	}
-	n := float64(len(rows))
+	n := float64(full)
 	if n > 0 {
 		fmt.Fprintf(&b, "%-8s %45s | %9.3f %9.3f | %21s | %9.3f %9.3f\n",
 			"Comp.", "", rLin/n/(rOurs/n), 1.0, "", tRatio/n, 1.0)

@@ -3,6 +3,7 @@ package bench
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunTable1Dense1(t *testing.T) {
@@ -134,5 +135,28 @@ func TestRunGraphSize(t *testing.T) {
 	// The tile model's point: far fewer nodes than a uniform fine grid.
 	if r.Ratio >= 0.5 {
 		t.Errorf("tile graph not compact: ratio %.3f", r.Ratio)
+	}
+}
+
+func TestRunTable1Timeout(t *testing.T) {
+	Timeout = time.Millisecond
+	defer func() { Timeout = 0 }()
+	rows, err := RunTable1([]string{"dense1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("timed-out circuit was dropped: rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Status != "timeout" || r.Ours != nil || r.Lin != nil {
+		t.Fatalf("row = %+v, want status timeout with nil results", r)
+	}
+	j := r.JSON()
+	if j.Status != "timeout" || j.Circuit != "dense1" {
+		t.Fatalf("json row = %+v", j)
+	}
+	if out := FormatTable1(rows); !strings.Contains(out, "timeout") {
+		t.Fatalf("formatted table lacks timeout marker:\n%s", out)
 	}
 }

@@ -36,6 +36,10 @@ type Table1JSON struct {
 	WireLayers int    `json:"wire_layers"`
 	ViaLayers  int    `json:"via_layers"`
 
+	// Status is "ok", or "timeout" when a flow exceeded the -timeout
+	// budget; a timed-out flow's metrics are zero.
+	Status string `json:"status"`
+
 	OursRoutability float64 `json:"ours_routability"`
 	OursWirelength  float64 `json:"ours_wirelength"`
 	OursSeconds     float64 `json:"ours_seconds"`
@@ -62,14 +66,25 @@ func (r *Table1Row) JSON() Table1JSON {
 	j := Table1JSON{
 		Circuit: s.Name, Chips: s.Chips, Q: s.Q, G: s.G, N: s.N,
 		WireLayers: s.WireLayers, ViaLayers: s.ViaLayers,
-		OursRoutability: r.Ours.Routability,
-		OursWirelength:  r.Ours.Wirelength,
-		OursSeconds:     r.Ours.Runtime.Seconds(),
-		OursDRC:         r.OursDRC,
-		LinRoutability:  r.Lin.Routability,
-		LinWirelength:   r.Lin.Wirelength,
-		LinSeconds:      r.Lin.Runtime.Seconds(),
-		LinDRC:          r.LinDRC,
+		Status: r.Status,
+	}
+	if j.Status == "" {
+		j.Status = "ok"
+	}
+	if r.Ours != nil {
+		j.OursRoutability = r.Ours.Routability
+		j.OursWirelength = r.Ours.Wirelength
+		j.OursSeconds = r.Ours.Runtime.Seconds()
+		j.OursDRC = r.OursDRC
+	}
+	if r.Lin != nil {
+		j.LinRoutability = r.Lin.Routability
+		j.LinWirelength = r.Lin.Wirelength
+		j.LinSeconds = r.Lin.Runtime.Seconds()
+		j.LinDRC = r.LinDRC
+	}
+	if r.Ours == nil {
+		return j
 	}
 	if o := r.Ours.Obs; o != nil {
 		j.OursStageMs = make(map[string]float64)

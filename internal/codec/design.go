@@ -1,0 +1,189 @@
+package codec
+
+import (
+	"fmt"
+	"io"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+)
+
+// Wire representation of a design. Points are [x, y] pairs and rectangles
+// [x0, y0, x1, y1], all in database units (the lattice pitch divides the
+// generator's grid; see design.Grid).
+type designDoc struct {
+	Schema     string        `json:"schema"`
+	Name       string        `json:"name"`
+	Outline    [4]int64      `json:"outline"`
+	WireLayers int           `json:"wire_layers"`
+	Rules      rulesDoc      `json:"rules"`
+	Chips      []chipDoc     `json:"chips,omitempty"`
+	IOPads     []ioPadDoc    `json:"io_pads,omitempty"`
+	BumpPads   []bumpPadDoc  `json:"bump_pads,omitempty"`
+	Nets       []netDoc      `json:"nets,omitempty"`
+	Obstacles  []obstacleDoc `json:"obstacles,omitempty"`
+	FixedVias  []fixedViaDoc `json:"fixed_vias,omitempty"`
+}
+
+type rulesDoc struct {
+	Spacing   int64 `json:"spacing"`
+	WireWidth int64 `json:"wire_width"`
+	ViaWidth  int64 `json:"via_width"`
+}
+
+type chipDoc struct {
+	Name string   `json:"name"`
+	Box  [4]int64 `json:"box"`
+}
+
+type ioPadDoc struct {
+	ID     int      `json:"id"`
+	Chip   int      `json:"chip"`
+	Center [2]int64 `json:"center"`
+	HalfW  int64    `json:"half_w"`
+}
+
+type bumpPadDoc struct {
+	ID     int      `json:"id"`
+	Center [2]int64 `json:"center"`
+	W      int64    `json:"w"`
+}
+
+type padRefDoc struct {
+	Kind  string `json:"kind"` // "io" | "bump"
+	Index int    `json:"index"`
+}
+
+type netDoc struct {
+	ID int       `json:"id"`
+	P1 padRefDoc `json:"p1"`
+	P2 padRefDoc `json:"p2"`
+}
+
+type obstacleDoc struct {
+	Layer int      `json:"layer"`
+	Box   [4]int64 `json:"box"`
+}
+
+type fixedViaDoc struct {
+	Net    int      `json:"net"`
+	Center [2]int64 `json:"center"`
+	Slab   int      `json:"slab"`
+}
+
+func rectDoc(r geom.Rect) [4]int64     { return [4]int64{r.X0, r.Y0, r.X1, r.Y1} }
+func docRect(a [4]int64) geom.Rect     { return geom.Rect{X0: a[0], Y0: a[1], X1: a[2], Y1: a[3]} }
+func pointDoc(p geom.Point) [2]int64   { return [2]int64{p.X, p.Y} }
+func docPoint(a [2]int64) geom.Point   { return geom.Point{X: a[0], Y: a[1]} }
+func refDoc(r design.PadRef) padRefDoc { return padRefDoc{Kind: r.Kind.String(), Index: r.Index} }
+
+// EncodeDesign writes d as an rdl-design/v1 JSON document. Encoding the
+// same design twice produces identical bytes.
+func EncodeDesign(w io.Writer, d *design.Design) error {
+	doc := designDoc{
+		Schema:     DesignSchema,
+		Name:       d.Name,
+		Outline:    rectDoc(d.Outline),
+		WireLayers: d.WireLayers,
+		Rules: rulesDoc{
+			Spacing:   d.Rules.Spacing,
+			WireWidth: d.Rules.WireWidth,
+			ViaWidth:  d.Rules.ViaWidth,
+		},
+	}
+	for _, c := range d.Chips {
+		doc.Chips = append(doc.Chips, chipDoc{Name: c.Name, Box: rectDoc(c.Box)})
+	}
+	for _, p := range d.IOPads {
+		doc.IOPads = append(doc.IOPads, ioPadDoc{
+			ID: p.ID, Chip: p.Chip, Center: pointDoc(p.Center), HalfW: p.HalfW,
+		})
+	}
+	for _, p := range d.BumpPads {
+		doc.BumpPads = append(doc.BumpPads, bumpPadDoc{ID: p.ID, Center: pointDoc(p.Center), W: p.W})
+	}
+	for _, n := range d.Nets {
+		doc.Nets = append(doc.Nets, netDoc{ID: n.ID, P1: refDoc(n.P1), P2: refDoc(n.P2)})
+	}
+	for _, o := range d.Obstacles {
+		doc.Obstacles = append(doc.Obstacles, obstacleDoc{Layer: o.Layer, Box: rectDoc(o.Box)})
+	}
+	for _, v := range d.FixedVias {
+		doc.FixedVias = append(doc.FixedVias, fixedViaDoc{Net: v.Net, Center: pointDoc(v.Center), Slab: v.Slab})
+	}
+	return writeDoc(w, DesignSchema, doc)
+}
+
+// decodeRef converts a wire pad reference, checking the kind string and
+// that the index lands inside the referenced pad table.
+func decodeRef(r padRefDoc, path string, nIO, nBump int) (design.PadRef, error) {
+	var kind design.PadKind
+	var limit int
+	switch r.Kind {
+	case "io":
+		kind, limit = design.IOKind, nIO
+	case "bump":
+		kind, limit = design.BumpKind, nBump
+	default:
+		return design.PadRef{}, invalidf(DesignSchema, path+".kind",
+			"pad kind %q (want \"io\" or \"bump\")", r.Kind)
+	}
+	if r.Index < 0 || r.Index >= limit {
+		return design.PadRef{}, invalidf(DesignSchema, path+".index",
+			"%s pad index %d out of range [0,%d)", r.Kind, r.Index, limit)
+	}
+	return design.PadRef{Kind: kind, Index: r.Index}, nil
+}
+
+// DecodeDesign reads an rdl-design/v1 document and returns a validated
+// design. Malformed payloads yield a *Error (syntax, schema or validate
+// kind) with the JSON path of the offending value.
+func DecodeDesign(r io.Reader) (*design.Design, error) {
+	var doc designDoc
+	if err := decodeDoc(r, DesignSchema, &doc); err != nil {
+		return nil, err
+	}
+	d := &design.Design{
+		Name:       doc.Name,
+		Outline:    docRect(doc.Outline),
+		WireLayers: doc.WireLayers,
+		Rules: design.Rules{
+			Spacing:   doc.Rules.Spacing,
+			WireWidth: doc.Rules.WireWidth,
+			ViaWidth:  doc.Rules.ViaWidth,
+		},
+	}
+	for _, c := range doc.Chips {
+		d.Chips = append(d.Chips, design.Chip{Name: c.Name, Box: docRect(c.Box)})
+	}
+	for _, p := range doc.IOPads {
+		d.IOPads = append(d.IOPads, design.IOPad{
+			ID: p.ID, Chip: p.Chip, Center: docPoint(p.Center), HalfW: p.HalfW,
+		})
+	}
+	for _, p := range doc.BumpPads {
+		d.BumpPads = append(d.BumpPads, design.BumpPad{ID: p.ID, Center: docPoint(p.Center), W: p.W})
+	}
+	for i, n := range doc.Nets {
+		p1, err := decodeRef(n.P1, fmt.Sprintf("nets[%d].p1", i), len(doc.IOPads), len(doc.BumpPads))
+		if err != nil {
+			return nil, err
+		}
+		p2, err := decodeRef(n.P2, fmt.Sprintf("nets[%d].p2", i), len(doc.IOPads), len(doc.BumpPads))
+		if err != nil {
+			return nil, err
+		}
+		d.Nets = append(d.Nets, design.Net{ID: n.ID, P1: p1, P2: p2})
+	}
+	for _, o := range doc.Obstacles {
+		d.Obstacles = append(d.Obstacles, design.Obstacle{Layer: o.Layer, Box: docRect(o.Box)})
+	}
+	for _, v := range doc.FixedVias {
+		d.FixedVias = append(d.FixedVias, design.FixedVia{Net: v.Net, Center: docPoint(v.Center), Slab: v.Slab})
+	}
+	if err := d.Validate(); err != nil {
+		return nil, &Error{Schema: DesignSchema, Kind: KindValidate, Path: "$",
+			Msg: "design validation failed", Err: err}
+	}
+	return d, nil
+}

@@ -1,0 +1,143 @@
+package codec
+
+import (
+	"io"
+
+	"rdlroute/internal/fanout"
+	"rdlroute/internal/router"
+)
+
+// Wire representation of router options. Every field is optional: absent
+// fields keep their router.DefaultOptions value, so an empty document
+// decodes to the paper's experimental configuration. Booleans use
+// pointers to distinguish "absent" from "false".
+type optionsDoc struct {
+	Schema         string      `json:"schema"`
+	Weights        *weightsDoc `json:"weights,omitempty"`
+	GlobalCells    *int        `json:"global_cells,omitempty"`
+	Pitch          *int64      `json:"pitch,omitempty"`
+	ViaCost        *float64    `json:"via_cost,omitempty"`
+	UseWeights     *bool       `json:"use_weights,omitempty"`
+	EnableLP       *bool       `json:"enable_lp,omitempty"`
+	EnableVias     *bool       `json:"enable_vias,omitempty"`
+	EnableStage2   *bool       `json:"enable_stage2,omitempty"`
+	PeripheralDist *int64      `json:"peripheral_dist,omitempty"`
+	LPMaxIters     *int        `json:"lp_max_iters,omitempty"`
+	RipUpRounds    *int        `json:"ripup_rounds,omitempty"`
+	NetOrder       string      `json:"net_order,omitempty"` // "shortest" | "longest" | "congested"
+}
+
+type weightsDoc struct {
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
+	Gamma float64 `json:"gamma"`
+	Delta float64 `json:"delta"`
+}
+
+func netOrderName(o router.NetOrder) string {
+	switch o {
+	case router.OrderLongest:
+		return "longest"
+	case router.OrderCongested:
+		return "congested"
+	default:
+		return "shortest"
+	}
+}
+
+// EncodeOptions writes opts as an rdl-options/v1 JSON document. Fields
+// matching the defaults are still written, so a decoded copy is exact even
+// if the defaults change later. The Tracer is not part of the wire format.
+func EncodeOptions(w io.Writer, opts router.Options) error {
+	doc := optionsDoc{
+		Schema: OptionsSchema,
+		Weights: &weightsDoc{
+			Alpha: opts.Weights.Alpha, Beta: opts.Weights.Beta,
+			Gamma: opts.Weights.Gamma, Delta: opts.Weights.Delta,
+		},
+		GlobalCells:    &opts.GlobalCells,
+		Pitch:          &opts.Pitch,
+		ViaCost:        &opts.ViaCost,
+		UseWeights:     &opts.UseWeights,
+		EnableLP:       &opts.EnableLP,
+		EnableVias:     &opts.EnableVias,
+		EnableStage2:   &opts.EnableStage2,
+		PeripheralDist: &opts.PeripheralDist,
+		LPMaxIters:     &opts.LPMaxIters,
+		RipUpRounds:    &opts.RipUpRounds,
+		NetOrder:       netOrderName(opts.NetOrder),
+	}
+	return writeDoc(w, OptionsSchema, doc)
+}
+
+// optionsFromDoc overlays the document on the defaults.
+func optionsFromDoc(doc optionsDoc) (router.Options, error) {
+	opts := router.DefaultOptions()
+	if doc.Weights != nil {
+		opts.Weights = fanout.WeightParams{
+			Alpha: doc.Weights.Alpha, Beta: doc.Weights.Beta,
+			Gamma: doc.Weights.Gamma, Delta: doc.Weights.Delta,
+		}
+	}
+	if doc.GlobalCells != nil {
+		if *doc.GlobalCells < 1 {
+			return opts, invalidf(OptionsSchema, "global_cells", "must be >= 1, got %d", *doc.GlobalCells)
+		}
+		opts.GlobalCells = *doc.GlobalCells
+	}
+	if doc.Pitch != nil {
+		if *doc.Pitch < 1 {
+			return opts, invalidf(OptionsSchema, "pitch", "must be >= 1, got %d", *doc.Pitch)
+		}
+		opts.Pitch = *doc.Pitch
+	}
+	if doc.ViaCost != nil {
+		opts.ViaCost = *doc.ViaCost
+	}
+	if doc.UseWeights != nil {
+		opts.UseWeights = *doc.UseWeights
+	}
+	if doc.EnableLP != nil {
+		opts.EnableLP = *doc.EnableLP
+	}
+	if doc.EnableVias != nil {
+		opts.EnableVias = *doc.EnableVias
+	}
+	if doc.EnableStage2 != nil {
+		opts.EnableStage2 = *doc.EnableStage2
+	}
+	if doc.PeripheralDist != nil {
+		opts.PeripheralDist = *doc.PeripheralDist
+	}
+	if doc.LPMaxIters != nil {
+		opts.LPMaxIters = *doc.LPMaxIters
+	}
+	if doc.RipUpRounds != nil {
+		if *doc.RipUpRounds < 0 {
+			return opts, invalidf(OptionsSchema, "ripup_rounds", "must be >= 0, got %d", *doc.RipUpRounds)
+		}
+		opts.RipUpRounds = *doc.RipUpRounds
+	}
+	switch doc.NetOrder {
+	case "", "shortest":
+		opts.NetOrder = router.OrderShortest
+	case "longest":
+		opts.NetOrder = router.OrderLongest
+	case "congested":
+		opts.NetOrder = router.OrderCongested
+	default:
+		return opts, invalidf(OptionsSchema, "net_order",
+			"unknown order %q (want \"shortest\", \"longest\" or \"congested\")", doc.NetOrder)
+	}
+	return opts, nil
+}
+
+// DecodeOptions reads an rdl-options/v1 document, overlaying it on
+// router.DefaultOptions.
+func DecodeOptions(r io.Reader) (router.Options, error) {
+	var doc optionsDoc
+	if err := decodeDoc(r, OptionsSchema, &doc); err != nil {
+		return router.DefaultOptions(), err
+	}
+	return optionsFromDoc(doc)
+}

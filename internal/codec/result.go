@@ -1,0 +1,175 @@
+package codec
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/layout"
+	"rdlroute/internal/router"
+)
+
+// Wire representation of a routing result. The layout geometry is
+// complete — together with the design document a result round-trips
+// through the codec and re-checks DRC-clean. The in-memory Obs snapshot
+// is deliberately not part of the wire format (fetch the trace instead);
+// runtime is serialized in milliseconds.
+type resultDoc struct {
+	Schema string `json:"schema"`
+	Design string `json:"design"` // design name, cross-checked on decode
+
+	Routability float64 `json:"routability"`
+	Wirelength  float64 `json:"wirelength"`
+	RoutedNets  int     `json:"routed_nets"`
+	TotalNets   int     `json:"total_nets"`
+
+	ConcurrentRouted int `json:"concurrent_routed"`
+	SequentialRouted int `json:"sequential_routed"`
+	CorridorRouted   int `json:"corridor_routed"`
+	FallbackRouted   int `json:"fallback_routed"`
+	RipUpRouted      int `json:"ripup_routed"`
+
+	WirelengthBeforeLP float64 `json:"wirelength_before_lp"`
+	LPIterations       int     `json:"lp_iterations"`
+	LPComponents       int     `json:"lp_components"`
+	TileCount          int     `json:"tile_count"`
+	RuntimeMS          float64 `json:"runtime_ms"`
+
+	Layout layoutDoc `json:"layout"`
+}
+
+type layoutDoc struct {
+	Routes     []routeDoc `json:"routes,omitempty"`
+	Vias       []viaDoc   `json:"vias,omitempty"`
+	RoutedNets []int      `json:"routed_nets,omitempty"` // ascending net indices
+}
+
+type routeDoc struct {
+	Net   int        `json:"net"`
+	Layer int        `json:"layer"`
+	Pts   [][2]int64 `json:"pts"`
+}
+
+type viaDoc struct {
+	Net    int      `json:"net"`
+	Center [2]int64 `json:"center"`
+	Slab   int      `json:"slab"`
+	Width  int64    `json:"width"`
+}
+
+func layoutToDoc(l *layout.Layout) layoutDoc {
+	var doc layoutDoc
+	for _, r := range l.Routes {
+		pts := make([][2]int64, len(r.Pts))
+		for i, p := range r.Pts {
+			pts[i] = pointDoc(p)
+		}
+		doc.Routes = append(doc.Routes, routeDoc{Net: r.Net, Layer: r.Layer, Pts: pts})
+	}
+	for _, v := range l.Vias {
+		doc.Vias = append(doc.Vias, viaDoc{Net: v.Net, Center: pointDoc(v.Center), Slab: v.Slab, Width: v.Width})
+	}
+	for i := range l.D.Nets {
+		if l.Routed(i) {
+			doc.RoutedNets = append(doc.RoutedNets, i)
+		}
+	}
+	return doc
+}
+
+// EncodeResult writes res as an rdl-result/v1 JSON document. Encoding the
+// same result twice produces identical bytes.
+func EncodeResult(w io.Writer, res *router.Result) error {
+	doc := resultDoc{
+		Schema:             ResultSchema,
+		Design:             res.Layout.D.Name,
+		Routability:        res.Routability,
+		Wirelength:         res.Wirelength,
+		RoutedNets:         res.RoutedNets,
+		TotalNets:          res.TotalNets,
+		ConcurrentRouted:   res.ConcurrentRouted,
+		SequentialRouted:   res.SequentialRouted,
+		CorridorRouted:     res.CorridorRouted,
+		FallbackRouted:     res.FallbackRouted,
+		RipUpRouted:        res.RipUpRouted,
+		WirelengthBeforeLP: res.WirelengthBeforeLP,
+		LPIterations:       res.LPIterations,
+		LPComponents:       res.LPComponents,
+		TileCount:          res.TileCount,
+		RuntimeMS:          float64(res.Runtime) / float64(time.Millisecond),
+		Layout:             layoutToDoc(res.Layout),
+	}
+	return writeDoc(w, ResultSchema, doc)
+}
+
+// DecodeResult reads an rdl-result/v1 document against its design. The
+// design must be the one the result was computed on (matched by name);
+// every net, layer and slab reference is range-checked.
+func DecodeResult(r io.Reader, d *design.Design) (*router.Result, error) {
+	var doc resultDoc
+	if err := decodeDoc(r, ResultSchema, &doc); err != nil {
+		return nil, err
+	}
+	if doc.Design != d.Name {
+		return nil, invalidf(ResultSchema, "design",
+			"result is for design %q, decoding against %q", doc.Design, d.Name)
+	}
+	l := layout.New(d)
+	for i, rd := range doc.Layout.Routes {
+		path := fmt.Sprintf("layout.routes[%d]", i)
+		if rd.Net < 0 || rd.Net >= len(d.Nets) {
+			return nil, invalidf(ResultSchema, path+".net", "net %d out of range [0,%d)", rd.Net, len(d.Nets))
+		}
+		if rd.Layer < 0 || rd.Layer >= d.WireLayers {
+			return nil, invalidf(ResultSchema, path+".layer", "layer %d out of range [0,%d)", rd.Layer, d.WireLayers)
+		}
+		if len(rd.Pts) < 2 {
+			return nil, invalidf(ResultSchema, path+".pts", "polyline needs >= 2 points, got %d", len(rd.Pts))
+		}
+		route := layout.Route{Net: rd.Net, Layer: rd.Layer}
+		for _, p := range rd.Pts {
+			route.Pts = append(route.Pts, docPoint(p))
+		}
+		l.Routes = append(l.Routes, route)
+	}
+	for i, vd := range doc.Layout.Vias {
+		path := fmt.Sprintf("layout.vias[%d]", i)
+		if vd.Net < 0 || vd.Net >= len(d.Nets) {
+			return nil, invalidf(ResultSchema, path+".net", "net %d out of range [0,%d)", vd.Net, len(d.Nets))
+		}
+		if vd.Slab < 0 || vd.Slab >= d.WireLayers-1 {
+			return nil, invalidf(ResultSchema, path+".slab", "slab %d out of range [0,%d)", vd.Slab, d.WireLayers-1)
+		}
+		l.Vias = append(l.Vias, layout.Via{Net: vd.Net, Center: docPoint(vd.Center), Slab: vd.Slab, Width: vd.Width})
+	}
+	prev := -1
+	for i, n := range doc.Layout.RoutedNets {
+		path := fmt.Sprintf("layout.routed_nets[%d]", i)
+		if n < 0 || n >= len(d.Nets) {
+			return nil, invalidf(ResultSchema, path, "net %d out of range [0,%d)", n, len(d.Nets))
+		}
+		if n <= prev {
+			return nil, invalidf(ResultSchema, path, "net indices must be strictly ascending")
+		}
+		prev = n
+		l.MarkRouted(n)
+	}
+	return &router.Result{
+		Layout:             l,
+		Routability:        doc.Routability,
+		Wirelength:         doc.Wirelength,
+		RoutedNets:         doc.RoutedNets,
+		TotalNets:          doc.TotalNets,
+		ConcurrentRouted:   doc.ConcurrentRouted,
+		SequentialRouted:   doc.SequentialRouted,
+		CorridorRouted:     doc.CorridorRouted,
+		FallbackRouted:     doc.FallbackRouted,
+		RipUpRouted:        doc.RipUpRouted,
+		WirelengthBeforeLP: doc.WirelengthBeforeLP,
+		LPIterations:       doc.LPIterations,
+		LPComponents:       doc.LPComponents,
+		TileCount:          doc.TileCount,
+		Runtime:            time.Duration(doc.RuntimeMS * float64(time.Millisecond)),
+	}, nil
+}

@@ -1,6 +1,10 @@
 package lattice
 
-import "rdlroute/internal/geom"
+import (
+	"context"
+
+	"rdlroute/internal/geom"
+)
 
 // The eight compass moves: index is the direction id used in search state.
 var moves = [8]struct {
@@ -61,7 +65,18 @@ type Request struct {
 	// Stats, when non-nil, receives the search-effort counters of this
 	// call (nodes expanded/visited), whether or not a path was found.
 	Stats *SearchStats
+	// Ctx, when non-nil, makes the search cancellable: the expansion loop
+	// polls it every cancelPollPeriod pops and gives up (ok=false) once the
+	// context is done. The lattice is never mutated by a search, so an
+	// aborted search leaves no partial state behind; callers distinguish
+	// cancellation from unroutability by checking Ctx.Err() afterwards.
+	Ctx context.Context
 }
+
+// cancelPollPeriod is how many expansions pass between Request.Ctx polls:
+// frequent enough that a deadlined search aborts within microseconds, rare
+// enough that the atomic load inside Context.Err stays off the profile.
+const cancelPollPeriod = 512
 
 // SearchStats reports one A* search's effort.
 type SearchStats struct {
@@ -312,6 +327,10 @@ func (la *Lattice) Route(req Request) (path []PathStep, cost float64, ok bool) {
 		}
 		ss.done[s] = ss.cur
 		expanded++
+		if req.Ctx != nil && expanded%cancelPollPeriod == 0 && req.Ctx.Err() != nil {
+			la.recordSearch(&req, expanded, visited, false)
+			return nil, 0, false
+		}
 		if f > req.MaxCost {
 			la.recordSearch(&req, expanded, visited, false)
 			return nil, 0, false

@@ -57,6 +57,9 @@ const (
 	Infeasible
 	Unbounded
 	IterLimit
+	// Aborted means Problem.Check reported an error mid-solve (typically a
+	// cancelled context); the solution is unusable.
+	Aborted
 )
 
 // String implements fmt.Stringer.
@@ -68,6 +71,8 @@ func (s Status) String() string {
 		return "infeasible"
 	case Unbounded:
 		return "unbounded"
+	case Aborted:
+		return "aborted"
 	default:
 		return "iteration-limit"
 	}
@@ -95,7 +100,14 @@ type Problem struct {
 	// MaxIters bounds simplex iterations; 0 means an automatic limit
 	// proportional to the problem size.
 	MaxIters int
+	// Check, when non-nil, is polled every checkPollPeriod pivots by both
+	// solvers; a non-nil return aborts the solve with Status Aborted. It is
+	// how a cancelled routing job interrupts a long-running LP cleanly.
+	Check func() error
 }
+
+// checkPollPeriod is how many pivots pass between Problem.Check polls.
+const checkPollPeriod = 32
 
 // NewProblem returns an empty minimization problem.
 func NewProblem() *Problem { return &Problem{} }

@@ -54,6 +54,7 @@ type revised struct {
 	binv    [][]float64
 
 	maxIters int
+	check    func() error
 }
 
 const (
@@ -126,6 +127,7 @@ func newRevised(p *Problem) *revised {
 	if rv.maxIters == 0 {
 		rv.maxIters = 200 * (rv.m + rv.n + 10)
 	}
+	rv.check = p.Check
 	return rv
 }
 
@@ -186,8 +188,8 @@ func (rv *revised) primal() Status {
 	iters := 0
 	if rv.infeasibility() > rvFeasEps {
 		st := rv.iterate(true, &iters)
-		if st == IterLimit {
-			return IterLimit
+		if st == IterLimit || st == Aborted {
+			return st
 		}
 		if rv.infeasibility() > rvFeasEps {
 			return Infeasible
@@ -288,6 +290,9 @@ func (rv *revised) iterate(phase1 bool, iters *int) Status {
 			return IterLimit
 		}
 		*iters++
+		if rv.check != nil && *iters%checkPollPeriod == 0 && rv.check() != nil {
+			return Aborted
+		}
 
 		// w = B⁻¹ A_enter.
 		for i := 0; i < m; i++ {

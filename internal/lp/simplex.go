@@ -179,9 +179,9 @@ func (st *standard) solve(p *Problem) Solution {
 	for j := n; j < total; j++ {
 		phase1[j] = 1
 	}
-	status, iters := runSimplex(tab, basis, phase1, total, st.maxIters)
-	if status == IterLimit {
-		return Solution{Status: IterLimit}
+	status, iters := runSimplex(tab, basis, phase1, total, st.maxIters, p.Check)
+	if status == IterLimit || status == Aborted {
+		return Solution{Status: status}
 	}
 	// Phase-1 objective value.
 	p1 := 0.0
@@ -225,9 +225,9 @@ func (st *standard) solve(p *Problem) Solution {
 	if budget < 1000 {
 		budget = 1000
 	}
-	status, it2 := runSimplex(tab, basis, phase2, n, budget)
-	if status == IterLimit {
-		return Solution{Status: IterLimit}
+	status, it2 := runSimplex(tab, basis, phase2, n, budget, p.Check)
+	if status == IterLimit || status == Aborted {
+		return Solution{Status: status}
 	}
 	if status == Unbounded {
 		return Solution{Status: Unbounded}
@@ -269,7 +269,7 @@ func (st *standard) solve(p *Problem) Solution {
 // column) minimizing cost over columns [0, width). It returns Optimal when
 // no improving column remains, Unbounded when an improving column has no
 // positive entry, or IterLimit. iters reports pivots performed.
-func runSimplex(tab [][]float64, basis []int, cost []float64, width, maxIters int) (Status, int) {
+func runSimplex(tab [][]float64, basis []int, cost []float64, width, maxIters int, check func() error) (Status, int) {
 	m := len(tab)
 	if m == 0 {
 		return Optimal, 0
@@ -318,6 +318,9 @@ func runSimplex(tab [][]float64, basis []int, cost []float64, width, maxIters in
 		}
 		if iters >= maxIters {
 			return IterLimit, iters
+		}
+		if check != nil && iters%checkPollPeriod == 0 && check() != nil {
+			return Aborted, iters
 		}
 		// Ratio test.
 		leave := -1

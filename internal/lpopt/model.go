@@ -268,6 +268,11 @@ type model struct {
 	// fixed shapes for interactive constraints (obstacles, pads), with the
 	// owning net (−1 for netless blockages), per layer.
 	fixedShapes [][]fixedShape
+
+	// check, when non-nil, is handed to every LP the model solves so a
+	// cancelled context aborts pivot loops mid-solve (Optimize bails out
+	// before any write-back, leaving the layout untouched).
+	check func() error
 }
 
 type fixedShape struct {

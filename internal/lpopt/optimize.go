@@ -1,6 +1,7 @@
 package lpopt
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -30,6 +31,11 @@ type Options struct {
 	// iteration (objective value, residual violations, reverted
 	// components) — the convergence curve of Section III-E-4.
 	Tracer obs.Tracer
+	// Ctx, when non-nil, cancels the optimization: the repair loop polls it
+	// between components and the simplex pivot loops poll it mid-solve.
+	// A cancelled Optimize returns with Cancelled set and the layout
+	// untouched (write-back only happens on a completed run).
+	Ctx context.Context
 }
 
 // Stats reports what the optimizer did.
@@ -40,6 +46,7 @@ type Stats struct {
 	Reverted   int // components reverted to initial geometry
 	Before     float64
 	After      float64
+	Cancelled  bool // Options.Ctx fired; the layout was left untouched
 }
 
 // Required center-based clearances, matching the lattice's occupancy model.

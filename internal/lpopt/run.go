@@ -30,7 +30,11 @@ func Optimize(l *layout.Layout, opt Options) Stats {
 	}
 	tr := obs.Or(opt.Tracer)
 	st := Stats{Before: l.Wirelength()}
+	cancelled := func() bool { return opt.Ctx != nil && opt.Ctx.Err() != nil }
 	m := buildModel(l, opt.MoveVias)
+	if opt.Ctx != nil {
+		m.check = opt.Ctx.Err
+	}
 	if m.nvars == 0 {
 		st.After = st.Before
 		return st
@@ -85,6 +89,10 @@ func Optimize(l *layout.Layout, opt Options) Stats {
 	reverted := map[int]bool{} // component reps with init-pinned geometry
 
 	for iter := 1; iter <= opt.MaxIters; iter++ {
+		if cancelled() {
+			st.Cancelled = true
+			return st
+		}
 		st.Iterations = iter
 
 		// Component decomposition over the current constraint set.
@@ -114,6 +122,10 @@ func Optimize(l *layout.Layout, opt Options) Stats {
 		}
 
 		for rep, vars := range groups {
+			if cancelled() {
+				st.Cancelled = true
+				return st
+			}
 			if reverted[rep] {
 				continue
 			}
@@ -230,6 +242,12 @@ func Optimize(l *layout.Layout, opt Options) Stats {
 		}
 	}
 
+	// Cancellation means the current vals may reflect an interrupted solve;
+	// skip write-back entirely so the layout keeps its legal pre-LP state.
+	if cancelled() {
+		st.Cancelled = true
+		return st
+	}
 	// Final safety net: any route still internally inconsistent reverts to
 	// its legal initial geometry before write-back.
 	m.resetInconsistentRoutes(vals, nil)
@@ -298,6 +316,7 @@ func countRows(cons []gcons) int {
 func (m *model) solveLP(vars []int, cons []gcons, obj []term, vals []float64, inSet map[int]bool, revised bool) bool {
 	local := make(map[int]lp.VarID, len(vars))
 	p := lp.NewProblem()
+	p.Check = m.check
 	lo := make([]float64, len(vars))
 	hi := make([]float64, len(vars))
 	idx := make(map[int]int, len(vars))

@@ -12,6 +12,7 @@
 package mpsc
 
 import (
+	"context"
 	"fmt"
 
 	"rdlroute/internal/obs"
@@ -52,6 +53,18 @@ func order(c Chord) (lo, hi int) {
 // if two chords share an endpoint or an endpoint is out of range — the
 // circular-model construction guarantees unique positions.
 func MaxPlanarSubset(m int, chords []Chord) ([]int, float64) {
+	picked, w, _ := maxPlanarSubset(nil, m, chords)
+	return picked, w
+}
+
+// MaxPlanarSubsetCtx is MaxPlanarSubset with cancellation: the O(m²) DP
+// polls ctx once per outer arc-length iteration (an O(m) stride) and
+// returns ctx's error when it fires. A nil ctx is never polled.
+func MaxPlanarSubsetCtx(ctx context.Context, m int, chords []Chord) ([]int, float64, error) {
+	return maxPlanarSubset(ctx, m, chords)
+}
+
+func maxPlanarSubset(ctx context.Context, m int, chords []Chord) ([]int, float64, error) {
 	endAt := make([]int, m) // chord index whose higher endpoint is j, or −1
 	for i := range endAt {
 		endAt[i] = -1
@@ -78,7 +91,7 @@ func MaxPlanarSubset(m int, chords []Chord) ([]int, float64) {
 	}
 
 	if m == 0 {
-		return nil, 0
+		return nil, 0, nil
 	}
 
 	// best[i][j] = max weight planar subset using only chords inside the
@@ -87,6 +100,9 @@ func MaxPlanarSubset(m int, chords []Chord) ([]int, float64) {
 	best := make([]float64, m*m)
 
 	for length := 1; length < m; length++ {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, 0, ctx.Err()
+		}
 		for i := 0; i+length < m; i++ {
 			j := i + length
 			v := best[idx(i, j-1)]
@@ -142,7 +158,7 @@ func MaxPlanarSubset(m int, chords []Chord) ([]int, float64) {
 		}
 	}
 	walk(0, m-1)
-	return picked, best[idx(0, m-1)]
+	return picked, best[idx(0, m-1)], nil
 }
 
 // MaxPlanarSubsetTraced runs MaxPlanarSubset and, when the tracer is
@@ -150,7 +166,17 @@ func MaxPlanarSubset(m int, chords []Chord) ([]int, float64) {
 // the chords picked and the selected weight, plus any extra attributes
 // the caller tags on (e.g. the wire layer being assigned).
 func MaxPlanarSubsetTraced(m int, chords []Chord, tr obs.Tracer, extra ...obs.Attr) ([]int, float64) {
-	picked, weight := MaxPlanarSubset(m, chords)
+	picked, weight, _ := MaxPlanarSubsetTracedCtx(nil, m, chords, tr, extra...)
+	return picked, weight
+}
+
+// MaxPlanarSubsetTracedCtx is MaxPlanarSubsetTraced with cancellation; on
+// a cancelled DP no event is emitted and ctx's error is returned.
+func MaxPlanarSubsetTracedCtx(ctx context.Context, m int, chords []Chord, tr obs.Tracer, extra ...obs.Attr) ([]int, float64, error) {
+	picked, weight, err := maxPlanarSubset(ctx, m, chords)
+	if err != nil {
+		return nil, 0, err
+	}
 	if tr != nil && tr.Enabled() {
 		attrs := append([]obs.Attr{
 			obs.Int("considered", len(chords)),
@@ -161,7 +187,7 @@ func MaxPlanarSubsetTraced(m int, chords []Chord, tr obs.Tracer, extra ...obs.At
 		tr.Count("mpsc.chords_considered", int64(len(chords)))
 		tr.Count("mpsc.chords_picked", int64(len(picked)))
 	}
-	return picked, weight
+	return picked, weight, nil
 }
 
 // Validate reports an error when the chord set violates the circular-model

@@ -1,0 +1,83 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rdlroute/internal/design"
+)
+
+func genDense1(t *testing.T) *design.Design {
+	t.Helper()
+	spec, err := design.DenseSpec("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRouteContextAlreadyCancelled(t *testing.T) {
+	d := genDense1(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RouteContext(ctx, d, DefaultOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled run returned a result: %+v", res)
+	}
+}
+
+func TestRouteContextDeadlineMidRun(t *testing.T) {
+	d := genDense1(t)
+	// dense1 routes in >100ms; a 15ms deadline fires mid-flow, somewhere
+	// inside the stage checkpoints or the A*/DP/LP poll loops.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	res, err := RouteContext(ctx, d, DefaultOptions())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Fatalf("deadlined run returned a result: %+v", res)
+	}
+}
+
+// TestCancelLeavesNoCorruption is the fingerprint gate: a cancelled run in
+// between two full runs must not change what the full runs compute. Each
+// run builds its own lattice, so this pins the absence of hidden shared
+// state (package-level caches, pooled search buffers leaking occupancy).
+func TestCancelLeavesNoCorruption(t *testing.T) {
+	opts := DefaultOptions()
+
+	res1, la1, err := route(context.Background(), genDense1(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1 := la1.Fingerprint()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	if _, _, err := route(ctx, genDense1(t), opts); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-run deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	cancel()
+
+	res2, la2, err := route(context.Background(), genDense1(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp2 := la2.Fingerprint(); fp2 != fp1 {
+		t.Fatalf("lattice fingerprint changed after a cancelled run: %x != %x", fp2, fp1)
+	}
+	if res1.Routability != res2.Routability || res1.Wirelength != res2.Wirelength ||
+		res1.RoutedNets != res2.RoutedNets {
+		t.Fatalf("results diverged after a cancelled run: %+v vs %+v", res1, res2)
+	}
+}

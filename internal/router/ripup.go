@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"sort"
 
 	"rdlroute/internal/design"
@@ -16,7 +17,11 @@ import (
 // result is accepted only when strictly more nets end up routed, so the
 // stage never regresses. It returns the net count gained and the rebuilt
 // lattice in use afterwards.
-func ripUpReroute(d *design.Design, la *lattice.Lattice, lay *layout.Layout, opts Options, rounds int, tr obs.Tracer) (int, *lattice.Lattice) {
+// Cancellation: every per-net attempt polls ctx; on cancellation the stage
+// returns immediately with whatever was legally accepted so far (candidate
+// worlds are only ever swapped in whole, so a cancelled round leaves the
+// layout and lattice consistent — the caller then surfaces ctx's error).
+func ripUpReroute(ctx context.Context, d *design.Design, la *lattice.Lattice, lay *layout.Layout, opts Options, rounds int, tr obs.Tracer) (int, *lattice.Lattice) {
 	gained := 0
 	for round := 0; round < rounds; round++ {
 		var unrouted []int
@@ -30,6 +35,9 @@ func ripUpReroute(d *design.Design, la *lattice.Lattice, lay *layout.Layout, opt
 		}
 		progress := false
 		for _, ni := range unrouted {
+			if ctx.Err() != nil {
+				return gained, la
+			}
 			if lay.Routed(ni) {
 				continue
 			}
@@ -40,6 +48,7 @@ func ripUpReroute(d *design.Design, la *lattice.Lattice, lay *layout.Layout, opt
 				Net: ni, From: from, To: to,
 				FromLayer: fromLayer, ToLayer: toLayer,
 				ViaCost: opts.ViaCost, IgnoreForeign: true,
+				Ctx: ctx,
 			})
 			if !ok {
 				continue // hard-blocked: rip-up cannot help
@@ -60,11 +69,11 @@ func ripUpReroute(d *design.Design, la *lattice.Lattice, lay *layout.Layout, opt
 				continue
 			}
 			la2.SetTracer(tr)
-			if !routeOn(d, la2, cand, ni, opts) {
+			if !routeOn(ctx, d, la2, cand, ni, opts) {
 				continue
 			}
 			for _, v := range victims {
-				routeOn(d, la2, cand, v, opts)
+				routeOn(ctx, d, la2, cand, v, opts)
 			}
 			if cand.RoutedCount() > lay.RoutedCount() {
 				gained += cand.RoutedCount() - lay.RoutedCount()
@@ -92,7 +101,7 @@ func ripUpReroute(d *design.Design, la *lattice.Lattice, lay *layout.Layout, opt
 
 // routeOn routes one net on the lattice with an unrestricted multi-layer
 // search and commits it on success.
-func routeOn(d *design.Design, la *lattice.Lattice, lay *layout.Layout, ni int, opts Options) bool {
+func routeOn(ctx context.Context, d *design.Design, la *lattice.Lattice, lay *layout.Layout, ni int, opts Options) bool {
 	nn := d.Nets[ni]
 	from, fromLayer := terminal(d, nn.P1)
 	to, toLayer := terminal(d, nn.P2)
@@ -100,6 +109,7 @@ func routeOn(d *design.Design, la *lattice.Lattice, lay *layout.Layout, ni int, 
 		Net: ni, From: from, To: to,
 		FromLayer: fromLayer, ToLayer: toLayer,
 		ViaCost: opts.ViaCost,
+		Ctx:     ctx,
 	})
 	if !ok {
 		return false

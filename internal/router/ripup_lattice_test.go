@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"testing"
 
 	"rdlroute/internal/design"
@@ -27,7 +28,7 @@ func TestRipUpLatticeMatchesLayout(t *testing.T) {
 	opts := DefaultOptions()
 	opts.RipUpRounds = 2
 	opts.EnableLP = false
-	res, la, err := route(d, opts)
+	res, la, err := route(context.Background(), d, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

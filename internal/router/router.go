@@ -5,6 +5,7 @@
 package router
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -114,15 +115,34 @@ type Result struct {
 
 // Route runs the full flow on the design.
 func Route(d *design.Design, opts Options) (*Result, error) {
-	res, _, err := route(d, opts)
+	return RouteContext(context.Background(), d, opts)
+}
+
+// RouteContext is Route with cancellation: when ctx is cancelled or its
+// deadline passes, the flow stops at the next checkpoint — the A* relax
+// loops, the MPSC DP and the LP pivot loops all poll ctx — and returns an
+// error wrapping context.Canceled or context.DeadlineExceeded. The partial
+// layout is discarded; no lattice state escapes, so a timed-out job can
+// never corrupt a later run.
+func RouteContext(ctx context.Context, d *design.Design, opts Options) (*Result, error) {
+	res, _, err := route(ctx, d, opts)
 	return res, err
 }
 
-// route is Route plus the lattice the flow ended on — after rip-up this is
-// the rebuilt lattice of the accepted layout, not the one the flow started
-// with. Exposed separately so tests can assert lattice occupancy matches
-// the returned layout.
-func route(d *design.Design, opts Options) (*Result, *lattice.Lattice, error) {
+// ctxErr returns the flow-level error for a cancelled context, wrapped so
+// errors.Is(err, context.Canceled / context.DeadlineExceeded) holds.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("router: %w", err)
+	}
+	return nil
+}
+
+// route is RouteContext plus the lattice the flow ended on — after rip-up
+// this is the rebuilt lattice of the accepted layout, not the one the flow
+// started with. Exposed separately so tests can assert lattice occupancy
+// matches the returned layout.
+func route(ctx context.Context, d *design.Design, opts Options) (*Result, *lattice.Lattice, error) {
 	start := time.Now()
 	if err := d.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("router: %w", err)
@@ -143,6 +163,10 @@ func route(d *design.Design, opts Options) (*Result, *lattice.Lattice, error) {
 	lay := layout.New(d)
 	res := &Result{Layout: lay, TotalNets: len(d.Nets)}
 
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
+	}
+
 	// Stage 1: Preprocessing.
 	end := obs.Stage(tr, "preprocess", obs.String("design", d.Name))
 	analysis, err := fanout.Analyze(d, fanout.Config{
@@ -157,8 +181,16 @@ func route(d *design.Design, opts Options) (*Result, *lattice.Lattice, error) {
 	// Stage 2: Weighted-MPSC-based concurrent routing.
 	if opts.EnableStage2 {
 		end = obs.Stage(tr, "concurrent")
-		res.ConcurrentRouted = concurrentRoute(d, analysis, la, lay, opts, tr)
+		routed, err := concurrentRoute(ctx, d, analysis, la, lay, opts, tr)
+		res.ConcurrentRouted = routed
 		end(obs.Int("routed", res.ConcurrentRouted))
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
 	}
 
 	// Stage 3: Routing graph construction (octagonal tiles, via insertion).
@@ -177,10 +209,13 @@ func route(d *design.Design, opts Options) (*Result, *lattice.Lattice, error) {
 
 	// Stage 4: Sequential A*-search routing on the tile graph.
 	end = obs.Stage(tr, "sequential")
-	sequentialRoute(d, model, sites, la, lay, opts, res, tr)
+	seqErr := sequentialRoute(ctx, d, model, sites, la, lay, opts, res, tr)
 	end(obs.Int("routed", res.SequentialRouted),
 		obs.Int("corridor", res.CorridorRouted),
 		obs.Int("fallback", res.FallbackRouted))
+	if seqErr != nil {
+		return nil, nil, seqErr
+	}
 
 	// Extension: rip-up and re-route for stubborn nets. ripUpReroute hands
 	// back the lattice matching the accepted layout — when a candidate was
@@ -188,19 +223,25 @@ func route(d *design.Design, opts Options) (*Result, *lattice.Lattice, error) {
 	// `la` describing occupancy of routes the layout no longer contains.
 	if opts.RipUpRounds > 0 {
 		end = obs.Stage(tr, "ripup")
-		res.RipUpRouted, la = ripUpReroute(d, la, lay, opts, opts.RipUpRounds, tr)
+		res.RipUpRouted, la = ripUpReroute(ctx, d, la, lay, opts, opts.RipUpRounds, tr)
 		end(obs.Int("recovered", res.RipUpRouted))
+		if err := ctxErr(ctx); err != nil {
+			return nil, nil, err
+		}
 	}
 
 	// Stage 5: LP-based layout optimization.
 	res.WirelengthBeforeLP = lay.Wirelength()
 	if opts.EnableLP {
 		end = obs.Stage(tr, "lp")
-		stats := lpopt.Optimize(lay, lpopt.Options{MaxIters: opts.LPMaxIters, Tracer: tr})
+		stats := lpopt.Optimize(lay, lpopt.Options{MaxIters: opts.LPMaxIters, Tracer: tr, Ctx: ctx})
 		res.LPIterations = stats.Iterations
 		res.LPComponents = stats.Components
 		end(obs.Int("iterations", stats.Iterations),
 			obs.Int("components", stats.Components))
+		if stats.Cancelled {
+			return nil, nil, ctxErr(ctx)
+		}
 	}
 
 	res.RoutedNets = lay.RoutedCount()
@@ -224,8 +265,9 @@ func route(d *design.Design, opts Options) (*Result, *lattice.Lattice, error) {
 
 // concurrentRoute performs per-layer weighted-MPSC layer assignment and
 // concurrent detailed routing in the fan-out region. It returns the number
-// of nets routed.
-func concurrentRoute(d *design.Design, a *fanout.Analysis, la *lattice.Lattice, lay *layout.Layout, opts Options, tr obs.Tracer) int {
+// of nets routed, stopping with ctx's error at the first cancelled
+// checkpoint (the MPSC DP and every per-net search poll ctx).
+func concurrentRoute(ctx context.Context, d *design.Design, a *fanout.Analysis, la *lattice.Lattice, lay *layout.Layout, opts Options, tr obs.Tracer) (int, error) {
 	consumed := map[int]bool{}
 	routed := 0
 	weights := opts.Weights
@@ -242,23 +284,29 @@ func concurrentRoute(d *design.Design, a *fanout.Analysis, la *lattice.Lattice, 
 		if len(chords) == 0 {
 			break
 		}
-		picked, _ := mpsc.MaxPlanarSubsetTraced(a.CircleLen, chords, tr, obs.Int("layer", l))
+		picked, _, err := mpsc.MaxPlanarSubsetTracedCtx(ctx, a.CircleLen, chords, tr, obs.Int("layer", l))
+		if err != nil {
+			return routed, fmt.Errorf("router: %w", err)
+		}
 		// Route inner (short-span) chords first so nested nets claim the
 		// tracks nearest their pads.
 		sort.Slice(picked, func(i, j int) bool {
 			return chordSpan(chords, picked[i]) < chordSpan(chords, picked[j])
 		})
 		for _, pi := range picked {
+			if err := ctxErr(ctx); err != nil {
+				return routed, err
+			}
 			ci := chords[pi].Tag
 			cand := a.Candidates[ci]
-			if tryConcurrentNet(d, la, lay, cand, l, opts, tr) {
+			if tryConcurrentNet(ctx, d, la, lay, cand, l, opts, tr) {
 				consumed[ci] = true
 				routed++
 			}
 		}
 		a.RecomputeCongestion(consumed)
 	}
-	return routed
+	return routed, nil
 }
 
 func chordSpan(chords []mpsc.Chord, idx int) int {
@@ -273,7 +321,7 @@ func chordSpan(chords []mpsc.Chord, idx int) int {
 // tryConcurrentNet routes one MPSC-selected net on wire layer l: via
 // stacks at the pads when l > 0, then a single-layer wire through the
 // fan-out region (plus the net's own fan-in regions).
-func tryConcurrentNet(d *design.Design, la *lattice.Lattice, lay *layout.Layout, cand fanout.Candidate, l int, opts Options, tr obs.Tracer) bool {
+func tryConcurrentNet(ctx context.Context, d *design.Design, la *lattice.Lattice, lay *layout.Layout, cand fanout.Candidate, l int, opts Options, tr obs.Tracer) bool {
 	net := cand.Net
 	n := d.Nets[net]
 	p1 := d.IOPads[n.P1.Index]
@@ -291,6 +339,7 @@ func tryConcurrentNet(d *design.Design, la *lattice.Lattice, lay *layout.Layout,
 		Net: net, From: p1.Center, To: p2.Center,
 		FromLayer: l, ToLayer: l,
 		LayerMask: mask, RegionMask: region, ViaCost: opts.ViaCost,
+		Ctx: ctx,
 	}
 	if tr.Enabled() {
 		req.Stats = &st
@@ -365,7 +414,8 @@ func seedModel(m *ctile.Model, lay *layout.Layout) {
 
 // sequentialRoute completes the remaining nets with tile-graph corridors
 // realized on the lattice, falling back to unrestricted multi-layer search.
-func sequentialRoute(d *design.Design, model *ctile.Model, sites []ctile.ViaSite, la *lattice.Lattice, lay *layout.Layout, opts Options, res *Result, tr obs.Tracer) {
+// It stops with ctx's error at the first cancelled per-net checkpoint.
+func sequentialRoute(ctx context.Context, d *design.Design, model *ctile.Model, sites []ctile.ViaSite, la *lattice.Lattice, lay *layout.Layout, opts Options, res *Result, tr obs.Tracer) error {
 	type job struct {
 		net     int
 		direct  float64
@@ -404,6 +454,9 @@ func sequentialRoute(d *design.Design, model *ctile.Model, sites []ctile.ViaSite
 	}
 	traced := tr.Enabled()
 	for _, jb := range jobs {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		nn := d.Nets[jb.net]
 		from, fromLayer := terminal(d, nn.P1)
 		to, toLayer := terminal(d, nn.P2)
@@ -419,6 +472,7 @@ func sequentialRoute(d *design.Design, model *ctile.Model, sites []ctile.ViaSite
 				Net: jb.net, From: from, To: to,
 				FromLayer: fromLayer, ToLayer: toLayer,
 				RegionMask: region, ViaCost: opts.ViaCost,
+				Ctx: ctx,
 			}
 			if traced {
 				req.Stats = &corSt
@@ -434,6 +488,7 @@ func sequentialRoute(d *design.Design, model *ctile.Model, sites []ctile.ViaSite
 				Net: jb.net, From: from, To: to,
 				FromLayer: fromLayer, ToLayer: toLayer,
 				ViaCost: opts.ViaCost,
+				Ctx:     ctx,
 			}
 			if traced {
 				req.Stats = &fbSt
@@ -472,6 +527,7 @@ func sequentialRoute(d *design.Design, model *ctile.Model, sites []ctile.ViaSite
 			}
 		}
 	}
+	return nil
 }
 
 func terminal(d *design.Design, r design.PadRef) (geom.Point, int) {

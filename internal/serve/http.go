@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"rdlroute/internal/codec"
+	"rdlroute/internal/design"
+	"rdlroute/internal/router"
+)
+
+// JobSchema is the schema identifier of job submissions.
+const JobSchema = "rdl-job/v1"
+
+// jobRequest is the POST /v1/jobs body. Exactly one of Benchmark or
+// Design selects the circuit; Design and Options are nested codec
+// documents carrying their own schema fields.
+type jobRequest struct {
+	Schema    string          `json:"schema"`
+	Benchmark string          `json:"benchmark,omitempty"` // "dense1".."dense5"
+	Design    json.RawMessage `json:"design,omitempty"`    // rdl-design/v1 document
+	Options   json.RawMessage `json:"options,omitempty"`   // rdl-options/v1 document
+	TimeoutMS int             `json:"timeout_ms,omitempty"`
+}
+
+// jobView is the wire view of a job (POST and GET responses).
+type jobView struct {
+	ID        string          `json:"id"`
+	State     JobState        `json:"state"`
+	Error     string          `json:"error,omitempty"`
+	RuntimeMS float64         `json:"runtime_ms,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"` // rdl-result/v1 document when done
+}
+
+// errorView is the wire shape of every non-2xx response body.
+type errorView struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"` // codec errors: syntax | schema | validate
+	Path  string `json:"path,omitempty"` // codec errors: JSON path of the offense
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	ev := errorView{Error: err.Error()}
+	var ce *codec.Error
+	if errors.As(err, &ce) {
+		ev.Kind = ce.Kind.String()
+		ev.Path = ce.Path
+	}
+	writeJSON(w, status, ev)
+}
+
+// Handler returns the HTTP API of the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("job body: %w", err))
+		return
+	}
+	if req.Schema != JobSchema {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("job schema %q (want %q)", req.Schema, JobSchema))
+		return
+	}
+
+	var d *design.Design
+	switch {
+	case req.Benchmark != "" && req.Design != nil:
+		writeError(w, http.StatusBadRequest,
+			errors.New("set exactly one of benchmark and design"))
+		return
+	case req.Benchmark != "":
+		spec, err := design.DenseSpec(req.Benchmark)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if d, err = design.Generate(spec); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	case req.Design != nil:
+		var err error
+		if d, err = codec.DecodeDesign(bytes.NewReader(req.Design)); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest,
+			errors.New("set one of benchmark and design"))
+		return
+	}
+
+	opts := router.DefaultOptions()
+	if req.Options != nil {
+		var err error
+		if opts, err = codec.DecodeOptions(bytes.NewReader(req.Options)); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	j, err := s.Submit(d, opts, timeout, r.Header.Get("Idempotency-Key"))
+	switch {
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.viewOf(j))
+}
+
+// viewOf snapshots a job into its wire view.
+func (s *Server) viewOf(j *Job) jobView {
+	s.mu.Lock()
+	v := jobView{ID: j.ID, State: j.State}
+	if j.Err != nil {
+		v.Error = j.Err.Error()
+	}
+	res := j.Result
+	if !j.Finished.IsZero() && !j.Started.IsZero() {
+		v.RuntimeMS = float64(j.Finished.Sub(j.Started)) / float64(time.Millisecond)
+	}
+	s.mu.Unlock()
+	if res != nil {
+		var buf bytes.Buffer
+		if err := codec.EncodeResult(&buf, res); err == nil {
+			v.Result = buf.Bytes()
+		}
+	}
+	return v
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.viewOf(j))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Job(id); !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	if !s.Cancel(id) {
+		writeError(w, http.StatusConflict, errors.New("job already finished"))
+		return
+	}
+	j, _ := s.Job(id)
+	writeJSON(w, http.StatusOK, s.viewOf(j))
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	w.Write(j.Trace())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics()
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":  status,
+		"workers": s.cfg.Workers,
+		"queue":   s.cfg.QueueDepth,
+		"queued":  m.Queued,
+		"running": m.Running,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs": s.Metrics(),
+		"obs":  s.Obs(),
+	})
+}

@@ -1,0 +1,370 @@
+// Package serve is the embeddable routing service: a bounded job queue in
+// front of a fixed worker pool, each worker running the five-stage flow
+// through router.RouteContext with a per-job deadline. The HTTP surface
+// (POST /v1/jobs, GET /v1/jobs/{id}, trace streaming, health, metrics)
+// lives in http.go; this file is the queue/worker/lifecycle core.
+//
+// Backpressure is explicit: a full queue rejects submissions immediately
+// (HTTP 429) instead of queueing unboundedly, so a caller can retry
+// against another replica. Shutdown is graceful: new submissions are
+// refused, queued and in-flight jobs drain, then the workers exit.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/obs"
+	"rdlroute/internal/router"
+)
+
+// RouteFunc runs one routing job. Production use is router.RouteContext;
+// tests substitute gates and failures.
+type RouteFunc func(ctx context.Context, d *design.Design, opts router.Options) (*router.Result, error)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the fixed worker-pool size (default 2). Each worker runs
+	// one job at a time; jobs never share a lattice, so workers need no
+	// coordination beyond the queue.
+	Workers int
+	// QueueDepth bounds the waiting room (default 8). A submission that
+	// finds the queue full is rejected with ErrBusy; total in-system
+	// capacity is QueueDepth + Workers.
+	QueueDepth int
+	// JobTimeout caps each job's run time (0 = no cap). A request may
+	// lower it per job but never raise it.
+	JobTimeout time.Duration
+	// Route substitutes the routing function (default router.RouteContext).
+	Route RouteFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.Route == nil {
+		c.Route = router.RouteContext
+	}
+	return c
+}
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Job is one routing request moving through the queue. All mutable fields
+// are guarded by the owning Server's mu.
+type Job struct {
+	ID    string
+	State JobState
+
+	d       *design.Design
+	opts    router.Options
+	timeout time.Duration
+
+	Result *router.Result
+	Err    error
+
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+
+	cancel context.CancelFunc // non-nil while running; also used by Cancel
+	done   chan struct{}      // closed when the job reaches a terminal state
+
+	trace  *lockedBuffer
+	tracer *obs.JSONL
+}
+
+// lockedBuffer is a mutex-guarded byte buffer: the job's JSONL tracer
+// writes into it from the worker while the trace endpoint reads it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Snapshot() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// ErrBusy is returned by Submit when the queue is full.
+var ErrBusy = fmt.Errorf("serve: queue full")
+
+// ErrDraining is returned by Submit after Shutdown began.
+var ErrDraining = fmt.Errorf("serve: server draining")
+
+// Metrics are the service counters exposed at /metrics.
+type Metrics struct {
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected_busy"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+}
+
+// Server is the routing service core.
+type Server struct {
+	cfg   Config
+	queue chan *Job
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	idem     map[string]string // idempotency key → job ID
+	nextID   int
+	draining bool
+	running  int
+	m        Metrics
+
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+	wg       sync.WaitGroup
+
+	collector *obs.Collector
+}
+
+// New starts a server: the worker pool is live on return.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		queue:     make(chan *Job, cfg.QueueDepth),
+		jobs:      make(map[string]*Job),
+		idem:      make(map[string]string),
+		baseCtx:   ctx,
+		baseStop:  stop,
+		collector: obs.NewCollector(),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues a routing job. A non-empty idempotency key returns the
+// existing job on replay instead of enqueueing a duplicate. A full queue
+// returns ErrBusy; a draining server returns ErrDraining.
+func (s *Server) Submit(d *design.Design, opts router.Options, timeout time.Duration, idemKey string) (*Job, error) {
+	if s.cfg.JobTimeout > 0 && (timeout <= 0 || timeout > s.cfg.JobTimeout) {
+		timeout = s.cfg.JobTimeout
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if idemKey != "" {
+		if id, ok := s.idem[idemKey]; ok {
+			j := s.jobs[id]
+			s.mu.Unlock()
+			return j, nil
+		}
+	}
+	s.nextID++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%d", s.nextID),
+		State:   JobQueued,
+		d:       d,
+		opts:    opts,
+		timeout: timeout,
+		Created: time.Now(),
+		done:    make(chan struct{}),
+		trace:   &lockedBuffer{},
+	}
+	j.tracer = obs.NewJSONL(j.trace)
+
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID-- // rejected jobs don't consume IDs
+		s.m.Rejected++
+		s.mu.Unlock()
+		return nil, ErrBusy
+	}
+	s.jobs[j.ID] = j
+	if idemKey != "" {
+		s.idem[idemKey] = j.ID
+	}
+	s.m.Accepted++
+	s.mu.Unlock()
+	return j, nil
+}
+
+// Job returns a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a queued or running job. Cancelling a queued job marks
+// it terminal immediately (the worker skips it); cancelling a running job
+// fires its context. Returns false for unknown or already-terminal jobs.
+func (s *Server) Cancel(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return false
+	}
+	switch j.State {
+	case JobQueued:
+		j.State = JobCancelled
+		j.Err = context.Canceled
+		j.Finished = time.Now()
+		s.m.Cancelled++
+		close(j.done)
+		return true
+	case JobRunning:
+		j.cancel()
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the job reaches a terminal state or ctx fires.
+func (s *Server) Wait(ctx context.Context, j *Job) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Metrics returns the current counters.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.m
+	m.Queued = len(s.queue)
+	m.Running = s.running
+	return m
+}
+
+// Obs returns the aggregated observability snapshot across all jobs.
+func (s *Server) Obs() *obs.Snapshot { return s.collector.Snapshot() }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains gracefully: new submissions are refused, queued and
+// in-flight jobs run to completion, then the workers exit. If ctx fires
+// first, in-flight jobs are cancelled and Shutdown returns ctx's error
+// after the workers finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.baseStop() // cancel in-flight jobs, then wait for the workers
+		<-drained
+		return ctx.Err()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+func (s *Server) run(j *Job) {
+	s.mu.Lock()
+	if j.State != JobQueued { // cancelled while waiting
+		s.mu.Unlock()
+		return
+	}
+	ctx := s.baseCtx
+	var cancel context.CancelFunc
+	if j.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, j.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.State = JobRunning
+	j.Started = time.Now()
+	j.cancel = cancel
+	s.running++
+	opts := j.opts
+	opts.Tracer = obs.Multi(s.collector, j.tracer)
+	s.mu.Unlock()
+	defer cancel()
+
+	res, err := s.cfg.Route(ctx, j.d, opts)
+	j.tracer.Flush()
+
+	s.mu.Lock()
+	j.Result = res
+	j.Err = err
+	j.Finished = time.Now()
+	s.running--
+	switch {
+	case err == nil:
+		j.State = JobDone
+		s.m.Completed++
+	case errors.Is(err, context.Canceled):
+		j.State = JobCancelled
+		s.m.Cancelled++
+	default:
+		j.State = JobFailed
+		s.m.Failed++
+	}
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// Trace returns the job's JSONL trace captured so far (complete records
+// only; the tracer is flushed when the job finishes).
+func (j *Job) Trace() []byte {
+	j.tracer.Flush()
+	return j.trace.Snapshot()
+}

@@ -14,10 +14,17 @@ go vet ./...
 echo "== regression gate (lattice/router/geom) =="
 # Fast fail on the targeted regression tests before the full sweep: the
 # rip-up lattice threading, the int32 state-space bound, the Oct8.Center
-# containment property and the T-junction connectivity union.
+# containment property, the T-junction connectivity union and the
+# cancellation fingerprint gate.
 go test -race -run \
-  'TestRipUpLatticeMatchesLayout|TestNewRejectsStateSpaceBeyondInt32|TestStateSpaceNoOverflow|TestFingerprintCommitOrderIndependent|TestCenterContainedProperty|TestCenterDegenerate|TestConnectedTJunction' \
+  'TestRipUpLatticeMatchesLayout|TestNewRejectsStateSpaceBeyondInt32|TestStateSpaceNoOverflow|TestFingerprintCommitOrderIndependent|TestCenterContainedProperty|TestCenterDegenerate|TestConnectedTJunction|TestCancelLeavesNoCorruption' \
   ./internal/lattice/ ./internal/router/ ./internal/geom/ ./internal/layout/
+echo "== serving gate: codec + serve semantics (-race) =="
+# Queue saturation → 429, per-job deadlines, graceful drain, concurrent
+# determinism, codec round-trips — the serving subsystem's contract.
+go test -race ./internal/codec/ ./internal/serve/
+echo "== rdlserver smoke: boot, route dense1 over HTTP, DRC-check =="
+go run ./cmd/rdlserver -smoke
 echo "== go test -race $* ./... =="
 go test -race "$@" ./...
 echo "== verify OK =="
