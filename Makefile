@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-short bench bench-json serve serve-smoke serve-bench fmt
+.PHONY: build test verify verify-short bench bench-json serve serve-smoke serve-bench fmt qa fuzz
 
 build:
 	$(GO) build ./...
@@ -40,3 +40,17 @@ serve-bench:
 
 fmt:
 	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)
+
+# Randomized DRC-oracle harness: 200 seeded designs through both routers
+# with the full oracle suite (see the QA harness section of EXPERIMENTS.md).
+qa:
+	$(GO) test ./internal/qa -count=1 -v
+
+# 10s smoke of every native fuzz target; lengthen one with e.g.
+#   go test ./internal/geom -fuzz FuzzOct8Ops -fuzztime 60s
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/codec -run '^$$' -fuzz '^FuzzDecodeDesign$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/codec -run '^$$' -fuzz '^FuzzDecodeOptions$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/geom -run '^$$' -fuzz '^FuzzOct8Ops$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lp -run '^$$' -fuzz '^FuzzSimplex$$' -fuzztime $(FUZZTIME)

@@ -1,77 +1,192 @@
-// Command rdlverify checks a saved routing result against its design: it
-// re-runs the full design-rule checker (spacing, crossing, angle rules and
-// connectivity) and reports the Table-I metrics of the stored layout.
+// Command rdlverify checks routing results against the design rules.
 //
-// Usage:
+// File mode re-runs the full design-rule checker (spacing, crossing,
+// angle rules and connectivity) on a saved result and reports the
+// Table-I metrics of the stored layout:
 //
 //	rdlroute -bench dense1 -out routes.rdl      # produce a result
 //	rdlgen   -name dense1 -o design.rdl
 //	rdlverify -design design.rdl -routes routes.rdl
+//
+// Random mode runs the qa harness instead: N seeded random designs are
+// generated and routed through both the concurrent flow and the Lin-ext
+// baseline, with the full oracle suite (DRC, connectivity, wirelength,
+// codec round-trip, cancellation, differential and metamorphic gates)
+// asserted on every one. Failures print a deterministically-replaying
+// seed and a shrunken reproducer:
+//
+//	rdlverify -random 200
+//	rdlverify -random 1 -seed 1236        # replay a reported failure
+//
+// Both modes exit 0 only when everything is clean and support -json for
+// machine-readable reports.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rdlroute"
+	"rdlroute/internal/qa"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, dispatches to file or
+// random mode, writes reports to stdout and diagnostics to stderr, and
+// returns the process exit code — 0 clean, 1 violations or oracle
+// failures, 2 usage or input errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rdlverify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		designPath = flag.String("design", "", "design netlist file")
-		routesPath = flag.String("routes", "", "routing result file (from rdlroute -out)")
-		maxPrint   = flag.Int("max-violations", 20, "maximum violations to print")
+		designPath = fs.String("design", "", "design netlist file")
+		routesPath = fs.String("routes", "", "routing result file (from rdlroute -out)")
+		maxPrint   = fs.Int("max-violations", 20, "maximum violations to print")
+		jsonOut    = fs.Bool("json", false, "emit a machine-readable JSON report")
+		randomN    = fs.Int("random", 0, "run the qa harness on N seeded random designs")
+		seed       = fs.Int64("seed", 1, "base seed for -random; design i uses seed+i")
 	)
-	flag.Parse()
-	if *designPath == "" || *routesPath == "" {
-		fmt.Fprintln(os.Stderr, "rdlverify: need -design and -routes")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	df, err := os.Open(*designPath)
+	if *randomN > 0 {
+		return runRandom(*randomN, *seed, *jsonOut, stdout, stderr)
+	}
+	if *designPath == "" || *routesPath == "" {
+		fmt.Fprintln(stderr, "rdlverify: need -design and -routes (or -random N)")
+		return 2
+	}
+	return runFile(*designPath, *routesPath, *maxPrint, *jsonOut, stdout, stderr)
+}
+
+// fileReport is the -json shape of file mode.
+type fileReport struct {
+	Design      string   `json:"design"`
+	Nets        int      `json:"nets"`
+	WireLayers  int      `json:"wire_layers"`
+	Polylines   int      `json:"polylines"`
+	Vias        int      `json:"vias"`
+	Routed      int      `json:"routed"`
+	Routability float64  `json:"routability_pct"`
+	Wirelength  float64  `json:"wirelength"`
+	Clean       bool     `json:"clean"`
+	Violations  []string `json:"violations,omitempty"`
+}
+
+func runFile(designPath, routesPath string, maxPrint int, jsonOut bool, stdout, stderr io.Writer) int {
+	df, err := os.Open(designPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rdlverify:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "rdlverify:", err)
+		return 2
 	}
 	d, err := rdlroute.ParseDesign(df)
 	df.Close()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rdlverify:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "rdlverify:", err)
+		return 2
 	}
 	if err := d.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "rdlverify: design invalid:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "rdlverify: design invalid:", err)
+		return 2
 	}
-	rf, err := os.Open(*routesPath)
+	rf, err := os.Open(routesPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rdlverify:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "rdlverify:", err)
+		return 2
 	}
 	lay, err := rdlroute.ParseLayout(rf, d)
 	rf.Close()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rdlverify:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "rdlverify:", err)
+		return 2
 	}
-
-	fmt.Printf("design      %s (%d nets, %d wire layers)\n", d.Name, len(d.Nets), d.WireLayers)
-	fmt.Printf("routes      %d polylines, %d vias\n", len(lay.Routes), len(lay.Vias))
-	fmt.Printf("routability %.1f%% (%d/%d nets)\n", lay.Routability(), lay.RoutedCount(), len(d.Nets))
-	fmt.Printf("wirelength  %.0f\n", lay.Wirelength())
 
 	vs := rdlroute.Check(lay)
-	if len(vs) == 0 {
-		fmt.Println("drc         clean")
-		return
+	rep := fileReport{
+		Design:      d.Name,
+		Nets:        len(d.Nets),
+		WireLayers:  d.WireLayers,
+		Polylines:   len(lay.Routes),
+		Vias:        len(lay.Vias),
+		Routed:      lay.RoutedCount(),
+		Routability: lay.Routability(),
+		Wirelength:  lay.Wirelength(),
+		Clean:       len(vs) == 0,
 	}
-	fmt.Printf("drc         %d violations\n", len(vs))
-	for i, v := range vs {
-		if i >= *maxPrint {
-			fmt.Printf("  ... and %d more\n", len(vs)-*maxPrint)
-			break
+	for _, v := range vs {
+		rep.Violations = append(rep.Violations, v.String())
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "rdlverify:", err)
+			return 2
 		}
-		fmt.Printf("  %v\n", v)
+	} else {
+		fmt.Fprintf(stdout, "design      %s (%d nets, %d wire layers)\n", rep.Design, rep.Nets, rep.WireLayers)
+		fmt.Fprintf(stdout, "routes      %d polylines, %d vias\n", rep.Polylines, rep.Vias)
+		fmt.Fprintf(stdout, "routability %.1f%% (%d/%d nets)\n", rep.Routability, rep.Routed, rep.Nets)
+		fmt.Fprintf(stdout, "wirelength  %.0f\n", rep.Wirelength)
+		if rep.Clean {
+			fmt.Fprintln(stdout, "drc         clean")
+		} else {
+			fmt.Fprintf(stdout, "drc         %d violations\n", len(rep.Violations))
+			for i, v := range rep.Violations {
+				if i >= maxPrint {
+					fmt.Fprintf(stdout, "  ... and %d more\n", len(rep.Violations)-maxPrint)
+					break
+				}
+				fmt.Fprintf(stdout, "  %s\n", v)
+			}
+		}
 	}
-	os.Exit(1)
+	if !rep.Clean {
+		return 1
+	}
+	return 0
+}
+
+// randomReport is the -json shape of random mode.
+type randomReport struct {
+	Seed int64 `json:"seed"`
+	qa.Report
+	OK bool `json:"ok"`
+}
+
+func runRandom(n int, seed int64, jsonOut bool, stdout, stderr io.Writer) int {
+	cfg := qa.Config{
+		N:        n,
+		Seed:     seed,
+		Suite:    qa.FullSuite(),
+		LPChecks: -1,
+		Shrink:   true,
+	}
+	if !jsonOut {
+		cfg.Log = func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	rep := qa.Run(cfg)
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(randomReport{Seed: seed, Report: rep, OK: rep.OK()}); err != nil {
+			fmt.Fprintln(stderr, "rdlverify:", err)
+			return 2
+		}
+	} else {
+		fmt.Fprint(stdout, rep.String())
+	}
+	if !rep.OK() {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rdlroute"
+	"rdlroute/internal/qa"
+)
+
+// writeFiles routes a qa design and saves the design netlist and layout
+// to dir, returning both paths and the layout for further mutation.
+func writeFiles(t *testing.T, dir string) (designPath, routesPath string, lay *rdlroute.Layout) {
+	t.Helper()
+	d := qa.Generate(5)
+	res, err := rdlroute.Route(d, rdlroute.DefaultOptions())
+	if err != nil {
+		t.Fatalf("routing fixture design: %v", err)
+	}
+	designPath = filepath.Join(dir, "design.rdl")
+	routesPath = filepath.Join(dir, "routes.rdl")
+	var db, rb bytes.Buffer
+	if err := rdlroute.WriteDesign(&db, d); err != nil {
+		t.Fatalf("writing design: %v", err)
+	}
+	if err := rdlroute.WriteLayout(&rb, res.Layout); err != nil {
+		t.Fatalf("writing layout: %v", err)
+	}
+	if err := os.WriteFile(designPath, db.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(routesPath, rb.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return designPath, routesPath, res.Layout
+}
+
+// corrupt duplicates one wire polyline onto a different net, which the
+// checker must flag as a crossing, and saves the broken layout.
+func corrupt(t *testing.T, lay *rdlroute.Layout, path string) {
+	t.Helper()
+	if len(lay.Routes) == 0 || len(lay.D.Nets) < 2 {
+		t.Fatal("fixture layout has no routes to corrupt")
+	}
+	r := lay.Routes[0]
+	r.Net = (r.Net + 1) % len(lay.D.Nets)
+	lay.Routes = append(lay.Routes, r)
+	var b bytes.Buffer
+	if err := rdlroute.WriteLayout(&b, lay); err != nil {
+		t.Fatalf("writing corrupted layout: %v", err)
+	}
+	if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsageExitCode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("run with no args: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "need -design and -routes") {
+		t.Fatalf("usage message missing, got %q", errb.String())
+	}
+}
+
+func TestFileModeCleanAndViolations(t *testing.T) {
+	dir := t.TempDir()
+	designPath, routesPath, lay := writeFiles(t, dir)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-design", designPath, "-routes", routesPath}, &out, &errb); code != 0 {
+		t.Fatalf("clean layout: exit %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "drc         clean") {
+		t.Fatalf("clean layout output missing drc line:\n%s", out.String())
+	}
+
+	badPath := filepath.Join(dir, "bad.rdl")
+	corrupt(t, lay, badPath)
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-design", designPath, "-routes", badPath}, &out, &errb); code != 1 {
+		t.Fatalf("violating layout: exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "violations") {
+		t.Fatalf("violating layout output missing violation count:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-design", designPath, "-routes", badPath, "-json"}, &out, &errb); code != 1 {
+		t.Fatalf("violating layout -json: exit %d, want 1", code)
+	}
+	var rep fileReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Clean || len(rep.Violations) == 0 {
+		t.Fatalf("-json report should carry violations, got clean=%v violations=%d",
+			rep.Clean, len(rep.Violations))
+	}
+	if rep.Nets == 0 || rep.Routed == 0 {
+		t.Fatalf("-json report missing metrics: %+v", rep)
+	}
+}
+
+func TestRandomMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-random", "2", "-seed", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("-random 2: exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "qa: 2 designs") {
+		t.Fatalf("-random report missing summary:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "seed 1 design") {
+		t.Fatalf("-random progress log missing from stderr:\n%s", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-random", "1", "-seed", "3", "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("-random -json: exit %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	var rep struct {
+		Seed     int64 `json:"seed"`
+		OK       bool  `json:"ok"`
+		Designs  int
+		Failures []qa.SeedFailure
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-random -json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if !rep.OK || rep.Designs != 1 || rep.Seed != 3 || len(rep.Failures) != 0 {
+		t.Fatalf("unexpected -random -json report: %+v", rep)
+	}
+}

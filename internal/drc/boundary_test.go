@@ -1,0 +1,81 @@
+package drc
+
+import (
+	"testing"
+
+	"rdlroute/internal/geom"
+	"rdlroute/internal/lattice"
+	"rdlroute/internal/layout"
+)
+
+// TestSpacingBoundary pins the checker's strict-inequality contract at
+// the exact rule boundary: a gap of exactly s is clean, a gap of s−1 is a
+// spacing violation, and a gap of 0 is reported as a crossing. Every
+// lattice clearance radius in the router is derived against this
+// predicate, so the boundary must not drift.
+func TestSpacingBoundary(t *testing.T) {
+	const s, w = 5, 4 // dsn()'s rules: spacing 5, wire width 4
+	tests := []struct {
+		name string
+		gap  int64 // polygon gap between the two wires' edges
+		kind string
+		want int // violations expected between the two nets
+	}{
+		{name: "gap exactly s is clean", gap: s, want: 0},
+		{name: "gap s-1 violates", gap: s - 1, kind: "spacing", want: 1},
+		{name: "gap 0 is a crossing", gap: 0, kind: "crossing", want: 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			l := layout.New(dsn())
+			l.AddPath(0, []lattice.PathStep{
+				{Layer: 0, Pt: geom.Pt(48, 100)}, {Layer: 0, Pt: geom.Pt(480, 100)},
+			})
+			// Parallel wire: center distance = wire width + desired gap.
+			y := int64(100) + w + tc.gap
+			l.AddPath(1, []lattice.PathStep{
+				{Layer: 0, Pt: geom.Pt(48, y)}, {Layer: 0, Pt: geom.Pt(480, y)},
+			})
+			vs := Check(l)
+			if len(vs) != tc.want {
+				t.Fatalf("gap %d: %d violations %v, want %d", tc.gap, len(vs), vs, tc.want)
+			}
+			if tc.want > 0 && kinds(vs)[tc.kind] != tc.want {
+				t.Errorf("gap %d: violation kinds %v, want %d %s", tc.gap, kinds(vs), tc.want, tc.kind)
+			}
+		})
+	}
+}
+
+// TestSpacingBoundaryWireVia runs the same boundary against a via
+// octagon: the via's flat side faces the wire, so the polygon gap is the
+// center offset minus via half-width minus wire half-width.
+func TestSpacingBoundaryWireVia(t *testing.T) {
+	const s, w, v = 5, 4, 16
+	tests := []struct {
+		name string
+		gap  int64
+		want int
+	}{
+		{name: "gap exactly s is clean", gap: s, want: 0},
+		{name: "gap s-1 violates", gap: s - 1, want: 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			l := layout.New(dsn())
+			l.AddPath(0, []lattice.PathStep{
+				{Layer: 0, Pt: geom.Pt(48, 100)}, {Layer: 0, Pt: geom.Pt(480, 100)},
+			})
+			// Net 1's via below wire 0: centers differ in y only, so the
+			// octagon's flat bottom faces the wire's top edge.
+			y := int64(100) + w/2 + tc.gap + v/2
+			l.Vias = append(l.Vias, layout.Via{
+				Net: 1, Slab: 0, Center: geom.Pt(240, y), Width: v,
+			})
+			vs := Check(l)
+			if len(vs) != tc.want {
+				t.Fatalf("gap %d: %d violations %v, want %d", tc.gap, len(vs), vs, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,115 @@
+package geom
+
+import (
+	"testing"
+)
+
+// FuzzOct8Ops throws arbitrary octagonal tiles at the Oct8 algebra and
+// checks the exact integer-point semantics the router relies on —
+// continuous areas of thin diagonal regions are float-approximate, but
+// lattice membership is the model's ground truth. Invariants, verified
+// point-by-point over the tiles' neighborhood:
+//
+//   - Canonical preserves membership and is idempotent on non-empty
+//     regions (empty regions have no canonical representative, but must
+//     stay empty).
+//   - Empty never claims a region that still contains lattice points.
+//   - IntersectOct is exactly pointwise AND.
+//   - SubtractOct partitions a\b: pieces are pairwise disjoint, disjoint
+//     from b, and their union covers exactly the points of a outside b.
+//
+// Inputs are reduced to small coordinates so the verification window
+// stays a few hundred points on a side.
+func FuzzOct8Ops(f *testing.F) {
+	f.Add(int16(0), int16(0), int16(24), int16(24), int16(4), int16(4), int16(12), int16(12), int16(16))
+	f.Add(int16(-8), int16(3), int16(0), int16(0), int16(0), int16(0), int16(-8), int16(3), int16(0))
+	f.Add(int16(5), int16(5), int16(40), int16(2), int16(60), int16(-60), int16(20), int16(6), int16(7))
+	f.Add(int16(-100), int16(50), int16(-183), int16(92), int16(37), int16(81), int16(-32), int16(51), int16(228))
+	f.Fuzz(func(t *testing.T, ax, ay, aw, ah, scut, dcut, bx, by, bw int16) {
+		// a: a rect-based tile with the diagonal bounds tightened by the
+		// fuzzed cuts (possibly past emptiness — Empty must cope).
+		ra := Rect{int64(ax % 96), int64(ay % 96), int64(ax%96) + abs16(aw)%64, int64(ay%96) + abs16(ah)%64}
+		a := OctFromRect(ra)
+		a.SLo += int64(scut % 64)
+		a.DHi -= int64(dcut % 64)
+		// b: a via-style octagon.
+		b := RegularOct(Pt(int64(bx%96), int64(by%96)), abs16(bw)%64)
+
+		// Verification window: both bboxes grown by 2.
+		x0 := Min64(ra.X0, b.XLo) - 2
+		x1 := Max64(ra.X1, b.XHi) + 2
+		y0 := Min64(ra.Y0, b.YLo) - 2
+		y1 := Max64(ra.Y1, b.YHi) + 2
+
+		for _, o := range []Oct8{a, b} {
+			c := o.Canonical()
+			if o.Empty() {
+				if !c.Empty() {
+					t.Fatalf("Canonical turned empty %v non-empty", o)
+				}
+			} else {
+				if c.Canonical() != c {
+					t.Fatalf("Canonical not idempotent: %v → %v", c, c.Canonical())
+				}
+				if ctr := o.Center(); !o.Contains(ctr) {
+					t.Fatalf("non-empty %v does not contain its Center %v", o, ctr)
+				}
+			}
+			for x := x0; x <= x1; x++ {
+				for y := y0; y <= y1; y++ {
+					if o.Contains(Pt(x, y)) != c.Contains(Pt(x, y)) {
+						t.Fatalf("Canonical changed membership of (%d,%d) in %v", x, y, o)
+					}
+				}
+			}
+		}
+
+		if a.Intersects(b) != b.Intersects(a) {
+			t.Fatalf("Intersects not symmetric for %v, %v", a, b)
+		}
+		inter := a.IntersectOct(b)
+		pieces := a.SubtractOct(b)
+		for _, p := range pieces {
+			if p.Empty() {
+				t.Fatalf("SubtractOct returned an empty piece %v", p)
+			}
+		}
+		anyA := false
+		for x := x0; x <= x1; x++ {
+			for y := y0; y <= y1; y++ {
+				p := Pt(x, y)
+				inA, inB := a.Contains(p), b.Contains(p)
+				anyA = anyA || inA
+				if got := inter.Contains(p); got != (inA && inB) {
+					t.Fatalf("IntersectOct wrong at %v: got %v, want %v∧%v", p, got, inA, inB)
+				}
+				cover := 0
+				for _, piece := range pieces {
+					if piece.Contains(p) {
+						cover++
+					}
+				}
+				if cover > 1 {
+					t.Fatalf("%d subtract pieces overlap at %v", cover, p)
+				}
+				if want := inA && !inB; (cover == 1) != want {
+					t.Fatalf("SubtractOct coverage at %v = %d, want in(a\\b)=%v", p, cover, want)
+				}
+			}
+		}
+		// Empty() must never lie about a region that has points. (The
+		// converse does not hold: a pinched diagonal band whose s and d
+		// bounds disagree in parity contains real points but no integer
+		// ones, and still reports non-empty.)
+		if a.Empty() && anyA {
+			t.Fatal("Empty() = true but the window contains points of a")
+		}
+	})
+}
+
+func abs16(v int16) int64 {
+	if v < 0 {
+		return -int64(v)
+	}
+	return int64(v)
+}

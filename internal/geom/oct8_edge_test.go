@@ -1,0 +1,171 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// TestOct8Degenerate walks the degenerations the paper's tile model must
+// represent exactly: points, axis-aligned segments and zero-area regions
+// are all valid Oct8 values, not error cases.
+func TestOct8Degenerate(t *testing.T) {
+	tests := []struct {
+		name     string
+		oct      Oct8
+		empty    bool
+		area     float64
+		contains []Point
+		excludes []Point
+	}{
+		{
+			name:     "point",
+			oct:      OctFromRect(Rect{10, 20, 10, 20}),
+			area:     0,
+			contains: []Point{Pt(10, 20)},
+			excludes: []Point{Pt(11, 20), Pt(10, 21)},
+		},
+		{
+			name:     "vertical segment",
+			oct:      OctFromRect(Rect{5, 0, 5, 40}),
+			area:     0,
+			contains: []Point{Pt(5, 0), Pt(5, 20), Pt(5, 40)},
+			excludes: []Point{Pt(6, 20), Pt(4, 20), Pt(5, 41)},
+		},
+		{
+			name: "diagonal segment",
+			// x ∈ [0,10], y ∈ [0,10], pinned to the anti-diagonal x+y=10.
+			oct:      Oct8{XLo: 0, XHi: 10, YLo: 0, YHi: 10, SLo: 10, SHi: 10, DLo: -10, DHi: 10},
+			area:     0,
+			contains: []Point{Pt(0, 10), Pt(5, 5), Pt(10, 0)},
+			excludes: []Point{Pt(5, 6), Pt(5, 4)},
+		},
+		{
+			name: "empty via diagonal cut",
+			// The axis box is fine but x+y ≥ 30 excludes all of it.
+			oct:   Oct8{XLo: 0, XHi: 10, YLo: 0, YHi: 10, SLo: 30, SHi: 100, DLo: -100, DHi: 100},
+			empty: true,
+		},
+		{
+			name:  "empty via inverted axis",
+			oct:   Oct8{XLo: 10, XHi: 0, YLo: 0, YHi: 10, SLo: -100, SHi: 100, DLo: -100, DHi: 100},
+			empty: true,
+		},
+		{
+			name:  "over-shrunk via pad",
+			oct:   RegularOct(Pt(100, 100), 16).Shrink(9),
+			empty: true,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.oct.Empty(); got != tc.empty {
+				t.Fatalf("Empty() = %v, want %v", got, tc.empty)
+			}
+			if tc.empty {
+				return
+			}
+			if got := tc.oct.Area(); math.Abs(got-tc.area) > 1e-9 {
+				t.Errorf("Area() = %v, want %v", got, tc.area)
+			}
+			for _, p := range tc.contains {
+				if !tc.oct.Contains(p) {
+					t.Errorf("Contains(%v) = false, want true", p)
+				}
+			}
+			for _, p := range tc.excludes {
+				if tc.oct.Contains(p) {
+					t.Errorf("Contains(%v) = true, want false", p)
+				}
+			}
+			if c := tc.oct.Center(); !tc.oct.Contains(c) {
+				t.Errorf("Center() = %v not contained", c)
+			}
+			can := tc.oct.Canonical()
+			if can.Canonical() != can {
+				t.Errorf("Canonical not idempotent: %v → %v", can, can.Canonical())
+			}
+		})
+	}
+}
+
+// TestOct8TouchingNotOverlapping pins the closed-vs-open boundary
+// semantics the DRC depends on: octagons sharing only a boundary
+// intersect as closed sets (Intersects true, intersection of zero area)
+// while their polygons do not overlap (no shared interior) and sit at
+// distance zero — which the strict `dist < spacing` predicate counts as
+// a crossing, never as clean.
+func TestOct8TouchingNotOverlapping(t *testing.T) {
+	tests := []struct {
+		name       string
+		a, b       Oct8
+		intersects bool
+		dist       float64
+	}{
+		{
+			name:       "rects sharing an edge",
+			a:          OctFromRect(Rect{0, 0, 24, 24}),
+			b:          OctFromRect(Rect{24, 0, 48, 24}),
+			intersects: true,
+			dist:       0,
+		},
+		{
+			name:       "rects sharing a corner point",
+			a:          OctFromRect(Rect{0, 0, 24, 24}),
+			b:          OctFromRect(Rect{24, 24, 48, 48}),
+			intersects: true,
+			dist:       0,
+		},
+		{
+			name:       "rects one DBU apart",
+			a:          OctFromRect(Rect{0, 0, 24, 24}),
+			b:          OctFromRect(Rect{25, 0, 49, 24}),
+			intersects: false,
+			dist:       1,
+		},
+		{
+			name:       "via pads flush side to side",
+			a:          RegularOct(Pt(0, 0), 16),
+			b:          RegularOct(Pt(16, 0), 16),
+			intersects: true,
+			dist:       0,
+		},
+		{
+			name:       "via pads one DBU apart",
+			a:          RegularOct(Pt(0, 0), 16),
+			b:          RegularOct(Pt(17, 0), 16),
+			intersects: false,
+			dist:       1,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Intersects(tc.b); got != tc.intersects {
+				t.Errorf("Intersects = %v, want %v", got, tc.intersects)
+			}
+			if got := tc.b.Intersects(tc.a); got != tc.intersects {
+				t.Errorf("Intersects not symmetric: reverse = %v", got)
+			}
+			if tc.intersects {
+				if ia := tc.a.IntersectOct(tc.b).Area(); ia != 0 {
+					t.Errorf("touching octs intersect with area %v, want 0", ia)
+				}
+			}
+			pa, pb := tc.a.Poly(), tc.b.Poly()
+			if pa.Overlaps(pb) {
+				t.Error("polygons of non-interior-sharing octs report Overlaps")
+			}
+			if got := pa.Dist(pb); math.Abs(got-tc.dist) > 1e-9 {
+				t.Errorf("Poly Dist = %v, want %v", got, tc.dist)
+			}
+		})
+	}
+}
+
+// TestOct8GrowShrinkInverse: for axis-aligned regions Grow and Shrink are
+// exact inverses (the diagonal rounding is identical in both directions).
+func TestOct8GrowShrinkInverse(t *testing.T) {
+	o := OctFromRect(Rect{0, 0, 48, 36})
+	if got := o.Grow(5).Shrink(5).Canonical(); got != o.Canonical() {
+		t.Errorf("Grow(5).Shrink(5) = %v, want %v", got, o.Canonical())
+	}
+}

@@ -1,0 +1,205 @@
+package lattice
+
+import (
+	"rdlroute/internal/geom"
+)
+
+// Edge-occupancy guard.
+//
+// Node marks (markDisk) guarantee clearance at lattice nodes, but the wire
+// SEGMENT between two clear nodes can pass closer to a foreign shape than
+// either endpoint does: the distance from a convex shape to a straight
+// segment is convex along the segment, so its minimum may fall strictly
+// between the nodes (corner cutting). On the standard grid (pitch 12, wire
+// width 4) a 45° wire between two nodes that both clear a rectangle corner
+// by 12 dips to 12/√2 ≈ 8.49 from it — clean at spacing 5 or 6, a real
+// spacing violation at spacing 8. The same mechanism applies near wire
+// elbows and via pads once spacing grows past the node-quantization slack.
+//
+// The guard closes the gap exactly: every marked shape, wire and via also
+// claims the cell EDGES (the four swept segments a wire move can occupy:
+// E, N and the two cell diagonals) whose wire polygon would violate DRC
+// spacing against the item's polygon — the identical polygons and strict
+// `dist < spacing` predicate the checker uses, so an edge is forbidden iff
+// committing wire along it would produce a spacing/crossing violation.
+// Ownership semantics mirror node marks: a net may use edges claimed only
+// by itself; conflicting claims collapse to hard.
+const (
+	edgeE  = 0 // node(i,j) → node(i+1,j)
+	edgeN  = 1 // node(i,j) → node(i,j+1)
+	edgeNE = 2 // node(i,j) → node(i+1,j+1)
+	edgeNW = 3 // node(i+1,j) → node(i,j+1)
+)
+
+// edgeSeg returns the swept segment of edge kind at cell (i, j).
+func (la *Lattice) edgeSeg(kind, i, j int) geom.Segment {
+	a := la.NodePoint(i, j)
+	switch kind {
+	case edgeE:
+		return geom.Seg(a, la.NodePoint(i+1, j))
+	case edgeN:
+		return geom.Seg(a, la.NodePoint(i, j+1))
+	case edgeNE:
+		return geom.Seg(a, la.NodePoint(i+1, j+1))
+	default: // edgeNW
+		return geom.Seg(la.NodePoint(i+1, j), la.NodePoint(i, j+1))
+	}
+}
+
+// ensureEdgeOcc allocates the edge-occupancy slabs on first use; lattices
+// whose designs never produce an edge mark skip the allocation and the
+// search's edge probe stays on its nil fast path.
+func (la *Lattice) ensureEdgeOcc() {
+	if la.edgeOcc[0] != nil {
+		return
+	}
+	n := la.Layers * la.NX * la.NY
+	for k := range la.edgeOcc {
+		la.edgeOcc[k] = make([]int32, n)
+	}
+}
+
+// markEdgesPoly claims every cell edge whose wire polygon would violate
+// spacing against the item polygon (DRC's own predicate: strict <). bbox
+// is the item's bounding box, used to window the scan.
+func (la *Lattice) markEdgesPoly(layer int, poly geom.ConvexPoly, bbox geom.Rect, owner int32) {
+	if len(poly) == 0 {
+		return
+	}
+	s := float64(la.D.Rules.Spacing)
+	halfW := float64(la.D.Rules.WireWidth) / 2
+	// An edge can violate only when its centerline is within s+halfW of the
+	// item; edges extend one pitch beyond their base cell.
+	margin := int64(s+halfW) + 1
+	i0 := int((bbox.X0 - margin - la.X0) / la.Pitch)
+	i1 := int((bbox.X1+margin-la.X0)/la.Pitch) + 1
+	j0 := int((bbox.Y0 - margin - la.Y0) / la.Pitch)
+	j1 := int((bbox.Y1+margin-la.Y0)/la.Pitch) + 1
+	i0, j0 = maxInt(i0-1, 0), maxInt(j0-1, 0)
+	i1, j1 = minInt(i1, la.NX-1), minInt(j1, la.NY-1)
+	// Bounding-box fast reject: the edge polygon lives within halfW of the
+	// edge's own bbox, so a bbox gap of s+halfW or more cannot violate.
+	px0, py0, px1, py1 := poly.BBoxF()
+	reject := s + halfW
+	n := la.NX * la.NY
+	for j := j0; j <= j1; j++ {
+		for i := i0; i <= i1; i++ {
+			base := la.NodePoint(i, j)
+			for kind := 0; kind < 4; kind++ {
+				var ei, ej int
+				switch kind {
+				case edgeE:
+					ei, ej = i+1, j
+				case edgeN:
+					ei, ej = i, j+1
+				default:
+					ei, ej = i+1, j+1
+				}
+				if ei >= la.NX || ej >= la.NY {
+					continue
+				}
+				// Edge bbox: base node to base+pitch on the axes the kind
+				// spans (edgeNW spans both, shifted to the same cell box).
+				ex0, ey0 := float64(base.X), float64(base.Y)
+				ex1, ey1 := ex0, ey0
+				if kind != edgeN {
+					ex1 += float64(la.Pitch)
+				}
+				if kind != edgeE {
+					ey1 += float64(la.Pitch)
+				}
+				if px0-ex1 >= reject || ex0-px1 >= reject ||
+					py0-ey1 >= reject || ey0-py1 >= reject {
+					continue
+				}
+				wp := geom.PolyFromSegment(la.edgeSeg(kind, i, j), halfW)
+				if poly.Dist(wp) >= s {
+					continue
+				}
+				la.ensureEdgeOcc()
+				k := layer*n + la.idx(i, j)
+				switch cur := la.edgeOcc[kind][k]; {
+				case cur == owner:
+				case cur == free:
+					la.edgeOcc[kind][k] = owner
+				default:
+					la.edgeOcc[kind][k] = hard
+				}
+			}
+		}
+	}
+}
+
+// edgeFree reports whether net may sweep wire from node (i,j) in move
+// direction nd (the index into moves). ignoreForeign mirrors the ghost
+// search: only hard claims block.
+func (la *Lattice) edgeFree(l, i, j, nd, net int, ignoreForeign bool) bool {
+	if la.edgeOcc[0] == nil {
+		return true
+	}
+	var kind, ci, cj int
+	switch nd {
+	case 0:
+		kind, ci, cj = edgeE, i, j
+	case 4:
+		kind, ci, cj = edgeE, i-1, j
+	case 2:
+		kind, ci, cj = edgeN, i, j
+	case 6:
+		kind, ci, cj = edgeN, i, j-1
+	case 1:
+		kind, ci, cj = edgeNE, i, j
+	case 5:
+		kind, ci, cj = edgeNE, i-1, j-1
+	case 3:
+		kind, ci, cj = edgeNW, i-1, j
+	default: // 7
+		kind, ci, cj = edgeNW, i, j-1
+	}
+	o := la.edgeOcc[kind][l*la.NX*la.NY+cj*la.NX+ci]
+	if ignoreForeign {
+		return o != hard
+	}
+	return passableFor(o, net)
+}
+
+// edgeOwnerAt returns the raw edge claim for OwnersOnPath.
+func (la *Lattice) edgeOwnerAt(l, i, j, nd int) int32 {
+	if la.edgeOcc[0] == nil {
+		return free
+	}
+	var kind, ci, cj int
+	switch nd {
+	case 0:
+		kind, ci, cj = edgeE, i, j
+	case 4:
+		kind, ci, cj = edgeE, i-1, j
+	case 2:
+		kind, ci, cj = edgeN, i, j
+	case 6:
+		kind, ci, cj = edgeN, i, j-1
+	case 1:
+		kind, ci, cj = edgeNE, i, j
+	case 5:
+		kind, ci, cj = edgeNE, i-1, j-1
+	case 3:
+		kind, ci, cj = edgeNW, i-1, j
+	default:
+		kind, ci, cj = edgeNW, i, j-1
+	}
+	return la.edgeOcc[kind][l*la.NX*la.NY+cj*la.NX+ci]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

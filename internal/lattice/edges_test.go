@@ -1,0 +1,109 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+)
+
+// wide returns a 600×600 single-chip design with the given spacing rule.
+func wide(spacing int64) *design.Design {
+	return &design.Design{
+		Name:       "edges",
+		Outline:    geom.RectWH(0, 0, 600, 600),
+		WireLayers: 1,
+		Rules:      design.Rules{Spacing: spacing, WireWidth: 4, ViaWidth: 16},
+	}
+}
+
+// TestEdgeGuardBlocksCornerCut pins the corner-cutting fix. An obstacle
+// with a corner at (120,120): the lattice nodes (132,120) and (120,132)
+// both clear it by 12 ≥ s+w/2, but the 45° wire between them dips to
+// 12/√2 ≈ 8.49 from the corner — polygon gap ≈ 6.49, a violation at
+// spacing 8 and legal at spacing 5. Node occupancy alone cannot see the
+// difference; the edge guard must.
+func TestEdgeGuardBlocksCornerCut(t *testing.T) {
+	for _, tc := range []struct {
+		spacing  int64
+		wantFree bool
+	}{
+		{spacing: 8, wantFree: false},
+		{spacing: 5, wantFree: true},
+	} {
+		d := wide(tc.spacing)
+		d.Obstacles = []design.Obstacle{{Layer: 0, Box: geom.RectWH(0, 0, 120, 120)}}
+		la := mustNew(t, d)
+		for _, n := range [][2]int{{11, 10}, {10, 11}} {
+			if !la.WireFree(0, n[0], n[1], 0) {
+				t.Fatalf("spacing %d: node (%d,%d) should be clear of the obstacle", tc.spacing, n[0], n[1])
+			}
+		}
+		// Move direction 3 is (−1,+1): the NW diagonal from (132,120) to
+		// (120,132), grazing the obstacle corner.
+		if got := la.edgeFree(0, 11, 10, 3, 0, false); got != tc.wantFree {
+			t.Errorf("spacing %d: corner-cutting edge free = %v, want %v", tc.spacing, got, tc.wantFree)
+		}
+	}
+}
+
+// TestEdgeGuardForcesDetour drives the same geometry through the search:
+// the all-diagonal line from (156,96) to (96,156) runs straight through
+// the corner-cutting edge, so at spacing 8 the route must detour around
+// it (one diagonal step replaced by an axis-aligned pair) while at
+// spacing 5 it stays on the pure diagonal.
+func TestEdgeGuardForcesDetour(t *testing.T) {
+	diag := 5 * 12 * geom.Sqrt2
+	for _, tc := range []struct {
+		spacing int64
+		want    float64
+	}{
+		{spacing: 8, want: diag - 12*geom.Sqrt2 + 24},
+		{spacing: 5, want: diag},
+	} {
+		d := wide(tc.spacing)
+		d.Obstacles = []design.Obstacle{{Layer: 0, Box: geom.RectWH(0, 0, 120, 120)}}
+		la := mustNew(t, d)
+		_, cost, ok := la.Route(Request{
+			Net: 0, From: geom.Pt(156, 96), To: geom.Pt(96, 156),
+		})
+		if !ok {
+			t.Fatalf("spacing %d: no route", tc.spacing)
+		}
+		if math.Abs(cost-tc.want) > 1e-6 {
+			t.Errorf("spacing %d: cost = %v, want %v", tc.spacing, cost, tc.want)
+		}
+	}
+}
+
+// TestEdgeOwnership: committed wire claims its edges for its net — the
+// owner may re-use them, other nets may not, and OwnersOnPath reports the
+// claim so rip-up can attribute edge blockages to their victims.
+func TestEdgeOwnership(t *testing.T) {
+	la := mustNew(t, wide(5))
+	path := []PathStep{
+		{Layer: 0, Pt: geom.Pt(48, 240)},
+		{Layer: 0, Pt: geom.Pt(480, 240)},
+	}
+	la.Commit(path, 0)
+	// Edge E from (120,240) to (132,240) lies on the wire itself.
+	if !la.edgeFree(0, 10, 20, 0, 0, false) {
+		t.Error("owner net blocked by its own edge claim")
+	}
+	if la.edgeFree(0, 10, 20, 0, 1, false) {
+		t.Error("foreign net allowed onto a claimed edge")
+	}
+	// Ghost searches see the single-owner claim as passable.
+	if !la.edgeFree(0, 10, 20, 0, 1, true) {
+		t.Error("ghost search blocked by a rippable single-owner edge")
+	}
+	foreign := []PathStep{
+		{Layer: 0, Pt: geom.Pt(120, 240)},
+		{Layer: 0, Pt: geom.Pt(132, 240)},
+	}
+	victims := la.OwnersOnPath(foreign, 1)
+	if len(victims) != 1 || victims[0] != 0 {
+		t.Errorf("OwnersOnPath over a claimed edge = %v, want [0]", victims)
+	}
+}

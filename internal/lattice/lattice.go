@@ -45,6 +45,10 @@ type Lattice struct {
 	// viaOcc[s*NX*NY + ...]: who owns via space on slab s (between wire
 	// layers s and s+1); Layers−1 slabs.
 	viaOcc []int32
+	// edgeOcc[kind][l*NX*NY + j*NX + i]: who owns the swept wire segment of
+	// cell edge kind (E, N, NE, NW) based at node (i, j) — the corner-cut
+	// guard (see edges.go). Allocated lazily on the first mark.
+	edgeOcc [4][]int32
 
 	// Derived clearance radii (float comparisons, strict <).
 	rWireWire float64 // foreign wire centerline to node
@@ -123,12 +127,16 @@ func New(d *design.Design, pitch int64) (*Lattice, error) {
 
 	for _, o := range d.Obstacles {
 		la.blockRect(o.Layer, o.Box, hard)
+		la.markEdgesPoly(o.Layer, geom.PolyFromRect(o.Box), o.Box, hard)
 	}
 	for pi, p := range d.IOPads {
 		la.blockRect(0, p.Box(), ioOwner[pi])
+		la.markEdgesPoly(0, geom.PolyFromRect(p.Box()), p.Box(), ioOwner[pi])
 	}
 	for pi, p := range d.BumpPads {
-		la.blockRect(la.Layers-1, p.Oct().BBox(), bumpOwner[pi])
+		oct := p.Oct()
+		la.blockRect(la.Layers-1, oct.BBox(), bumpOwner[pi])
+		la.markEdgesPoly(la.Layers-1, oct.Poly(), oct.BBox(), bumpOwner[pi])
 	}
 	for _, v := range d.FixedVias {
 		owner := hard
@@ -164,6 +172,9 @@ func (la *Lattice) Fingerprint() uint64 {
 	}
 	mix(la.wireOcc)
 	mix(la.viaOcc)
+	for _, e := range la.edgeOcc {
+		mix(e)
+	}
 	return h
 }
 
@@ -178,6 +189,18 @@ func (la *Lattice) blockVia(s int, p geom.Point, owner int32) {
 		if slab >= 0 && slab < la.Layers-1 {
 			la.markDisk(la.viaOcc, slab, bbox, la.rViaVia, dist, owner)
 		}
+	}
+	la.markViaEdges(s, p, owner)
+}
+
+// markViaEdges claims the cell edges too close to a via's landing pad on
+// the two wire layers it joins, using the checker's octagonal via shape.
+func (la *Lattice) markViaEdges(s int, p geom.Point, owner int32) {
+	oct := geom.RegularOct(p, la.D.Rules.ViaWidth)
+	poly := oct.Poly()
+	bbox := oct.BBox()
+	for _, l := range []int{s, s + 1} {
+		la.markEdgesPoly(l, poly, bbox, owner)
 	}
 }
 
@@ -304,6 +327,7 @@ func (la *Lattice) BlockRect(layer int, box geom.Rect, net int) {
 		owner = int32(net) + 1
 	}
 	la.blockRect(layer, box, owner)
+	la.markEdgesPoly(layer, geom.PolyFromRect(box), box, owner)
 }
 
 // commitWire blocks space around a committed wire segment of the net.
@@ -317,6 +341,8 @@ func (la *Lattice) commitWire(layer int, seg geom.Segment, net int) {
 			la.markDisk(la.viaOcc, s, bbox, la.rWireVia, dist, owner)
 		}
 	}
+	halfW := float64(la.D.Rules.WireWidth) / 2
+	la.markEdgesPoly(layer, geom.PolyFromSegment(seg, halfW), bbox, owner)
 }
 
 // commitVia blocks space around a committed via on slab s at point p.
@@ -332,6 +358,7 @@ func (la *Lattice) commitVia(s int, p geom.Point, net int) {
 			la.markDisk(la.viaOcc, slab, bbox, la.rViaVia, dist, owner)
 		}
 	}
+	la.markViaEdges(s, p, owner)
 }
 
 // PathStep is one node of a routed path.
@@ -387,8 +414,12 @@ func (la *Lattice) OwnersOnPath(path []PathStep, net int) []int {
 			pi, pj, ok2 := la.NodeAt(path[k-1].Pt)
 			if ok2 {
 				di, dj := sgn(i-pi), sgn(j-pj)
+				nd := dirIndex(di, dj)
 				for x, y := pi, pj; x != i || y != j; x, y = x+di, y+dj {
 					note(la.wireOcc[st.Layer*n+la.idx(x, y)])
+					if nd >= 0 {
+						note(la.edgeOwnerAt(st.Layer, x, y, nd))
+					}
 				}
 			}
 		}
@@ -402,6 +433,17 @@ func (la *Lattice) OwnersOnPath(path []PathStep, net int) []int {
 		}
 	}
 	return owners
+}
+
+// dirIndex maps a unit move (di, dj) to its index in the moves table, or
+// −1 for a zero move.
+func dirIndex(di, dj int) int {
+	for nd, mv := range moves {
+		if mv.dx == di && mv.dy == dj {
+			return nd
+		}
+	}
+	return -1
 }
 
 func sgn(v int) int {

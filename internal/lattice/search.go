@@ -353,6 +353,9 @@ func (la *Lattice) Route(req Request) (path []PathStep, cost float64, ok bool) {
 			if !wireOK(l, ni, nj) || !regionOK(l, ni, nj) {
 				continue
 			}
+			if !la.edgeFree(l, i, j, nd, req.Net, req.IgnoreForeign) {
+				continue
+			}
 			step := float64(la.Pitch)
 			if mv.diag {
 				step *= geom.Sqrt2

@@ -1,0 +1,24 @@
+package lp_test
+
+import (
+	"testing"
+
+	"rdlroute/internal/qa"
+)
+
+// FuzzSimplex drives the revised-vs-dense simplex differential oracle
+// from fuzzed seeds: each seed draws a random LP in the shapes the layout
+// optimizer emits, solves it with both independent implementations, and
+// requires agreement on feasibility status, objectives within tolerance,
+// and that each optimal solution satisfies its own constraints
+// (Problem.CheckFeasible). Seed corpus: testdata/fuzz/FuzzSimplex.
+func FuzzSimplex(f *testing.F) {
+	for _, seed := range []int64{0, 1, 7, 42, 12345} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		for _, fail := range qa.CheckLPAgreement(seed) {
+			t.Errorf("lp seed %d: %s", seed, fail)
+		}
+	})
+}

@@ -155,6 +155,42 @@ func (p *Problem) AddGE(terms []Term, rhs float64) { p.AddConstraint(terms, GE, 
 // AddEQ adds Σ terms = rhs.
 func (p *Problem) AddEQ(terms []Term, rhs float64) { p.AddConstraint(terms, EQ, rhs) }
 
+// CheckFeasible verifies that x satisfies every variable bound and every
+// constraint of the problem within eps, returning a descriptive error for
+// the first violation. The QA harness and the fuzz targets use it to hold
+// both simplex implementations to their own problem statements.
+func (p *Problem) CheckFeasible(x []float64, eps float64) error {
+	if len(x) < len(p.lo) {
+		return fmt.Errorf("lp: solution has %d values for %d vars", len(x), len(p.lo))
+	}
+	for v, lo := range p.lo {
+		if x[v] < lo-eps || x[v] > p.hi[v]+eps {
+			return fmt.Errorf("lp: var %d = %v outside bounds [%v, %v]", v, x[v], lo, p.hi[v])
+		}
+	}
+	for i, c := range p.cons {
+		sum := 0.0
+		for _, t := range c.terms {
+			sum += t.Coef * x[t.Var]
+		}
+		switch c.op {
+		case LE:
+			if sum > c.rhs+eps {
+				return fmt.Errorf("lp: constraint %d: %v > %v", i, sum, c.rhs)
+			}
+		case GE:
+			if sum < c.rhs-eps {
+				return fmt.Errorf("lp: constraint %d: %v < %v", i, sum, c.rhs)
+			}
+		case EQ:
+			if math.Abs(sum-c.rhs) > eps {
+				return fmt.Errorf("lp: constraint %d: %v != %v", i, sum, c.rhs)
+			}
+		}
+	}
+	return nil
+}
+
 // Validate checks internal consistency (variable ids in range, finite
 // coefficients) and returns a descriptive error for the first violation.
 func (p *Problem) Validate() error {

@@ -1,0 +1,327 @@
+package qa
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/drc"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/layout"
+)
+
+// Generator geometry constants, mirroring the benchmark generator's
+// database units: pads are 16 DBU squares on a 12 DBU routing grid.
+const (
+	qaPadHalfW = 8
+	qaBumpW    = 40
+	qaMargin   = 264 // fan-out room around the chip array
+	qaChipGap  = 420 // inter-chip routing channel
+)
+
+// snap rounds v down to a multiple of the routing grid.
+func snap(v int64) int64 { return v - v%design.Grid }
+
+// ceilGrid rounds v up to a multiple of the routing grid.
+func ceilGrid(v int64) int64 { return (v + design.Grid - 1) / design.Grid * design.Grid }
+
+// Generate builds a random routing instance from the seed. The result is
+// deterministic in the seed, passes design.Validate, and is DRC-clean
+// before routing (the unrouted layout has no violations), so every
+// violation the oracle suite finds afterwards was introduced by a router.
+//
+// Two families are mixed: spec designs drawn through the benchmark
+// generator with randomized shape (irregular pad mixes, interior pads,
+// board nets, obstacle clutter, fixed blockage vias), and adversarial
+// hand-placed designs whose pad rings sit at or near the minimum legal
+// spacing so that any off-by-one in a router's clearance model turns into
+// a DRC violation.
+func Generate(seed int64) *design.Design {
+	rng := rand.New(rand.NewSource(seed*2654435761 + 1))
+	for attempt := 0; attempt < 200; attempt++ {
+		var d *design.Design
+		var err error
+		if rng.Intn(3) < 2 {
+			d, err = genSpecDesign(rng, seed)
+		} else {
+			d, err = genAdversarialDesign(rng, seed)
+		}
+		if err != nil || d == nil {
+			continue
+		}
+		if d.Validate() != nil {
+			continue
+		}
+		// The generated instance itself must be clean: an unrouted layout
+		// with violations would blame the routers for the generator's sins.
+		if len(drc.Check(layout.New(d))) != 0 {
+			continue
+		}
+		return d
+	}
+	panic(fmt.Sprintf("qa: seed %d produced no valid design in 200 attempts", seed))
+}
+
+// genSpecDesign draws a randomized benchmark-generator spec: small chip
+// counts and pad counts keep a single design cheap enough that the
+// harness can sweep hundreds of them.
+func genSpecDesign(rng *rand.Rand, seed int64) (*design.Design, error) {
+	spec := design.GenSpec{
+		Name:         fmt.Sprintf("qa-%d", seed),
+		Chips:        1 + rng.Intn(3),
+		IOPads:       8 + 2*rng.Intn(9), // 8..24
+		WireLayers:   1 + rng.Intn(5),   // 1..5
+		Seed:         rng.Int63()/2 + 1,
+		InteriorFrac: 0.05 + 0.30*rng.Float64(),
+	}
+	if spec.WireLayers >= 2 && rng.Intn(10) < 6 {
+		spec.BumpPads = 9 + rng.Intn(32)
+		spec.BoardFrac = 0.5 * rng.Float64()
+	}
+	if spec.WireLayers >= 3 {
+		spec.Obstacles = rng.Intn(5)
+	}
+	if spec.WireLayers >= 2 {
+		spec.FixedVias = rng.Intn(4)
+	}
+	return design.Generate(spec)
+}
+
+// genAdversarialDesign hand-places a design whose peripheral pad rings run
+// at near-minimum pitch — pad-to-pad clearance lands exactly at the
+// spacing rule s (or one grid step above it) — with optional area pads,
+// bump pads, and obstacle clutter dropped into the fan-out region.
+func genAdversarialDesign(rng *rand.Rand, seed int64) (*design.Design, error) {
+	// Rules drawn so that wire pitch (wire width + spacing) never exceeds
+	// the routing grid, which lattice.New requires at the default pitch.
+	spacings := []int64{5, 6, 8}
+	s := spacings[rng.Intn(len(spacings))]
+	d := &design.Design{
+		Name:       fmt.Sprintf("qa-adv-%d", seed),
+		WireLayers: 2 + rng.Intn(3), // 2..4
+		Rules:      design.Rules{Spacing: s, WireWidth: 4, ViaWidth: 16},
+	}
+
+	chips := 1 + rng.Intn(2)
+	padsPerChip := 6 + 2*rng.Intn(5) // 6..14 per chip
+	// Near-minimum ring pitch: Chebyshev clearance 2·halfW + s between pad
+	// boxes is the legality boundary; the tightest grid pitch at or above
+	// it is the adversarial setting, one step looser the relaxed one. At
+	// s = 8 the tightest pitch IS the boundary — pads with zero slack make
+	// escaping between ring neighbors geometrically impossible for any
+	// router, so that family always takes the one-step-looser pitch.
+	minPitch := ceilGrid(2*qaPadHalfW + s)
+	pitch := minPitch + int64(rng.Intn(2))*design.Grid
+	if minPitch == 2*qaPadHalfW+s {
+		pitch = minPitch + design.Grid
+	}
+
+	ring := int64(padsPerChip)*pitch + 4*pitch
+	side := ceilGrid(ring / 4)
+	if side < 120 {
+		side = 120
+	}
+
+	totalW := 2*int64(qaMargin) + int64(chips)*side + int64(chips-1)*qaChipGap
+	totalH := 2*int64(qaMargin) + side
+	d.Outline = geom.RectWH(0, 0, totalW, totalH)
+
+	minSep := 2*qaPadHalfW + s // Chebyshev separation keeping pads exactly legal
+	padID := 0
+	for ci := 0; ci < chips; ci++ {
+		x0 := int64(qaMargin) + int64(ci)*(side+qaChipGap)
+		box := geom.RectWH(x0, qaMargin, side, side)
+		d.Chips = append(d.Chips, design.Chip{Name: fmt.Sprintf("chip%d", ci), Box: box})
+		placeRingPads(d, rng, ci, box, padsPerChip, pitch, minSep, &padID)
+	}
+
+	// A few interior (area) pads per chip, rejection-sampled clear of the
+	// ring at the same Chebyshev separation.
+	for ci, chip := range d.Chips {
+		placeAreaPads(d, rng, ci, chip.Box, rng.Intn(4), minSep, &padID)
+	}
+
+	// Optional bump pads under the fan-out, at the minimum legal bump pitch.
+	if rng.Intn(2) == 1 {
+		placeBumps(d, rng, 4+rng.Intn(6))
+	}
+
+	// Obstacle clutter in the fan-out channel on a random wire layer.
+	for k := rng.Intn(3); k > 0; k-- {
+		placeClutter(d, rng)
+	}
+
+	pairQAPads(d, rng)
+	if len(d.Nets) == 0 {
+		return nil, fmt.Errorf("qa: no nets")
+	}
+	return d, nil
+}
+
+// placeRingPads walks the chip boundary ring at the given pitch, pulling a
+// random subset of pads one grid step into the chip (the paper's irregular
+// structure), and keeps every pad at Chebyshev separation ≥ minSep.
+func placeRingPads(d *design.Design, rng *rand.Rand, chip int, box geom.Rect, n int, pitch, minSep int64, padID *int) {
+	const inset = design.Grid
+	w := box.W() - 2*inset
+	h := box.H() - 2*inset
+	ringLen := 2*w + 2*h
+	pos := snap(int64(rng.Intn(int(pitch))))
+	for k := 0; k < n; k++ {
+		extra := int64(rng.Intn(3)/2) * design.Grid // ~1/3 of pads pulled inward
+		placed := false
+		p := pos
+		for try := 0; try < 64; try++ {
+			pt := qaRingPoint(box, inset, extra, snap(p)%ringLen)
+			if clearOfChipPads(d, chip, pt, minSep) {
+				d.IOPads = append(d.IOPads, design.IOPad{ID: *padID, Chip: chip, Center: pt, HalfW: qaPadHalfW})
+				*padID++
+				placed = true
+				break
+			}
+			extra = 0
+			p += design.Grid
+		}
+		_ = placed
+		pos += pitch
+	}
+}
+
+// qaRingPoint maps a 1D ring coordinate to the chip boundary, pushed
+// inward by extra perpendicular to its edge.
+func qaRingPoint(box geom.Rect, inset, extra, p int64) geom.Point {
+	x0, y0 := box.X0+inset, box.Y0+inset
+	x1, y1 := box.X1-inset, box.Y1-inset
+	w, h := x1-x0, y1-y0
+	switch {
+	case p < w:
+		return geom.Pt(x0+p, y0+extra)
+	case p < w+h:
+		return geom.Pt(x1-extra, y0+(p-w))
+	case p < 2*w+h:
+		return geom.Pt(x1-(p-w-h), y1-extra)
+	default:
+		return geom.Pt(x0+extra, y1-(p-2*w-h))
+	}
+}
+
+func clearOfChipPads(d *design.Design, chip int, pt geom.Point, minSep int64) bool {
+	for _, q := range d.IOPads {
+		if q.Chip != chip {
+			continue
+		}
+		if geom.Abs64(q.Center.X-pt.X) < minSep && geom.Abs64(q.Center.Y-pt.Y) < minSep {
+			return false
+		}
+	}
+	return true
+}
+
+// placeAreaPads rejection-samples interior pads on the grid.
+func placeAreaPads(d *design.Design, rng *rand.Rand, chip int, box geom.Rect, n int, minSep int64, padID *int) {
+	inner := box.Expand(-(qaPadHalfW + 40))
+	if inner.Empty() || inner.W() <= 0 || inner.H() <= 0 {
+		return
+	}
+	for k := 0; k < n; k++ {
+		for try := 0; try < 80; try++ {
+			pt := geom.Pt(
+				ceilGrid(inner.X0)+snap(int64(rng.Intn(int(inner.W()+1)))),
+				ceilGrid(inner.Y0)+snap(int64(rng.Intn(int(inner.H()+1)))),
+			)
+			if clearOfChipPads(d, chip, pt, minSep) {
+				d.IOPads = append(d.IOPads, design.IOPad{ID: *padID, Chip: chip, Center: pt, HalfW: qaPadHalfW})
+				*padID++
+				break
+			}
+		}
+	}
+}
+
+// placeBumps drops a small bump grid into the fan-out region below the
+// chips, at the minimum legal bump pitch.
+func placeBumps(d *design.Design, rng *rand.Rand, n int) {
+	minPitch := ceilGrid(qaBumpW + d.Rules.Spacing)
+	y := snap(d.Outline.Y1 - qaMargin/2)
+	x := ceilGrid(d.Outline.X0 + qaMargin/2)
+	id := 0
+	for i := 0; id < n; i++ {
+		c := geom.Pt(x+int64(i)*minPitch, y)
+		if c.X+qaBumpW/2 > d.Outline.X1-design.Grid {
+			break
+		}
+		d.BumpPads = append(d.BumpPads, design.BumpPad{ID: id, Center: c, W: qaBumpW})
+		id++
+	}
+}
+
+// placeClutter drops one rectangular obstacle into the fan-out region,
+// clear of chips (with routing headroom), bumps and other obstacles.
+func placeClutter(d *design.Design, rng *rand.Rand) {
+	layer := rng.Intn(d.WireLayers)
+	s := d.Rules.Spacing
+	for try := 0; try < 60; try++ {
+		w := int64(36 + design.Grid*rng.Intn(5))
+		h := int64(36 + design.Grid*rng.Intn(5))
+		x := ceilGrid(d.Outline.X0 + design.Grid + int64(rng.Intn(int(d.Outline.W()-w-2*design.Grid))))
+		y := ceilGrid(d.Outline.Y0 + design.Grid + int64(rng.Intn(int(d.Outline.H()-h-2*design.Grid))))
+		box := geom.RectWH(x, y, w, h)
+		if !d.Outline.ContainsRect(box.Expand(design.Grid)) {
+			continue
+		}
+		ok := true
+		for _, c := range d.Chips {
+			if c.Box.Expand(3 * design.Grid).Intersects(box) {
+				ok = false
+				break
+			}
+		}
+		if layer == d.WireLayers-1 {
+			for _, b := range d.BumpPads {
+				if b.Oct().BBox().Expand(s + 2*design.Grid).Intersects(box) {
+					ok = false
+					break
+				}
+			}
+		}
+		for _, o := range d.Obstacles {
+			if o.Layer == layer && o.Box.Expand(s+2*design.Grid).Intersects(box) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			d.Obstacles = append(d.Obstacles, design.Obstacle{Layer: layer, Box: box})
+			return
+		}
+	}
+}
+
+// pairQAPads builds pre-assigned nets: inter-chip pairs when two chips
+// exist (plus some intra-chip), chip-to-board pairs onto free bump pads.
+func pairQAPads(d *design.Design, rng *rand.Rand) {
+	perm := rng.Perm(len(d.IOPads))
+	usedBump := 0
+	netID := 0
+	for i := 0; i+1 < len(perm); i += 2 {
+		a, b := perm[i], perm[i+1]
+		// A slice of nets goes to the board instead of to the paired pad.
+		if usedBump < len(d.BumpPads) && rng.Intn(4) == 0 {
+			d.Nets = append(d.Nets, design.Net{
+				ID: netID,
+				P1: design.PadRef{Kind: design.IOKind, Index: a},
+				P2: design.PadRef{Kind: design.BumpKind, Index: usedBump},
+			})
+			netID++
+			usedBump++
+			// The displaced partner pad stays unpaired this round.
+			continue
+		}
+		d.Nets = append(d.Nets, design.Net{
+			ID: netID,
+			P1: design.PadRef{Kind: design.IOKind, Index: a},
+			P2: design.PadRef{Kind: design.IOKind, Index: b},
+		})
+		netID++
+	}
+}

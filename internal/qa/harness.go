@@ -1,0 +1,96 @@
+package qa
+
+import (
+	"strings"
+
+	"rdlroute/internal/design"
+)
+
+// Config parameterizes a harness run.
+type Config struct {
+	N    int   // number of random designs to generate and check
+	Seed int64 // base seed; design i replays as Seed+i
+
+	// Suite selects the oracle families beyond the core gates; the zero
+	// value runs core-only, FullSuite() everything.
+	Suite Suite
+
+	// LPChecks runs this many revised-vs-dense simplex differential
+	// checks on random LPs (seeded from the same base). Negative means
+	// one per design.
+	LPChecks int
+
+	// Shrink minimizes each failing design to a smaller reproducer and
+	// attaches its netlist to the failure report.
+	Shrink bool
+
+	// Log, when non-nil, receives one progress line per design.
+	Log func(format string, args ...any)
+}
+
+// Run generates cfg.N seeded random designs and checks each against the
+// oracle suite; design i uses seed cfg.Seed+i, so any failing design is
+// replayed by a 1-design run at the printed seed. It then runs the LP
+// differential checks. Everything is deterministic in cfg.Seed except the
+// cancellation oracle's abort point, whose property must hold at any
+// abort point.
+func Run(cfg Config) Report {
+	if cfg.N <= 0 {
+		cfg.N = 1
+	}
+	lpChecks := cfg.LPChecks
+	if lpChecks < 0 {
+		lpChecks = cfg.N
+	}
+	var rep Report
+	for i := 0; i < cfg.N; i++ {
+		seed := cfg.Seed + int64(i)
+		d := Generate(seed)
+		st, fails := CheckDesign(d, seed, cfg.Suite)
+		rep.Designs++
+		rep.Nets += st.Nets
+		rep.Routed += st.FlowRouted
+		rep.Baseline += st.BaseRouted
+		if cfg.Log != nil {
+			status := "ok"
+			if len(fails) > 0 {
+				status = "FAIL"
+			}
+			cfg.Log("qa: seed %d design %q nets %d flow %d linext %d %s",
+				seed, d.Name, st.Nets, st.FlowRouted, st.BaseRouted, status)
+		}
+		if len(fails) == 0 {
+			continue
+		}
+		sf := SeedFailure{Seed: seed, Failures: fails}
+		if cfg.Shrink {
+			sf.MinimalNetlist, sf.MinimalNets, sf.MinimalFailure = shrinkFailure(d, seed, cfg.Suite)
+		}
+		rep.Failures = append(rep.Failures, sf)
+	}
+	for i := 0; i < lpChecks; i++ {
+		seed := cfg.Seed + int64(i)
+		if fails := CheckLPAgreement(seed); len(fails) > 0 {
+			rep.Failures = append(rep.Failures, SeedFailure{Seed: seed, Failures: fails})
+		}
+	}
+	return rep
+}
+
+// shrinkFailure minimizes d against "still fails any oracle" and renders
+// the reproducer as a text netlist.
+func shrinkFailure(d *design.Design, seed int64, suite Suite) (netlist string, nets int, oracle string) {
+	min := Shrink(d, func(c *design.Design) bool {
+		_, fails := CheckDesign(c, seed, suite)
+		if len(fails) > 0 {
+			oracle = fails[0].Oracle
+			return true
+		}
+		return false
+	})
+	var b strings.Builder
+	if err := design.Format(&b, min); err != nil {
+		return "", len(min.Nets), oracle
+	}
+	return b.String(), len(min.Nets), oracle
+}

@@ -1,0 +1,109 @@
+package qa
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rdlroute/internal/lp"
+)
+
+// LP differential tolerances: both solvers run exact float64 pivoting on
+// small problems, so optimal objectives should agree tightly; feasibility
+// is checked against the stated constraints with the same slack.
+const (
+	lpObjRelTol  = 1e-6
+	lpFeasSlack  = 1e-6
+	lpMaxVars    = 8
+	lpMaxCons    = 10
+	lpCoefRange  = 8 // coefficients drawn from ±lpCoefRange
+	lpBoundRange = 20
+)
+
+// randomLP draws a small random linear program. Coefficients are small
+// integers over a mix of bounded, one-sided and free variables, with ≤, ≥
+// and = rows — the shapes the layout optimizer emits.
+func randomLP(rng *rand.Rand) *lp.Problem {
+	p := lp.NewProblem()
+	nv := 2 + rng.Intn(lpMaxVars-1)
+	for i := 0; i < nv; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			p.AddFreeVar()
+		case 1:
+			p.AddVar(0, math.Inf(1))
+		case 2:
+			p.AddVar(float64(-rng.Intn(lpBoundRange)), math.Inf(1))
+		default:
+			lo := float64(rng.Intn(lpBoundRange)) - lpBoundRange/2
+			p.AddVar(lo, lo+1+float64(rng.Intn(lpBoundRange)))
+		}
+		p.SetObj(lp.VarID(i), float64(rng.Intn(2*lpCoefRange+1)-lpCoefRange))
+	}
+	nc := 1 + rng.Intn(lpMaxCons)
+	for c := 0; c < nc; c++ {
+		var terms []lp.Term
+		for v := 0; v < nv; v++ {
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			coef := float64(rng.Intn(2*lpCoefRange+1) - lpCoefRange)
+			if coef == 0 {
+				continue
+			}
+			terms = append(terms, lp.Term{Var: lp.VarID(v), Coef: coef})
+		}
+		if len(terms) == 0 {
+			terms = []lp.Term{{Var: lp.VarID(rng.Intn(nv)), Coef: 1}}
+		}
+		rhs := float64(rng.Intn(4*lpCoefRange+1) - lpCoefRange)
+		switch rng.Intn(5) {
+		case 0:
+			p.AddEQ(terms, rhs)
+		case 1:
+			p.AddGE(terms, rhs)
+		default:
+			p.AddLE(terms, rhs)
+		}
+	}
+	return p
+}
+
+// CheckLPAgreement runs the revised-vs-dense simplex differential gate on
+// one random LP: the two independent implementations must agree on
+// feasibility, report objectives within tolerance when both are optimal,
+// and every optimal solution must satisfy its own problem.
+func CheckLPAgreement(seed int64) []Failure {
+	rng := rand.New(rand.NewSource(seed ^ 0x5851f42d4c957f2d))
+	p := randomLP(rng)
+	dense := p.Solve()
+	revised := p.SolveRevised()
+
+	var fails []Failure
+	failf := func(oracle, format string, args ...any) {
+		fails = append(fails, Failure{Oracle: oracle, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// Iteration-limited runs carry no verdict; everything else must agree.
+	if dense.Status == lp.IterLimit || revised.Status == lp.IterLimit {
+		return nil
+	}
+	if dense.Status != revised.Status {
+		failf("lp-status", "dense simplex says %v, revised says %v", dense.Status, revised.Status)
+		return fails
+	}
+	if dense.Status != lp.Optimal {
+		return fails
+	}
+	if rel := relDiff(dense.Obj, revised.Obj); rel > lpObjRelTol {
+		failf("lp-objective", "objectives diverge: dense %.9g vs revised %.9g (rel %.3g)",
+			dense.Obj, revised.Obj, rel)
+	}
+	if err := p.CheckFeasible(dense.X, lpFeasSlack); err != nil {
+		failf("lp-feasibility", "dense solution infeasible: %v", err)
+	}
+	if err := p.CheckFeasible(revised.X, lpFeasSlack); err != nil {
+		failf("lp-feasibility", "revised solution infeasible: %v", err)
+	}
+	return fails
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package qa
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package qa
+
+// raceEnabled reports whether the race detector is compiled in; the big
+// sweeps shrink under it (routing runs ~10× slower with -race).
+const raceEnabled = true

@@ -1,0 +1,155 @@
+package qa
+
+import (
+	"rdlroute/internal/design"
+)
+
+// shrinkBudget bounds how many times the failing predicate may be
+// re-evaluated during shrinking; each evaluation routes the candidate, so
+// the budget keeps minimization from dominating a harness run.
+const shrinkBudget = 64
+
+// Shrink reduces a failing design to a (locally) minimal reproducer: it
+// greedily removes nets with a delta-debugging sweep, then drops
+// obstacles and fixed vias, and finally prunes pads no remaining net
+// references — re-checking after each removal that the design still fails
+// the predicate. The returned design fails the predicate (or is d itself
+// when nothing could be removed).
+func Shrink(d *design.Design, fails func(*design.Design) bool) *design.Design {
+	budget := shrinkBudget
+	try := func(c *design.Design) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return c.Validate() == nil && fails(c)
+	}
+
+	cur := cloneDesign(d)
+
+	// Delta-debug the net list: try dropping chunks, halving the chunk
+	// size until single-net granularity.
+	for chunk := (len(cur.Nets) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start < len(cur.Nets); {
+			if budget <= 0 {
+				break
+			}
+			cand := withoutNets(cur, start, chunk)
+			if len(cand.Nets) > 0 && try(cand) {
+				cur = cand // chunk removed; same start now names the next chunk
+			} else {
+				start += chunk
+			}
+		}
+	}
+
+	// Drop obstacles and fixed vias one at a time.
+	for i := 0; i < len(cur.Obstacles) && budget > 0; {
+		cand := cloneDesign(cur)
+		cand.Obstacles = append(cand.Obstacles[:i:i], cand.Obstacles[i+1:]...)
+		if try(cand) {
+			cur = cand
+		} else {
+			i++
+		}
+	}
+	for i := 0; i < len(cur.FixedVias) && budget > 0; {
+		cand := cloneDesign(cur)
+		cand.FixedVias = append(cand.FixedVias[:i:i], cand.FixedVias[i+1:]...)
+		if try(cand) {
+			cur = cand
+		} else {
+			i++
+		}
+	}
+
+	// Prune unreferenced pads (reindexing net endpoints); keep the result
+	// only if it still fails — pad removal changes blockage geometry.
+	if budget > 0 {
+		if cand := pruneUnusedPads(cur); try(cand) {
+			cur = cand
+		}
+	}
+	return cur
+}
+
+// withoutNets returns d minus nets [start, start+n), with IDs and
+// fixed-via net references renumbered to the new positions.
+func withoutNets(d *design.Design, start, n int) *design.Design {
+	c := cloneDesign(d)
+	end := start + n
+	if end > len(c.Nets) {
+		end = len(c.Nets)
+	}
+	inv := make([]int, len(c.Nets))
+	var nets []design.Net
+	for i, net := range c.Nets {
+		if i >= start && i < end {
+			inv[i] = -1
+			continue
+		}
+		net.ID = len(nets)
+		inv[i] = len(nets)
+		nets = append(nets, net)
+	}
+	c.Nets = nets
+	vias := c.FixedVias[:0]
+	for _, v := range c.FixedVias {
+		if v.Net >= 0 {
+			if inv[v.Net] < 0 {
+				continue // via belonged to a removed net
+			}
+			v.Net = inv[v.Net]
+		}
+		vias = append(vias, v)
+	}
+	c.FixedVias = vias
+	return c
+}
+
+// pruneUnusedPads removes pads no net references, reindexing endpoints.
+func pruneUnusedPads(d *design.Design) *design.Design {
+	c := cloneDesign(d)
+	usedIO := make([]bool, len(c.IOPads))
+	usedBump := make([]bool, len(c.BumpPads))
+	for _, n := range c.Nets {
+		for _, r := range []design.PadRef{n.P1, n.P2} {
+			if r.Kind == design.IOKind {
+				usedIO[r.Index] = true
+			} else {
+				usedBump[r.Index] = true
+			}
+		}
+	}
+	ioMap := make([]int, len(c.IOPads))
+	var ios []design.IOPad
+	for i, p := range c.IOPads {
+		if usedIO[i] {
+			ioMap[i] = len(ios)
+			ios = append(ios, p)
+		} else {
+			ioMap[i] = -1
+		}
+	}
+	bumpMap := make([]int, len(c.BumpPads))
+	var bumps []design.BumpPad
+	for i, p := range c.BumpPads {
+		if usedBump[i] {
+			bumpMap[i] = len(bumps)
+			bumps = append(bumps, p)
+		} else {
+			bumpMap[i] = -1
+		}
+	}
+	c.IOPads, c.BumpPads = ios, bumps
+	for i := range c.Nets {
+		for _, r := range []*design.PadRef{&c.Nets[i].P1, &c.Nets[i].P2} {
+			if r.Kind == design.IOKind {
+				r.Index = ioMap[r.Index]
+			} else {
+				r.Index = bumpMap[r.Index]
+			}
+		}
+	}
+	return c
+}

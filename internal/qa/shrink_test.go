@@ -1,0 +1,73 @@
+package qa
+
+import (
+	"testing"
+
+	"rdlroute/internal/design"
+)
+
+// TestShrinkMinimizes: against a predicate that cares about a single net,
+// the shrinker must reduce a multi-net design to exactly that net, prune
+// the pads nothing references, and keep the reproducer valid. The
+// predicate here is cheap on purpose — shrinking behavior, not routing,
+// is under test.
+func TestShrinkMinimizes(t *testing.T) {
+	d := Generate(5)
+	if len(d.Nets) < 4 {
+		t.Fatalf("seed 5 generated only %d nets; pick a bigger seed", len(d.Nets))
+	}
+	// Identify the target net by its pad coordinates, not indices — the
+	// shrinker renumbers pads when pruning, and a predicate keyed on
+	// indices would (correctly) veto that pruning.
+	center := func(c *design.Design, r design.PadRef) (int64, int64) {
+		if r.Kind == design.IOKind {
+			p := c.IOPads[r.Index].Center
+			return p.X, p.Y
+		}
+		p := c.BumpPads[r.Index].Center
+		return p.X, p.Y
+	}
+	target := d.Nets[len(d.Nets)/2]
+	tx1, ty1 := center(d, target.P1)
+	tx2, ty2 := center(d, target.P2)
+	hasTarget := func(c *design.Design) bool {
+		for _, n := range c.Nets {
+			x1, y1 := center(c, n.P1)
+			x2, y2 := center(c, n.P2)
+			if x1 == tx1 && y1 == ty1 && x2 == tx2 && y2 == ty2 {
+				return true
+			}
+		}
+		return false
+	}
+
+	min := Shrink(d, hasTarget)
+	if !hasTarget(min) {
+		t.Fatal("shrunk design no longer fails the predicate")
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("shrunk design invalid: %v", err)
+	}
+	if len(min.Nets) != 1 {
+		t.Errorf("shrunk to %d nets, want 1", len(min.Nets))
+	}
+	if got := len(min.IOPads) + len(min.BumpPads); got > 2 {
+		t.Errorf("shrunk design keeps %d pads, want ≤ 2", got)
+	}
+	if len(min.Nets) == 1 && min.Nets[0].ID != 0 {
+		t.Errorf("surviving net has ID %d, want 0", min.Nets[0].ID)
+	}
+}
+
+// TestShrinkKeepsFailingDesign: when nothing can be removed (the
+// predicate needs every net), Shrink must return a design that still
+// fails, not an over-minimized one.
+func TestShrinkKeepsFailingDesign(t *testing.T) {
+	d := Generate(5)
+	want := len(d.Nets)
+	needAll := func(c *design.Design) bool { return len(c.Nets) >= want }
+	min := Shrink(d, needAll)
+	if !needAll(min) {
+		t.Error("shrinker returned a design that no longer fails the predicate")
+	}
+}

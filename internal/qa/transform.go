@@ -1,0 +1,105 @@
+package qa
+
+import (
+	"math/rand"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+)
+
+// cloneDesign deep-copies d so transforms never alias the original.
+func cloneDesign(d *design.Design) *design.Design {
+	c := *d
+	c.Chips = append([]design.Chip(nil), d.Chips...)
+	c.IOPads = append([]design.IOPad(nil), d.IOPads...)
+	c.BumpPads = append([]design.BumpPad(nil), d.BumpPads...)
+	c.Nets = append([]design.Net(nil), d.Nets...)
+	c.Obstacles = append([]design.Obstacle(nil), d.Obstacles...)
+	c.FixedVias = append([]design.FixedVia(nil), d.FixedVias...)
+	return &c
+}
+
+// Translate returns the design shifted by (dx, dy). Routing operates
+// relative to the outline, so a translated design must route to the same
+// routability and wirelength.
+func Translate(d *design.Design, dx, dy int64) *design.Design {
+	t := cloneDesign(d)
+	shift := func(r geom.Rect) geom.Rect {
+		return geom.Rect{X0: r.X0 + dx, Y0: r.Y0 + dy, X1: r.X1 + dx, Y1: r.Y1 + dy}
+	}
+	t.Outline = shift(t.Outline)
+	for i := range t.Chips {
+		t.Chips[i].Box = shift(t.Chips[i].Box)
+	}
+	for i := range t.IOPads {
+		t.IOPads[i].Center.X += dx
+		t.IOPads[i].Center.Y += dy
+	}
+	for i := range t.BumpPads {
+		t.BumpPads[i].Center.X += dx
+		t.BumpPads[i].Center.Y += dy
+	}
+	for i := range t.Obstacles {
+		t.Obstacles[i].Box = shift(t.Obstacles[i].Box)
+	}
+	for i := range t.FixedVias {
+		t.FixedVias[i].Center.X += dx
+		t.FixedVias[i].Center.Y += dy
+	}
+	return t
+}
+
+// MirrorX returns the design reflected across the vertical axis through
+// the outline's center: x ↦ X0 + X1 − x. The outline maps to itself, and
+// because generated outlines have grid-multiple widths, lattice nodes map
+// to lattice nodes — mirroring preserves the set of legal routings
+// exactly, so routability and wirelength must be preserved up to
+// search-order tie-breaking.
+func MirrorX(d *design.Design) *design.Design {
+	t := cloneDesign(d)
+	c := d.Outline.X0 + d.Outline.X1
+	mx := func(x int64) int64 { return c - x }
+	mrect := func(r geom.Rect) geom.Rect {
+		return geom.Rect{X0: mx(r.X1), Y0: r.Y0, X1: mx(r.X0), Y1: r.Y1}
+	}
+	t.Outline = mrect(t.Outline)
+	for i := range t.Chips {
+		t.Chips[i].Box = mrect(t.Chips[i].Box)
+	}
+	for i := range t.IOPads {
+		t.IOPads[i].Center.X = mx(t.IOPads[i].Center.X)
+	}
+	for i := range t.BumpPads {
+		t.BumpPads[i].Center.X = mx(t.BumpPads[i].Center.X)
+	}
+	for i := range t.Obstacles {
+		t.Obstacles[i].Box = mrect(t.Obstacles[i].Box)
+	}
+	for i := range t.FixedVias {
+		t.FixedVias[i].Center.X = mx(t.FixedVias[i].Center.X)
+	}
+	return t
+}
+
+// PermuteNets returns the design with its net list shuffled (IDs follow
+// the new positions, fixed-via net references are remapped). The set of
+// connection requirements is unchanged, so routability and wirelength
+// must be preserved up to ordering tie-breaks.
+func PermuteNets(d *design.Design, rng *rand.Rand) *design.Design {
+	t := cloneDesign(d)
+	perm := rng.Perm(len(t.Nets))
+	nets := make([]design.Net, len(t.Nets))
+	inv := make([]int, len(t.Nets))
+	for newIdx, oldIdx := range perm {
+		nets[newIdx] = t.Nets[oldIdx]
+		nets[newIdx].ID = newIdx
+		inv[oldIdx] = newIdx
+	}
+	t.Nets = nets
+	for i := range t.FixedVias {
+		if t.FixedVias[i].Net >= 0 {
+			t.FixedVias[i].Net = inv[t.FixedVias[i].Net]
+		}
+	}
+	return t
+}

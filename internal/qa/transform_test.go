@@ -1,0 +1,94 @@
+package qa
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rdlroute/internal/design"
+)
+
+// TestTranslateRoundTrip: translating there and back is the identity, and
+// the transform never aliases the input.
+func TestTranslateRoundTrip(t *testing.T) {
+	d := Generate(3)
+	orig := formatDesign(t, d)
+	td := Translate(d, 5*design.Grid, -2*design.Grid)
+	if formatDesign(t, d) != orig {
+		t.Fatal("Translate mutated its input")
+	}
+	if err := td.Validate(); err != nil {
+		t.Fatalf("translated design invalid: %v", err)
+	}
+	back := Translate(td, -5*design.Grid, 2*design.Grid)
+	if formatDesign(t, back) != orig {
+		t.Error("translate round-trip is not the identity")
+	}
+}
+
+// TestMirrorInvolution: reflecting twice is the identity.
+func TestMirrorInvolution(t *testing.T) {
+	d := Generate(3)
+	orig := formatDesign(t, d)
+	md := MirrorX(d)
+	if formatDesign(t, d) != orig {
+		t.Fatal("MirrorX mutated its input")
+	}
+	if err := md.Validate(); err != nil {
+		t.Fatalf("mirrored design invalid: %v", err)
+	}
+	if formatDesign(t, md) == orig {
+		t.Error("mirror left an asymmetric design unchanged")
+	}
+	if formatDesign(t, MirrorX(md)) != orig {
+		t.Error("mirror is not an involution")
+	}
+}
+
+// endpointKeys renders each net's pad pair as an order-independent key.
+func endpointKeys(d *design.Design) []string {
+	keys := make([]string, len(d.Nets))
+	for i, n := range d.Nets {
+		a := fmt.Sprintf("%v:%d", n.P1.Kind, n.P1.Index)
+		b := fmt.Sprintf("%v:%d", n.P2.Kind, n.P2.Index)
+		keys[i] = a + "~" + b
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestPermutePreservesNets: shuffling the net list must keep the multiset
+// of connection requirements, renumber IDs positionally, and remap
+// fixed-via net references to follow their nets.
+func TestPermutePreservesNets(t *testing.T) {
+	d := Generate(3)
+	orig := formatDesign(t, d)
+	rng := rand.New(rand.NewSource(99))
+	pd := PermuteNets(d, rng)
+	if formatDesign(t, d) != orig {
+		t.Fatal("PermuteNets mutated its input")
+	}
+	if err := pd.Validate(); err != nil {
+		t.Fatalf("permuted design invalid: %v", err)
+	}
+	a, b := endpointKeys(d), endpointKeys(pd)
+	if len(a) != len(b) {
+		t.Fatalf("net count changed: %d → %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("net endpoint multiset changed: %v vs %v", a, b)
+		}
+	}
+	for i, n := range pd.Nets {
+		if n.ID != i {
+			t.Errorf("net at position %d has ID %d", i, n.ID)
+		}
+	}
+	for _, v := range pd.FixedVias {
+		if v.Net >= len(pd.Nets) {
+			t.Errorf("fixed via references net %d of %d", v.Net, len(pd.Nets))
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package router
+
+import (
+	"context"
+
+	"rdlroute/internal/design"
+)
+
+// RouteFingerprint runs the flow like RouteContext and additionally
+// returns the occupancy fingerprint of the lattice the flow ended on
+// (zero when the flow errored before producing one). The QA harness uses
+// it as the shared-state oracle: a run cancelled at an arbitrary point in
+// between two full runs must not change the fingerprint the full runs
+// reach, or hidden state leaked across runs.
+func RouteFingerprint(ctx context.Context, d *design.Design, opts Options) (*Result, uint64, error) {
+	res, la, err := route(ctx, d, opts)
+	var fp uint64
+	if la != nil {
+		fp = la.Fingerprint()
+	}
+	return res, fp, err
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rdlroute/internal/codec"
+	"rdlroute/internal/design"
+	"rdlroute/internal/qa"
+	"rdlroute/internal/router"
+)
+
+// TestJobResultRoundTripQA drives qa-generated designs through the full
+// wire path — encode design, submit over HTTP, poll to completion, decode
+// the result document — and asserts the result is bit-identical to
+// routing the same design in-process: the serving layer and its codec add
+// nothing and lose nothing. Runs under -race in the verify script, so the
+// worker pool's handling of concurrent submissions is part of the
+// contract.
+func TestJobResultRoundTripQA(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type job struct {
+		d  *design.Design
+		id string
+	}
+	var jobs []job
+	for seed := int64(20); seed < 24; seed++ {
+		d := qa.Generate(seed)
+		resp, jv := submitDesign(t, ts.URL, d, 0)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("seed %d: submit status %d", seed, resp.StatusCode)
+		}
+		jobs = append(jobs, job{d: d, id: jv.ID})
+	}
+
+	for i, j := range jobs {
+		jv := waitState(t, ts.URL, j.id, JobDone, 60*time.Second)
+		if jv.Result == nil {
+			t.Fatalf("job %s done without a result document", j.id)
+		}
+		got, err := codec.DecodeResult(bytes.NewReader(jv.Result), j.d)
+		if err != nil {
+			t.Fatalf("job %s: decoding result: %v", j.id, err)
+		}
+		want, err := router.Route(j.d, router.DefaultOptions())
+		if err != nil {
+			t.Fatalf("design %d: direct route: %v", i, err)
+		}
+		gb := encodeStable(t, got)
+		wb := encodeStable(t, want)
+		if !bytes.Equal(gb, wb) {
+			t.Errorf("design %d (%s): served result differs from direct routing (%d vs %d bytes)",
+				i, j.d.Name, len(gb), len(wb))
+		}
+		// The codec must be stable on the served document: decoding the
+		// re-encoded result reproduces the encoding byte for byte. (The
+		// wire bytes themselves are not compared — the HTTP layer re-indents
+		// the nested document and the runtime field is a float.)
+		got2, err := codec.DecodeResult(bytes.NewReader(gb), j.d)
+		if err != nil {
+			t.Fatalf("design %d: decoding re-encoded result: %v", i, err)
+		}
+		if !bytes.Equal(encodeStable(t, got2), gb) {
+			t.Errorf("design %d (%s): result codec is not round-trip stable", i, j.d.Name)
+		}
+	}
+}

@@ -25,6 +25,17 @@ echo "== serving gate: codec + serve semantics (-race) =="
 go test -race ./internal/codec/ ./internal/serve/
 echo "== rdlserver smoke: boot, route dense1 over HTTP, DRC-check =="
 go run ./cmd/rdlserver -smoke
+echo "== qa harness: randomized DRC-oracle sweep =="
+# 200 seeded random designs through both routers, full oracle suite
+# (DRC, connectivity, codec round-trip, cancellation, differential and
+# metamorphic gates). Race-free here so the sweep runs at full size; the
+# final -race pass below reruns a capped sweep under the detector.
+go test ./internal/qa -count=1 "$@"
+echo "== fuzz smoke: 10s per native fuzz target =="
+go test ./internal/codec -run '^$' -fuzz '^FuzzDecodeDesign$' -fuzztime 10s
+go test ./internal/codec -run '^$' -fuzz '^FuzzDecodeOptions$' -fuzztime 10s
+go test ./internal/geom -run '^$' -fuzz '^FuzzOct8Ops$' -fuzztime 10s
+go test ./internal/lp -run '^$' -fuzz '^FuzzSimplex$' -fuzztime 10s
 echo "== go test -race $* ./... =="
 go test -race "$@" ./...
 echo "== verify OK =="
