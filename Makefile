@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-short bench bench-json serve serve-smoke serve-bench fmt qa fuzz
+.PHONY: build test verify verify-short bench bench-json bench-scaling serve serve-smoke serve-bench fmt qa fuzz
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,14 @@ bench:
 BENCH_JSON ?= BENCH_pr2.json
 bench-json:
 	$(GO) run ./cmd/rdlbench -table1 -json $(BENCH_JSON)
+
+# Worker-scaling sweep: every circuit at workers 1/2/4/8, with a
+# determinism check per cell (fingerprint + metrics vs the workers=1
+# run). Wall times only mean speedup on a multi-core machine; the
+# determinism column must read "yes" everywhere regardless.
+SCALING_JSON ?= BENCH_pr5.json
+bench-scaling:
+	$(GO) run ./cmd/rdlbench -scaling -scaling-workers 1,2,4,8 -json $(SCALING_JSON)
 
 # Boot the HTTP routing service on :8080 (SIGINT/SIGTERM drain gracefully).
 serve:

@@ -20,6 +20,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"rdlroute/internal/bench"
 	"rdlroute/internal/obs"
@@ -27,6 +29,26 @@ import (
 
 func main() {
 	os.Exit(run())
+}
+
+// parseWorkerCounts parses the -scaling-workers list.
+func parseWorkerCounts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -scaling-workers entry %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-scaling-workers is empty")
+	}
+	return out, nil
 }
 
 // run keeps cleanup (profile stop, trace flush, report write) in defers
@@ -40,8 +62,12 @@ func run() int {
 		ablation = flag.Bool("ablation", false, "run the design-choice ablations")
 		lpiters  = flag.Bool("lpiters", false, "measure LP repair-loop iterations (III-E-4)")
 		gsize    = flag.Bool("graphsize", false, "compare tile-graph vs uniform-grid node counts")
-		all      = flag.Bool("all", false, "run everything")
+		all      = flag.Bool("all", false, "run everything (except -scaling, which is its own sweep)")
+		scaling  = flag.Bool("scaling", false, "run the worker-scaling sweep: each circuit at every -scaling-workers count, with a determinism check")
+		scalingW = flag.String("scaling-workers", "1,2,4,8", "comma-separated worker counts for -scaling (first is the speedup baseline)")
 		quick    = flag.Bool("quick", false, "restrict circuit sweeps to dense1..dense3")
+		workers  = flag.Int("workers", 0, "worker-pool bound inside each routing run (0 = GOMAXPROCS, 1 = sequential); results are identical at every value")
+		parallel = flag.Int("parallel", 1, "route up to this many circuits concurrently across the batch (0 = GOMAXPROCS); interleaves per-run timings and any -trace stream")
 		timeout  = flag.Duration("timeout", 0, `per-circuit routing deadline for the Table-I sweep; timed-out circuits are reported with status "timeout" (0 = none)`)
 		jsonOut  = flag.String("json", "", "also write every result as a JSON report to this file (see EXPERIMENTS.md)")
 		trace    = flag.String("trace", "", "write a JSONL trace of all routing runs to this file")
@@ -52,7 +78,7 @@ func run() int {
 	if *all {
 		*table1, *fig2, *fig5, *fig7, *ablation, *lpiters, *gsize = true, true, true, true, true, true, true
 	}
-	if !*table1 && !*fig2 && !*fig5 && !*fig7 && !*ablation && !*lpiters && !*gsize {
+	if !*table1 && !*fig2 && !*fig5 && !*fig7 && !*ablation && !*lpiters && !*gsize && !*scaling {
 		flag.Usage()
 		return 2
 	}
@@ -96,6 +122,8 @@ func run() int {
 	}
 	bench.Tracer = obs.Multi(sinks...)
 	bench.Timeout = *timeout
+	bench.Workers = *workers
+	bench.Parallel = *parallel
 
 	rep := &bench.Report{Circuits: names}
 	errCount := 0
@@ -210,6 +238,27 @@ func run() int {
 				r.Name, r.LowerBound, r.Actual, r.MeanDetour, r.P95, r.MaxDetour)
 			rep.Quality = append(rep.Quality, r)
 		}
+	}
+
+	if *scaling {
+		counts, err := parseWorkerCounts(*scalingW)
+		if die(err) {
+			return 1
+		}
+		fmt.Println("== Worker scaling (identical results, wall time per worker count) ==")
+		rows, err := bench.RunScaling(names, counts)
+		if die(err) {
+			return 1
+		}
+		rep.Scaling = rows
+		fmt.Print(bench.FormatScaling(rows))
+		for _, r := range rows {
+			if !r.Deterministic {
+				fmt.Printf("WARNING %s workers=%d: result diverges from the baseline run\n", r.Name, r.Workers)
+				errCount++
+			}
+		}
+		fmt.Println()
 	}
 
 	if *jsonOut != "" {

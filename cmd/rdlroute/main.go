@@ -49,6 +49,7 @@ func run() int {
 		oJSON     = flag.String("o", "", `write the routing result (rdl-result/v1 JSON) to this file (flow "ours" only)`)
 		heat      = flag.Bool("congest", false, "print per-layer congestion heatmaps")
 		ripup     = flag.Int("ripup", 0, "rip-up-and-reroute rounds (extension beyond the paper; 0 = off)")
+		workers   = flag.Int("workers", 0, "worker-pool bound for the flow's parallel stages (0 = GOMAXPROCS, 1 = sequential); the routed result is identical at every value")
 
 		trace     = flag.String("trace", "", "write a JSONL trace (stage spans, per-net events) to this file")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile (stage-labelled) to this file")
@@ -147,6 +148,7 @@ func run() int {
 		opts.EnableVias = !*noVias
 		opts.GlobalCells = *cells
 		opts.RipUpRounds = *ripup
+		opts.Workers = *workers
 		opts.Tracer = tracer
 		res, err := rdlroute.Route(d, opts)
 		if err != nil {
@@ -167,6 +169,7 @@ func run() int {
 		fmt.Printf("runtime     %v\n", res.Runtime)
 	case "linext":
 		opts := rdlroute.DefaultBaselineOptions()
+		opts.Workers = *workers
 		opts.Tracer = tracer
 		res, err := rdlroute.RouteLinExt(d, opts)
 		if err != nil {

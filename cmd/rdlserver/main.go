@@ -52,6 +52,7 @@ func run() int {
 		workers    = flag.Int("workers", 2, "worker pool size")
 		queue      = flag.Int("queue", 8, "job queue depth (excess submissions get 429)")
 		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-job routing deadline (0 = none)")
+		routeW     = flag.Int("route-workers", 1, "default Options.Workers for jobs that submit 0: the per-job worker-pool bound inside the flow (results identical at every value)")
 		drain      = flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
 		smoke      = flag.Bool("smoke", false, "self-test: boot on a random port, route dense1 over HTTP, DRC-check, exit")
 		throughput = flag.String("throughput", "", "comma-separated worker counts: measure jobs/min per count and exit")
@@ -79,7 +80,7 @@ func run() int {
 		return 0
 	}
 
-	s := serve.New(serve.Config{Workers: *workers, QueueDepth: *queue, JobTimeout: *jobTimeout})
+	s := serve.New(serve.Config{Workers: *workers, QueueDepth: *queue, JobTimeout: *jobTimeout, RouteWorkers: *routeW})
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

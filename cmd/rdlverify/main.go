@@ -51,12 +51,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut    = fs.Bool("json", false, "emit a machine-readable JSON report")
 		randomN    = fs.Int("random", 0, "run the qa harness on N seeded random designs")
 		seed       = fs.Int64("seed", 1, "base seed for -random; design i uses seed+i")
+		parallel   = fs.Int("parallel", 1, "check up to this many -random designs concurrently (0 = GOMAXPROCS); the report is identical at every value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *randomN > 0 {
-		return runRandom(*randomN, *seed, *jsonOut, stdout, stderr)
+		return runRandom(*randomN, *seed, *parallel, *jsonOut, stdout, stderr)
 	}
 	if *designPath == "" || *routesPath == "" {
 		fmt.Fprintln(stderr, "rdlverify: need -design and -routes (or -random N)")
@@ -161,13 +162,14 @@ type randomReport struct {
 	OK bool `json:"ok"`
 }
 
-func runRandom(n int, seed int64, jsonOut bool, stdout, stderr io.Writer) int {
+func runRandom(n int, seed int64, parallel int, jsonOut bool, stdout, stderr io.Writer) int {
 	cfg := qa.Config{
 		N:        n,
 		Seed:     seed,
 		Suite:    qa.FullSuite(),
 		LPChecks: -1,
 		Shrink:   true,
+		Parallel: parallel,
 	}
 	if !jsonOut {
 		cfg.Log = func(format string, args ...any) {

@@ -24,12 +24,20 @@ import (
 	"rdlroute/internal/layout"
 	"rdlroute/internal/mpsc"
 	"rdlroute/internal/obs"
+	"rdlroute/internal/par"
 )
 
 // Options tune the baseline.
 type Options struct {
 	Pitch   int64
 	ViaCost float64
+
+	// Workers bounds the worker pool for the data-parallel parts of the
+	// layer assignment (the per-chip incident-net scan). 0 means
+	// GOMAXPROCS; results are identical at every value. The concentric
+	// DP itself and the A* stages stay sequential — each layer's picks
+	// feed the next chip's model.
+	Workers int
 
 	// Tracer, when non-nil and enabled, receives the baseline's stage
 	// spans (linext-assign / linext-concurrent / linext-sequential), the
@@ -120,7 +128,7 @@ func RouteContext(ctx context.Context, d *design.Design, opts Options) (*Result,
 	}
 
 	end := obs.Stage(tr, "linext-assign", obs.String("design", d.Name))
-	assigned, err := concentricAssign(ctx, d, tr)
+	assigned, err := concentricAssign(ctx, d, opts.Workers, tr)
 	end()
 	if err != nil {
 		return nil, err
@@ -260,13 +268,39 @@ func routeSingleLayer(ctx context.Context, d *design.Design, la *lattice.Lattice
 // assignment: for each wire layer, walk the chips and pick a maximum
 // planar subset of that chip's unassigned nets on a circular model ordered
 // by angle around the chip center (unweighted — Lin's model has no
-// congestion term).
-func concentricAssign(ctx context.Context, d *design.Design, tr obs.Tracer) ([][]int, error) {
+// congestion term). The per-chip incident-net scan (which nets touch
+// which chip, at what angles) does not depend on the evolving done set,
+// so it is precomputed once with the worker pool; the DP walk over
+// layers × chips stays sequential because each pick feeds the next model.
+func concentricAssign(ctx context.Context, d *design.Design, workers int, tr obs.Tracer) ([][]int, error) {
+	incident, err := par.Map(ctx, workers, len(d.Chips), func(chip int) ([]chipEv, error) {
+		center := d.Chips[chip].Box.Center()
+		var evs []chipEv
+		for ni, n := range d.Nets {
+			if !n.InterChip() {
+				continue
+			}
+			p1 := d.IOPads[n.P1.Index]
+			p2 := d.IOPads[n.P2.Index]
+			if p1.Chip != chip && p2.Chip != chip {
+				continue
+			}
+			// Endpoint angles on the chip's concentric circle: the pad on
+			// this chip by its own angle, the far pad by its direction from
+			// the chip center.
+			evs = append(evs, chipEv{ni, angleOf(center, p1.Center), len(evs)})
+			evs = append(evs, chipEv{ni, angleOf(center, p2.Center), len(evs)})
+		}
+		return evs, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
 	assigned := make([][]int, d.WireLayers)
 	done := map[int]bool{}
 	for l := 0; l < d.WireLayers; l++ {
 		for chip := range d.Chips {
-			picked, err := planarAroundChip(ctx, d, chip, done, tr, l)
+			picked, err := planarAroundChip(ctx, incident[chip], done, tr, l, chip)
 			if err != nil {
 				return nil, err
 			}
@@ -279,33 +313,22 @@ func concentricAssign(ctx context.Context, d *design.Design, tr obs.Tracer) ([][
 	return assigned, nil
 }
 
-// planarAroundChip builds the chip's circular model and returns a maximum
-// planar subset of its incident unassigned nets.
-func planarAroundChip(ctx context.Context, d *design.Design, chip int, done map[int]bool, tr obs.Tracer, layer int) ([]int, error) {
-	center := d.Chips[chip].Box.Center()
-	type ev struct {
-		net   int
-		angle float64
-		seq   int
-	}
-	var evs []ev
-	seq := 0
-	for ni, n := range d.Nets {
-		if done[ni] || !n.InterChip() {
-			continue
+// chipEv is one net endpoint on a chip's concentric circle.
+type chipEv struct {
+	net   int
+	angle float64
+	seq   int
+}
+
+// planarAroundChip builds the chip's circular model from its precomputed
+// incident endpoints and returns a maximum planar subset of its incident
+// unassigned nets.
+func planarAroundChip(ctx context.Context, all []chipEv, done map[int]bool, tr obs.Tracer, layer, chip int) ([]int, error) {
+	var evs []chipEv
+	for _, e := range all {
+		if !done[e.net] {
+			evs = append(evs, e)
 		}
-		p1 := d.IOPads[n.P1.Index]
-		p2 := d.IOPads[n.P2.Index]
-		if p1.Chip != chip && p2.Chip != chip {
-			continue
-		}
-		// Endpoint angles on the chip's concentric circle: the pad on this
-		// chip by its own angle, the far pad by its direction from the
-		// chip center.
-		evs = append(evs, ev{ni, angleOf(center, p1.Center), seq})
-		seq++
-		evs = append(evs, ev{ni, angleOf(center, p2.Center), seq})
-		seq++
 	}
 	if len(evs) == 0 {
 		return nil, nil

@@ -22,13 +22,17 @@ import (
 	"rdlroute/internal/geom"
 	"rdlroute/internal/mpsc"
 	"rdlroute/internal/obs"
+	"rdlroute/internal/par"
 	"rdlroute/internal/router"
 )
 
 // Tracer, when non-nil, is attached to every routing run the Run* entry
 // points perform (both flows). cmd/rdlbench sets it from its -trace and
-// -cpuprofile flags; tests may point it at an obs.Collector. Runs execute
-// sequentially, so one shared sink sees a well-ordered stream.
+// -cpuprofile flags; tests may point it at an obs.Collector. With
+// Parallel <= 1 runs execute sequentially, so one shared sink sees a
+// well-ordered stream; above that, concurrent runs interleave their
+// events (per-run Collectors attached by instrumentedOptions stay
+// coherent either way).
 var Tracer obs.Tracer
 
 // Timeout, when positive, caps each routing run of the Table-I sweep (one
@@ -36,6 +40,19 @@ var Tracer obs.Tracer
 // recorded with Status "timeout" instead of aborting the whole sweep.
 // cmd/rdlbench sets it from its -timeout flag.
 var Timeout time.Duration
+
+// Workers is the per-run worker-pool bound handed to both flows'
+// Options.Workers (0 = GOMAXPROCS, 1 = sequential). It changes run time
+// only — routed results are byte-identical at every value.
+var Workers int
+
+// Parallel fans whole circuits out across the batch: RunTable1,
+// RunMetrics and RunAblations route up to this many circuits
+// concurrently (0 = GOMAXPROCS). The default 1 keeps the batch
+// sequential, which keeps a shared Tracer stream well-ordered and run
+// timings honest. Rows are index-addressed and merged in input order, so
+// reports are identical at every value.
+var Parallel = 1
 
 // timeoutCtx returns the per-run context under the package Timeout.
 func timeoutCtx() (context.Context, context.CancelFunc) {
@@ -45,10 +62,11 @@ func timeoutCtx() (context.Context, context.CancelFunc) {
 	return context.WithCancel(context.Background())
 }
 
-// routerOptions is DefaultOptions plus the package tracer.
+// routerOptions is DefaultOptions plus the package tracer and workers.
 func routerOptions() router.Options {
 	o := router.DefaultOptions()
 	o.Tracer = Tracer
+	o.Workers = Workers
 	return o
 }
 
@@ -58,13 +76,16 @@ func routerOptions() router.Options {
 func instrumentedOptions() router.Options {
 	o := router.DefaultOptions()
 	o.Tracer = obs.Multi(obs.NewCollector(), Tracer)
+	o.Workers = Workers
 	return o
 }
 
-// baselineOptions is the baseline's DefaultOptions plus the package tracer.
+// baselineOptions is the baseline's DefaultOptions plus the package
+// tracer and workers.
 func baselineOptions() baseline.Options {
 	o := baseline.DefaultOptions()
 	o.Tracer = Tracer
+	o.Workers = Workers
 	return o
 }
 
@@ -80,17 +101,18 @@ type Table1Row struct {
 	OursDRC, LinDRC int
 }
 
-// RunTable1 generates and routes the named circuits with both flows.
+// RunTable1 generates and routes the named circuits with both flows. Up
+// to Parallel circuits run concurrently; rows come back in input order.
 func RunTable1(names []string) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, name := range names {
+	return par.Map(context.Background(), Parallel, len(names), func(i int) (Table1Row, error) {
+		name := names[i]
 		spec, err := design.DenseSpec(name)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		d, err := design.Generate(spec)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		row := Table1Row{Stats: d.Stats(), Status: "ok"}
 		ctx, cancel := timeoutCtx()
@@ -100,7 +122,7 @@ func RunTable1(names []string) ([]Table1Row, error) {
 		case errors.Is(err, context.DeadlineExceeded):
 			row.Status = "timeout"
 		case err != nil:
-			return nil, err
+			return Table1Row{}, err
 		default:
 			row.Ours = ours
 			row.OursDRC = len(drc.Check(ours.Layout))
@@ -109,7 +131,7 @@ func RunTable1(names []string) ([]Table1Row, error) {
 		// clean slate (pads/nets identical by determinism).
 		d2, err := design.Generate(spec)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		ctx, cancel = timeoutCtx()
 		lin, err := baseline.RouteContext(ctx, d2, baselineOptions())
@@ -118,14 +140,13 @@ func RunTable1(names []string) ([]Table1Row, error) {
 		case errors.Is(err, context.DeadlineExceeded):
 			row.Status = "timeout"
 		case err != nil:
-			return nil, err
+			return Table1Row{}, err
 		default:
 			row.Lin = lin
 			row.LinDRC = len(drc.Check(lin.Layout))
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // FormatTable1 renders rows in the paper's Table I shape.
@@ -376,37 +397,39 @@ func Ablations() []struct {
 	}
 }
 
-// RunAblations routes the named circuits under every ablation.
+// RunAblations routes the named circuits under every ablation. The
+// (circuit, ablation) jobs flatten into one batch so up to Parallel of
+// them run concurrently; rows come back grouped by circuit, then
+// ablation, exactly as the sequential nesting produced them.
 func RunAblations(names []string) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, name := range names {
+	abs := Ablations()
+	return par.Map(context.Background(), Parallel, len(names)*len(abs), func(k int) (AblationRow, error) {
+		name := names[k/len(abs)]
+		ab := abs[k%len(abs)]
 		spec, err := design.DenseSpec(name)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		for _, ab := range Ablations() {
-			d, err := design.Generate(spec)
-			if err != nil {
-				return nil, err
-			}
-			opts := routerOptions()
-			ab.Mut(&opts)
-			r, err := router.Route(d, opts)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, AblationRow{
-				Config:      ab.Label,
-				Name:        name,
-				Routability: r.Routability,
-				Wirelength:  r.Wirelength,
-				Concurrent:  r.ConcurrentRouted,
-				DRC:         len(drc.Check(r.Layout)),
-				Seconds:     r.Runtime.Seconds(),
-			})
+		d, err := design.Generate(spec)
+		if err != nil {
+			return AblationRow{}, err
 		}
-	}
-	return rows, nil
+		opts := routerOptions()
+		ab.Mut(&opts)
+		r, err := router.Route(d, opts)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		return AblationRow{
+			Config:      ab.Label,
+			Name:        name,
+			Routability: r.Routability,
+			Wirelength:  r.Wirelength,
+			Concurrent:  r.ConcurrentRouted,
+			DRC:         len(drc.Check(r.Layout)),
+			Seconds:     r.Runtime.Seconds(),
+		}, nil
+	})
 }
 
 // QualityRow reports wirelength quality (routed length vs the octilinear
@@ -492,21 +515,22 @@ type MetricsRow struct {
 }
 
 // RunMetrics routes each named circuit once and extracts every shared
-// metric from that single run.
+// metric from that single run. Up to Parallel circuits run concurrently;
+// rows come back in input order.
 func RunMetrics(names []string) ([]MetricsRow, error) {
-	var rows []MetricsRow
-	for _, name := range names {
+	return par.Map(context.Background(), Parallel, len(names), func(i int) (MetricsRow, error) {
+		name := names[i]
 		spec, err := design.DenseSpec(name)
 		if err != nil {
-			return nil, err
+			return MetricsRow{}, err
 		}
 		d, err := design.Generate(spec)
 		if err != nil {
-			return nil, err
+			return MetricsRow{}, err
 		}
 		r, err := router.Route(d, routerOptions())
 		if err != nil {
-			return nil, err
+			return MetricsRow{}, err
 		}
 		red := 0.0
 		if r.WirelengthBeforeLP > 0 {
@@ -520,7 +544,7 @@ func RunMetrics(names []string) ([]MetricsRow, error) {
 			ratio = float64(r.TileCount) / float64(grid)
 		}
 		q := r.Layout.QualityStats()
-		rows = append(rows, MetricsRow{
+		return MetricsRow{
 			Name: name,
 			Fig7: Fig7Row{
 				Name: name, Before: r.WirelengthBeforeLP, After: r.Wirelength,
@@ -532,7 +556,6 @@ func RunMetrics(names []string) ([]MetricsRow, error) {
 				Name: name, LowerBound: q.LowerBound, Actual: q.Actual,
 				MeanDetour: q.MeanDetour, P95: q.P95Detour, MaxDetour: q.MaxDetour,
 			},
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

@@ -24,6 +24,7 @@ type Report struct {
 	GraphSize []GraphSizeRow `json:"graph_size,omitempty"`
 	Quality   []QualityRow   `json:"quality,omitempty"`
 	Ablations []AblationRow  `json:"ablations,omitempty"`
+	Scaling   []ScalingRow   `json:"scaling,omitempty"`
 }
 
 // Table1JSON is one Table-I comparison row flattened for serialization.

@@ -25,6 +25,7 @@ type optionsDoc struct {
 	LPMaxIters     *int        `json:"lp_max_iters,omitempty"`
 	RipUpRounds    *int        `json:"ripup_rounds,omitempty"`
 	NetOrder       string      `json:"net_order,omitempty"` // "shortest" | "longest" | "congested"
+	Workers        *int        `json:"workers,omitempty"`   // 0 = GOMAXPROCS
 }
 
 type weightsDoc struct {
@@ -66,6 +67,7 @@ func EncodeOptions(w io.Writer, opts router.Options) error {
 		LPMaxIters:     &opts.LPMaxIters,
 		RipUpRounds:    &opts.RipUpRounds,
 		NetOrder:       netOrderName(opts.NetOrder),
+		Workers:        &opts.Workers,
 	}
 	return writeDoc(w, OptionsSchema, doc)
 }
@@ -117,6 +119,12 @@ func optionsFromDoc(doc optionsDoc) (router.Options, error) {
 			return opts, invalidf(OptionsSchema, "ripup_rounds", "must be >= 0, got %d", *doc.RipUpRounds)
 		}
 		opts.RipUpRounds = *doc.RipUpRounds
+	}
+	if doc.Workers != nil {
+		if *doc.Workers < 0 {
+			return opts, invalidf(OptionsSchema, "workers", "must be >= 0, got %d", *doc.Workers)
+		}
+		opts.Workers = *doc.Workers
 	}
 	switch doc.NetOrder {
 	case "", "shortest":

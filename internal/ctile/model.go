@@ -7,11 +7,13 @@
 package ctile
 
 import (
+	"context"
 	"sort"
 
 	"rdlroute/internal/design"
 	"rdlroute/internal/geom"
 	"rdlroute/internal/obs"
+	"rdlroute/internal/par"
 )
 
 // Tile is one octagonal free-space tile on a wire layer.
@@ -189,6 +191,22 @@ func (m *Model) Tiles(layer, cell int) []geom.Oct8 {
 	m.gen[layer][cell]++
 	m.adj[layer][cell] = nil
 	return t
+}
+
+// BuildAll warms the tile decomposition of every (layer, cell) on the
+// worker pool (see internal/par; workers 0 = GOMAXPROCS). Each index owns
+// exactly one cell's cache slots and buildCell is a pure function of the
+// cell's blockers, so concurrent builds never share state and the warmed
+// caches are identical to what lazy Tiles calls would have produced. Call
+// it only while no other goroutine uses the model; afterwards the model
+// is warm but remains single-goroutine (via insertion and the corridor
+// arc caches still mutate lazily).
+func (m *Model) BuildAll(ctx context.Context, workers int) error {
+	cells := m.CellsX * m.CellsY
+	return par.ForEach(ctx, workers, len(m.blockers)*cells, func(i int) error {
+		m.Tiles(i/cells, i%cells)
+		return nil
+	})
 }
 
 // TileBBs returns the cached bounding boxes parallel to Tiles.

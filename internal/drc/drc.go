@@ -6,11 +6,13 @@
 package drc
 
 import (
+	"context"
 	"fmt"
 
 	"rdlroute/internal/design"
 	"rdlroute/internal/geom"
 	"rdlroute/internal/layout"
+	"rdlroute/internal/par"
 )
 
 // Violation is one design-rule violation.
@@ -36,11 +38,22 @@ type item struct {
 }
 
 // Check validates the layout and returns every violation found. An empty
-// result means the layout is clean.
+// result means the layout is clean. It is CheckWorkers with the default
+// worker count (GOMAXPROCS); the violation list is identical at every
+// worker count.
 func Check(l *layout.Layout) []Violation {
+	return CheckWorkers(l, 0)
+}
+
+// CheckWorkers is Check with an explicit worker-pool bound for the
+// spacing/crossing pair scan (0 = GOMAXPROCS, 1 = sequential). Every
+// sub-check is index-addressed — item i scans only pairs (i, j>i) from
+// its own spatial-hash buckets — so the violations come back in the same
+// deterministic (layer, item, partner) order regardless of workers.
+func CheckWorkers(l *layout.Layout, workers int) []Violation {
 	var out []Violation
 	out = append(out, checkGeometry(l)...)
-	out = append(out, checkSpacingAndCrossing(l)...)
+	out = append(out, checkSpacingAndCrossing(l, workers)...)
 	out = append(out, checkConnectivity(l)...)
 	return out
 }
@@ -171,7 +184,14 @@ func padOwners(d *design.Design) map[[2]int]int {
 // checkSpacingAndCrossing verifies minimum spacing and the non-crossing
 // constraint between components of different nets, layer by layer, using a
 // uniform spatial hash to keep the pair count down.
-func checkSpacingAndCrossing(l *layout.Layout) []Violation {
+//
+// The pair scan is per-item: item i walks the buckets its expanded bbox
+// covers (in the same row-major bucket order its bbox loop inserts them)
+// and tests only partners j > i, deduplicating with a set local to i.
+// That makes the violation order deterministic — the seed iterated the
+// bucket map itself, so the order changed run to run — and lets items fan
+// out across workers, since item i writes only its own violation slot.
+func checkSpacingAndCrossing(l *layout.Layout, workers int) []Violation {
 	var out []Violation
 	s := float64(l.D.Rules.Spacing)
 	perLayer := collectItems(l)
@@ -193,38 +213,46 @@ func checkSpacingAndCrossing(l *layout.Layout) []Violation {
 				}
 			}
 		}
-		reported := map[[2]int]bool{}
-		for _, ids := range buckets {
-			for a := 0; a < len(ids); a++ {
-				for b := a + 1; b < len(ids); b++ {
-					i, j := ids[a], ids[b]
-					if i > j {
-						i, j = j, i
-					}
-					if reported[[2]int{i, j}] {
-						continue
-					}
-					it1, it2 := &items[i], &items[j]
-					if it1.net == it2.net && it1.net >= 0 {
-						continue
-					}
-					if !it1.bbox.Expand(l.D.Rules.Spacing + 1).Intersects(it2.bbox) {
-						continue
-					}
-					d := it1.poly.Dist(it2.poly)
-					if d < s {
-						reported[[2]int{i, j}] = true
-						kind := "spacing"
-						if d == 0 {
-							kind = "crossing"
+		perItem, _ := par.Map(context.Background(), workers, len(items), func(i int) ([]Violation, error) {
+			var viols []Violation
+			it1 := &items[i]
+			b := it1.bbox.Expand(l.D.Rules.Spacing)
+			var seen map[int]bool
+			for bx := b.X0 / cell; bx <= b.X1/cell; bx++ {
+				for by := b.Y0 / cell; by <= b.Y1/cell; by++ {
+					for _, j := range buckets[[2]int64{bx, by}] {
+						if j <= i || seen[j] {
+							continue
 						}
-						out = append(out, Violation{
-							Kind: kind, Layer: layer, Where: geom.Pt(it1.bbox.X0, it1.bbox.Y0),
-							Detail: fmt.Sprintf("%s vs %s: %.2f < %.2f", it1.desc, it2.desc, d, s),
-						})
+						if seen == nil {
+							seen = map[int]bool{}
+						}
+						seen[j] = true
+						it2 := &items[j]
+						if it1.net == it2.net && it1.net >= 0 {
+							continue
+						}
+						if !it1.bbox.Expand(l.D.Rules.Spacing + 1).Intersects(it2.bbox) {
+							continue
+						}
+						d := it1.poly.Dist(it2.poly)
+						if d < s {
+							kind := "spacing"
+							if d == 0 {
+								kind = "crossing"
+							}
+							viols = append(viols, Violation{
+								Kind: kind, Layer: layer, Where: geom.Pt(it1.bbox.X0, it1.bbox.Y0),
+								Detail: fmt.Sprintf("%s vs %s: %.2f < %.2f", it1.desc, it2.desc, d, s),
+							})
+						}
 					}
 				}
 			}
+			return viols, nil
+		})
+		for _, viols := range perItem {
+			out = append(out, viols...)
 		}
 	}
 	return out

@@ -1,6 +1,7 @@
 package fanout
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"rdlroute/internal/geom"
 	"rdlroute/internal/graphs"
 	"rdlroute/internal/mpsc"
+	"rdlroute/internal/par"
 )
 
 // Candidate is a net eligible for fan-out concurrent routing: an
@@ -73,18 +75,33 @@ func Analyze(d *design.Design, cfg Config) (*Analysis, error) {
 	}
 
 	// Fan-out grid graph: vertices are merged grids, edges join grids with
-	// a shared border; weight is center-to-center distance.
-	g := graphs.NewGraph(len(grids))
-	capByEdge := make(map[int64]float64)
-	for i := range grids {
+	// a shared border; weight is center-to-center distance. The O(n²)
+	// border scan fans out per source grid; each index collects its own
+	// edge list so the graph and capacity map are filled in the same
+	// (i, j) order as the sequential double loop.
+	type borderEdge struct {
+		j   int
+		w   float64
+		cap float64
+	}
+	scan, _ := par.Map(context.Background(), cfg.Workers, len(grids), func(i int) ([]borderEdge, error) {
+		var out []borderEdge
 		for j := i + 1; j < len(grids); j++ {
 			b := gridBorder(grids[i].Box, grids[j].Box)
 			if b <= 0 {
 				continue
 			}
 			w := geom.Euclid(grids[i].Box.Center(), grids[j].Box.Center())
-			g.AddEdge(i, j, w)
-			capByEdge[edgeKey(i, j)] = float64(b / cfg.TrackPitch)
+			out = append(out, borderEdge{j: j, w: w, cap: float64(b / cfg.TrackPitch)})
+		}
+		return out, nil
+	})
+	g := graphs.NewGraph(len(grids))
+	capByEdge := make(map[int64]float64)
+	for i, edges := range scan {
+		for _, e := range edges {
+			g.AddEdge(i, e.j, e.w)
+			capByEdge[edgeKey(i, e.j)] = e.cap
 		}
 	}
 	tree := graphs.PrimMST(g)
@@ -100,28 +117,36 @@ func Analyze(d *design.Design, cfg Config) (*Analysis, error) {
 	}
 
 	// Net candidates: inter-chip nets with both pads peripheral and both
-	// access grids in the same tree component.
-	for ni, n := range d.Nets {
+	// access grids in the same tree component. Each net's MST path walk is
+	// independent (Tree.Path allocates per call), so the construction fans
+	// out per net; nil slots are dropped in net order afterwards.
+	built, _ := par.Map(context.Background(), cfg.Workers, len(d.Nets), func(ni int) (*Candidate, error) {
+		n := d.Nets[ni]
 		if !n.InterChip() {
-			continue
+			return nil, nil
 		}
 		ap1, ok1 := access[n.P1.Index]
 		ap2, ok2 := access[n.P2.Index]
 		if !ok1 || !ok2 {
-			continue
+			return nil, nil
 		}
 		path := tree.Path(ap1.Grid, ap2.Grid)
 		if path == nil {
-			continue
+			return nil, nil
 		}
-		c := Candidate{Net: ni, AP1: ap1, AP2: ap2, Path: path}
+		c := &Candidate{Net: ni, AP1: ap1, AP2: ap2, Path: path}
 		direct := geom.OctDist(ap1.Point, ap2.Point)
 		plen := pathLen(a, ap1, ap2, path)
 		if direct < 1 {
 			direct = 1
 		}
 		c.DetourRate = plen / direct
-		a.Candidates = append(a.Candidates, c)
+		return c, nil
+	})
+	for _, c := range built {
+		if c != nil {
+			a.Candidates = append(a.Candidates, *c)
+		}
 	}
 
 	a.buildCircle()
@@ -174,7 +199,9 @@ func (a *Analysis) RecomputeCongestion(skip map[int]bool) {
 		}
 		return d / capE
 	}
-	for ci := range a.Candidates {
+	// Per-candidate scoring only reads dem/cap and writes the candidate's
+	// own FMax/FAvg, so it fans out index-addressed.
+	par.ForEach(context.Background(), a.Cfg.Workers, len(a.Candidates), func(ci int) error {
 		c := &a.Candidates[ci]
 		c.FMax, c.FAvg = 0, 0
 		edges := 0
@@ -189,7 +216,8 @@ func (a *Analysis) RecomputeCongestion(skip map[int]bool) {
 		if edges > 0 {
 			c.FAvg /= float64(edges)
 		}
-	}
+		return nil
+	})
 }
 
 // Chords converts the candidates (excluding the skip set) into weighted

@@ -1,0 +1,198 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 7, 64} {
+		if got := Workers(n); got != n {
+			t.Errorf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+// TestForEachCoversEveryIndexOnce is the core pool contract: every index
+// in [0, n) runs exactly once, at every worker count, including workers
+// far beyond n and the inline workers=1 path.
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			hits := make([]atomic.Int32, max(n, 1))
+			err := ForEach(context.Background(), workers, n, func(i int) error {
+				hits[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i := 0; i < n; i++ {
+				if c := hits[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestMapIndexAddressed pins the determinism contract that makes Map
+// safe to substitute for a sequential loop: out[i] is fn(i)'s value in
+// index order, independent of worker count.
+func TestMapIndexAddressed(t *testing.T) {
+	const n = 500
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := Map(context.Background(), workers, n, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestForEachLowestIndexError: with many failing indices the reported
+// error must be the lowest one — the same error a sequential
+// stop-at-first-failure loop reports — regardless of scheduling.
+func TestForEachLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for trial := 0; trial < 20; trial++ {
+			err := ForEach(context.Background(), workers, 200, func(i int) error {
+				if i%3 == 1 { // fails at 1, 4, 7, ... lowest is 1
+					return fmt.Errorf("index %d", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "index 1" {
+				t.Fatalf("workers=%d: got %v, want index 1", workers, err)
+			}
+		}
+	}
+}
+
+// TestForEachStopsClaimingAfterError: after a failure the pool must stop
+// claiming new chunks — a failing index near the front should leave most
+// of a large range untouched (bounded by in-flight chunks).
+func TestForEachStopsClaimingAfterError(t *testing.T) {
+	const n = 100000
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 4, n, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if got := ran.Load(); got > n/2 {
+		t.Errorf("pool kept claiming after error: %d of %d indices ran", got, n)
+	}
+}
+
+// TestForEachCancellation cancels mid-fan-out while workers are blocked
+// inside fn and asserts a clean context error plus prompt return.
+func TestForEachCancellation(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		started := make(chan struct{}, 1)
+		done := make(chan error, 1)
+		go func() {
+			done <- ForEach(ctx, workers, 100000, func(i int) error {
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+				// Block until the cancel lands so it provably fires
+				// mid-fan-out on every path — the inline workers=1 loop
+				// would otherwise race through all indices before the
+				// test goroutine gets to cancel.
+				<-ctx.Done()
+				return nil
+			})
+		}()
+		<-started
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("workers=%d: ForEach did not return after cancel", workers)
+		}
+	}
+}
+
+// TestForEachPreCancelled: an already-cancelled context fails fast
+// without running any index on the pooled path; the n<=0 fast path also
+// surfaces the context error.
+func TestForEachPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEach(ctx, 1, 100, func(i int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("inline: got %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("inline: ran %d indices under a cancelled context", ran.Load())
+	}
+	if err := ForEach(ctx, 4, 0, func(int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("n=0: got %v", err)
+	}
+}
+
+// TestForEachErrorBeatsContext: a lower-index fn error wins over the
+// context error even when both occur, keeping the reported failure
+// deterministic.
+func TestForEachErrorBeatsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := ForEach(ctx, 4, 1000, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom to beat context.Canceled", err)
+	}
+}
+
+func TestChunkSize(t *testing.T) {
+	for _, tc := range []struct{ n, w, want int }{
+		{1, 8, 1},
+		{16, 2, 2},
+		{1000, 4, 63},
+		{7, 100, 1},
+	} {
+		if got := chunkSize(tc.n, tc.w); got != tc.want {
+			t.Errorf("chunkSize(%d, %d) = %d, want %d", tc.n, tc.w, got, tc.want)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package qa
 
 import (
+	"context"
 	"strings"
 
 	"rdlroute/internal/design"
+	"rdlroute/internal/par"
 )
 
 // Config parameterizes a harness run.
@@ -24,8 +26,23 @@ type Config struct {
 	// attaches its netlist to the failure report.
 	Shrink bool
 
+	// Parallel bounds the worker pool checking designs (0 = GOMAXPROCS,
+	// 1 = sequential). Each design is generated, routed and checked from
+	// its own seed with no shared state, and the report is merged in seed
+	// order, so the Report is identical at every value. Log lines are
+	// emitted in seed order once the sweep's designs resolve.
+	Parallel int
+
 	// Log, when non-nil, receives one progress line per design.
 	Log func(format string, args ...any)
+}
+
+// designOutcome is one design's slot in the parallel sweep, merged in
+// seed order.
+type designOutcome struct {
+	stats   CheckStats
+	name    string
+	failure *SeedFailure
 }
 
 // Run generates cfg.N seeded random designs and checks each against the
@@ -42,36 +59,48 @@ func Run(cfg Config) Report {
 	if lpChecks < 0 {
 		lpChecks = cfg.N
 	}
-	var rep Report
-	for i := 0; i < cfg.N; i++ {
+	outcomes, _ := par.Map(context.Background(), cfg.Parallel, cfg.N, func(i int) (designOutcome, error) {
 		seed := cfg.Seed + int64(i)
 		d := Generate(seed)
 		st, fails := CheckDesign(d, seed, cfg.Suite)
+		out := designOutcome{stats: st, name: d.Name}
+		if len(fails) > 0 {
+			sf := SeedFailure{Seed: seed, Failures: fails}
+			if cfg.Shrink {
+				sf.MinimalNetlist, sf.MinimalNets, sf.MinimalFailure = shrinkFailure(d, seed, cfg.Suite)
+			}
+			out.failure = &sf
+		}
+		return out, nil
+	})
+	var rep Report
+	for i, out := range outcomes {
 		rep.Designs++
-		rep.Nets += st.Nets
-		rep.Routed += st.FlowRouted
-		rep.Baseline += st.BaseRouted
+		rep.Nets += out.stats.Nets
+		rep.Routed += out.stats.FlowRouted
+		rep.Baseline += out.stats.BaseRouted
 		if cfg.Log != nil {
 			status := "ok"
-			if len(fails) > 0 {
+			if out.failure != nil {
 				status = "FAIL"
 			}
 			cfg.Log("qa: seed %d design %q nets %d flow %d linext %d %s",
-				seed, d.Name, st.Nets, st.FlowRouted, st.BaseRouted, status)
+				cfg.Seed+int64(i), out.name, out.stats.Nets, out.stats.FlowRouted, out.stats.BaseRouted, status)
 		}
-		if len(fails) == 0 {
-			continue
+		if out.failure != nil {
+			rep.Failures = append(rep.Failures, *out.failure)
 		}
-		sf := SeedFailure{Seed: seed, Failures: fails}
-		if cfg.Shrink {
-			sf.MinimalNetlist, sf.MinimalNets, sf.MinimalFailure = shrinkFailure(d, seed, cfg.Suite)
-		}
-		rep.Failures = append(rep.Failures, sf)
 	}
-	for i := 0; i < lpChecks; i++ {
+	lpFails, _ := par.Map(context.Background(), cfg.Parallel, lpChecks, func(i int) (*SeedFailure, error) {
 		seed := cfg.Seed + int64(i)
 		if fails := CheckLPAgreement(seed); len(fails) > 0 {
-			rep.Failures = append(rep.Failures, SeedFailure{Seed: seed, Failures: fails})
+			return &SeedFailure{Seed: seed, Failures: fails}, nil
+		}
+		return nil, nil
+	})
+	for _, sf := range lpFails {
+		if sf != nil {
+			rep.Failures = append(rep.Failures, *sf)
 		}
 	}
 	return rep

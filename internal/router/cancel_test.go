@@ -81,3 +81,51 @@ func TestCancelLeavesNoCorruption(t *testing.T) {
 		t.Fatalf("results diverged after a cancelled run: %+v vs %+v", res1, res2)
 	}
 }
+
+// TestCancelMidParallelStage is TestCancelLeavesNoCorruption with the
+// worker pool engaged (Workers=8 on dense1) and the deadline swept
+// across the flow's runtime, so cancellation fires inside the parallel
+// fan-outs — preprocessing's border/candidate maps, the stage-2 mask
+// prebuild, the stage-3 tile warm-up — not just at stage checkpoints.
+// The contract is the same: a clean context error, no result, and a
+// byte-identical full run afterwards.
+func TestCancelMidParallelStage(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = 8
+
+	res1, la1, err := route(context.Background(), genDense1(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1 := la1.Fingerprint()
+
+	for _, budget := range []time.Duration{
+		2 * time.Millisecond, 10 * time.Millisecond, 40 * time.Millisecond, 120 * time.Millisecond,
+	} {
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		res, _, err := route(ctx, genDense1(t), opts)
+		cancel()
+		if err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+				t.Fatalf("budget %v: err = %v, want a context error", budget, err)
+			}
+			if res != nil {
+				t.Fatalf("budget %v: cancelled run returned a result", budget)
+			}
+		}
+		// A budget the flow beat is fine: the run completed normally and
+		// the fingerprint check below covers it via the final full run.
+
+		res2, la2, err := route(context.Background(), genDense1(t), opts)
+		if err != nil {
+			t.Fatalf("budget %v: re-route: %v", budget, err)
+		}
+		if fp2 := la2.Fingerprint(); fp2 != fp1 {
+			t.Fatalf("budget %v: lattice fingerprint changed after a cancelled parallel run: %x != %x", budget, fp2, fp1)
+		}
+		if res1.Routability != res2.Routability || res1.Wirelength != res2.Wirelength ||
+			res1.RoutedNets != res2.RoutedNets {
+			t.Fatalf("budget %v: results diverged after a cancelled parallel run", budget)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"rdlroute/internal/lpopt"
 	"rdlroute/internal/mpsc"
 	"rdlroute/internal/obs"
+	"rdlroute/internal/par"
 )
 
 // Options tune the flow. The zero value is not usable; call
@@ -45,6 +46,14 @@ type Options struct {
 
 	// NetOrder selects the sequential-stage routing order.
 	NetOrder NetOrder
+
+	// Workers bounds the worker pool the flow's data-parallel stages fan
+	// out on: preprocessing's grid graph and candidate construction, the
+	// stage-2 region-mask prebuild, the stage-3 tile warm-up and the
+	// congested-order overlap count. 0 means GOMAXPROCS, 1 forces the
+	// plain sequential path. Results are byte-identical at every value —
+	// the qa determinism matrix holds the flow to that contract.
+	Workers int
 
 	// Tracer, when non-nil, receives stage spans (tagged with pprof
 	// labels), per-net route events, counters and distribution samples
@@ -172,6 +181,7 @@ func route(ctx context.Context, d *design.Design, opts Options) (*Result, *latti
 	analysis, err := fanout.Analyze(d, fanout.Config{
 		PeripheralDist: opts.PeripheralDist,
 		TrackPitch:     opts.Pitch,
+		Workers:        opts.Workers,
 	})
 	end()
 	if err != nil {
@@ -197,6 +207,15 @@ func route(ctx context.Context, d *design.Design, opts Options) (*Result, *latti
 	end = obs.Stage(tr, "graph")
 	model := ctile.NewModel(d, opts.GlobalCells)
 	seedModel(model, lay)
+	// Warm every (layer, cell) tile decomposition on the worker pool. The
+	// per-cell builds are pure functions of the seeded blockers, and the
+	// stage ends by counting tiles in every cell anyway, so the warm-up
+	// does no extra work — it only moves it onto parallel workers.
+	if par.Workers(opts.Workers) > 1 {
+		if err := model.BuildAll(ctx, opts.Workers); err != nil {
+			return nil, nil, fmt.Errorf("router: %w", err)
+		}
+	}
 	var sites []ctile.ViaSite
 	if opts.EnableVias {
 		sites = model.InsertVias()
@@ -293,15 +312,46 @@ func concurrentRoute(ctx context.Context, d *design.Design, a *fanout.Analysis, 
 		sort.Slice(picked, func(i, j int) bool {
 			return chordSpan(chords, picked[i]) < chordSpan(chords, picked[j])
 		})
-		for _, pi := range picked {
-			if err := ctxErr(ctx); err != nil {
-				return routed, err
+		// Commit the picked nets in order, prebuilding their region masks on
+		// the worker pool in bounded batches ahead of the commit loop. Each
+		// mask depends only on static design geometry and the net's own
+		// search window — never on earlier commits — so prebuilding cannot
+		// change any route; batching (a few masks per worker) caps the
+		// memory held in flight. With one worker the masks are built inline
+		// in the loop, the path this one must stay byte-identical to.
+		workers := par.Workers(opts.Workers)
+		batch := 1
+		if workers > 1 {
+			batch = 4 * workers
+		}
+		for lo := 0; lo < len(picked); lo += batch {
+			hi := min(lo+batch, len(picked))
+			var masks []*lattice.RegionMask
+			if workers > 1 {
+				var err error
+				masks, err = par.Map(ctx, workers, hi-lo, func(k int) (*lattice.RegionMask, error) {
+					cand := a.Candidates[chords[picked[lo+k]].Tag]
+					n := d.Nets[cand.Net]
+					return concurrentMask(d, la, d.IOPads[n.P1.Index], d.IOPads[n.P2.Index], l), nil
+				})
+				if err != nil {
+					return routed, fmt.Errorf("router: %w", err)
+				}
 			}
-			ci := chords[pi].Tag
-			cand := a.Candidates[ci]
-			if tryConcurrentNet(ctx, d, la, lay, cand, l, opts, tr) {
-				consumed[ci] = true
-				routed++
+			for k := lo; k < hi; k++ {
+				if err := ctxErr(ctx); err != nil {
+					return routed, err
+				}
+				ci := chords[picked[k]].Tag
+				cand := a.Candidates[ci]
+				var region *lattice.RegionMask
+				if masks != nil {
+					region = masks[k-lo]
+				}
+				if tryConcurrentNet(ctx, d, la, lay, cand, l, region, opts, tr) {
+					consumed[ci] = true
+					routed++
+				}
 			}
 		}
 		a.RecomputeCongestion(consumed)
@@ -320,8 +370,9 @@ func chordSpan(chords []mpsc.Chord, idx int) int {
 
 // tryConcurrentNet routes one MPSC-selected net on wire layer l: via
 // stacks at the pads when l > 0, then a single-layer wire through the
-// fan-out region (plus the net's own fan-in regions).
-func tryConcurrentNet(ctx context.Context, d *design.Design, la *lattice.Lattice, lay *layout.Layout, cand fanout.Candidate, l int, opts Options, tr obs.Tracer) bool {
+// fan-out region (plus the net's own fan-in regions). region, when
+// non-nil, is the net's prebuilt concurrentMask; nil builds it here.
+func tryConcurrentNet(ctx context.Context, d *design.Design, la *lattice.Lattice, lay *layout.Layout, cand fanout.Candidate, l int, region *lattice.RegionMask, opts Options, tr obs.Tracer) bool {
 	net := cand.Net
 	n := d.Nets[net]
 	p1 := d.IOPads[n.P1.Index]
@@ -333,7 +384,9 @@ func tryConcurrentNet(ctx context.Context, d *design.Design, la *lattice.Lattice
 	}
 	mask := make([]bool, d.WireLayers)
 	mask[l] = true
-	region := concurrentMask(d, la, p1, p2, l)
+	if region == nil {
+		region = concurrentMask(d, la, p1, p2, l)
+	}
 	var st lattice.SearchStats
 	req := lattice.Request{
 		Net: net, From: p1.Center, To: p2.Center,
@@ -435,13 +488,19 @@ func sequentialRoute(ctx context.Context, d *design.Design, model *ctile.Model, 
 	case OrderLongest:
 		sort.Slice(jobs, func(i, j int) bool { return jobs[i].direct > jobs[j].direct })
 	case OrderCongested:
-		for i := range jobs {
-			for j := i + 1; j < len(jobs); j++ {
-				if jobs[i].bbox.Intersects(jobs[j].bbox) {
+		// Each net counts its bbox overlaps against every other net — the
+		// same totals the pairwise double-increment formulation produces,
+		// but index i writes only jobs[i].overlap, so the O(n²) count fans
+		// out on the worker pool without changing the resulting order.
+		if err := par.ForEach(ctx, opts.Workers, len(jobs), func(i int) error {
+			for j := range jobs {
+				if j != i && jobs[i].bbox.Intersects(jobs[j].bbox) {
 					jobs[i].overlap++
-					jobs[j].overlap++
 				}
 			}
+			return nil
+		}); err != nil {
+			return fmt.Errorf("router: %w", err)
 		}
 		sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].overlap > jobs[j].overlap })
 	default:

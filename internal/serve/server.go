@@ -40,6 +40,12 @@ type Config struct {
 	// JobTimeout caps each job's run time (0 = no cap). A request may
 	// lower it per job but never raise it.
 	JobTimeout time.Duration
+	// RouteWorkers is the default Options.Workers applied to jobs whose
+	// submitted options leave it 0. With several server workers each
+	// running a job, 1 (routes stay sequential; job-level parallelism
+	// fills the cores) is the usual choice; 0 keeps the router default
+	// of GOMAXPROCS. Results are identical at every value.
+	RouteWorkers int
 	// Route substitutes the routing function (default router.RouteContext).
 	Route RouteFunc
 }
@@ -335,6 +341,9 @@ func (s *Server) run(j *Job) {
 	j.cancel = cancel
 	s.running++
 	opts := j.opts
+	if opts.Workers == 0 {
+		opts.Workers = s.cfg.RouteWorkers
+	}
 	opts.Tracer = obs.Multi(s.collector, j.tracer)
 	s.mu.Unlock()
 	defer cancel()

@@ -25,6 +25,16 @@ echo "== serving gate: codec + serve semantics (-race) =="
 go test -race ./internal/codec/ ./internal/serve/
 echo "== rdlserver smoke: boot, route dense1 over HTTP, DRC-check =="
 go run ./cmd/rdlserver -smoke
+echo "== determinism matrix: workers 1/2/8 at GOMAXPROCS=2 (-race) =="
+# The parallel-stage contract: lattice fingerprint, metrics and encoded
+# rdl-result/v1 bytes identical at every worker count. GOMAXPROCS=2
+# forces real goroutine interleaving even on one core; -race holds the
+# index-ownership discipline to account. The dense set is capped under
+# the detector (see denseMatrixNames); the full-size matrix runs in the
+# race-free qa sweep below via the same tests.
+GOMAXPROCS=2 go test -race -count=1 -run \
+  'TestWorkerDeterminism|TestRegressionParallelBatchBoundary|TestCancelMidParallelStage|TestConcurrentEmit' \
+  ./internal/qa/ ./internal/router/ ./internal/obs/ ./internal/par/
 echo "== qa harness: randomized DRC-oracle sweep =="
 # 200 seeded random designs through both routers, full oracle suite
 # (DRC, connectivity, codec round-trip, cancellation, differential and
