@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-short bench bench-json bench-scaling serve serve-smoke serve-bench fmt qa fuzz
+.PHONY: build test verify verify-short bench bench-json bench-scaling serve serve-smoke serve-bench metrics-smoke fmt qa qa-metrics fuzz
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,11 @@ serve-smoke:
 serve-bench:
 	$(GO) run ./cmd/rdlserver -throughput 1,2,4 -circuits dense1,dense2,dense3 -jobs 4
 
+# Metrics smoke: boot a server, route dense1, validate the /metrics
+# exposition with the in-repo parser and dump it for eyeballing.
+metrics-smoke:
+	$(GO) run ./cmd/rdlserver -smoke -print-metrics
+
 fmt:
 	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)
 
@@ -53,6 +58,11 @@ fmt:
 # with the full oracle suite (see the QA harness section of EXPERIMENTS.md).
 qa:
 	$(GO) test ./internal/qa -count=1 -v
+
+# Observability determinism gate: routing with the metrics bridge
+# attached must be byte-identical to routing with no tracer.
+qa-metrics:
+	$(GO) test ./internal/qa -count=1 -v -run TestMetricsBridgeDeterminism
 
 # 10s smoke of every native fuzz target; lengthen one with e.g.
 #   go test ./internal/geom -fuzz FuzzOct8Ops -fuzztime 60s

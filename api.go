@@ -29,6 +29,7 @@ import (
 	"rdlroute/internal/design"
 	"rdlroute/internal/drc"
 	"rdlroute/internal/layout"
+	"rdlroute/internal/metrics"
 	"rdlroute/internal/obs"
 	"rdlroute/internal/router"
 	"rdlroute/internal/viz"
@@ -100,6 +101,25 @@ type (
 	// TraceEvent is one event captured by a Collector.
 	TraceEvent = obs.Event
 )
+
+// Production metrics types. Where a Collector aggregates one run into a
+// Snapshot, a MetricsRegistry accumulates across runs into Prometheus-
+// style series (counters, gauges, fixed-bucket histograms) with a
+// byte-stable text exposition. A MetricsBridge is a Tracer that feeds a
+// registry from routing runs: per-stage latency histograms, flow counter
+// totals, event counts. Attaching one never changes routing results.
+type (
+	// MetricsRegistry holds named metric families; render with WriteText.
+	MetricsRegistry = metrics.Registry
+	// MetricsBridge adapts the Tracer interface onto a registry.
+	MetricsBridge = metrics.Bridge
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewMetricsBridge returns a Tracer recording flow activity into reg.
+func NewMetricsBridge(reg *MetricsRegistry) *MetricsBridge { return metrics.NewBridge(reg) }
 
 // NewCollector returns an empty in-memory trace collector.
 func NewCollector() *Collector { return obs.NewCollector() }

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"rdlroute/internal/bench"
+	"rdlroute/internal/metrics"
 	"rdlroute/internal/obs"
 )
 
@@ -70,6 +71,7 @@ func run() int {
 		parallel = flag.Int("parallel", 1, "route up to this many circuits concurrently across the batch (0 = GOMAXPROCS); interleaves per-run timings and any -trace stream")
 		timeout  = flag.Duration("timeout", 0, `per-circuit routing deadline for the Table-I sweep; timed-out circuits are reported with status "timeout" (0 = none)`)
 		jsonOut  = flag.String("json", "", "also write every result as a JSON report to this file (see EXPERIMENTS.md)")
+		metOut   = flag.String("metrics", "", `write the batch's production metrics as a Prometheus text exposition to this file ("-" = stdout)`)
 		trace    = flag.String("trace", "", "write a JSONL trace of all routing runs to this file")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile (stage-labelled) to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
@@ -114,6 +116,11 @@ func run() int {
 			tf.Close()
 		}()
 		sinks = append(sinks, jl)
+	}
+	var reg *metrics.Registry
+	if *metOut != "" {
+		reg = metrics.NewRegistry()
+		sinks = append(sinks, metrics.NewBridge(reg))
 	}
 	if *cpuprof != "" && len(sinks) == 0 {
 		// The stage spans only apply their pprof labels through an enabled
@@ -174,11 +181,11 @@ func run() int {
 		fmt.Println("(paper: the unweighted assignment loses 2 of 3 nets in the congested channel)")
 		fmt.Println()
 	}
-	var metrics []bench.MetricsRow
+	var metricRows []bench.MetricsRow
 	needMetrics := *fig7 || *lpiters || *gsize
 	if needMetrics {
 		var err error
-		metrics, err = bench.RunMetrics(names)
+		metricRows, err = bench.RunMetrics(names)
 		if die(err) {
 			return 1
 		}
@@ -186,7 +193,7 @@ func run() int {
 	if *fig7 {
 		fmt.Println("== Figure 7: LP-based layout optimization ==")
 		fmt.Printf("%-8s %12s %12s %10s %6s\n", "circuit", "wl before", "wl after", "reduction", "iters")
-		for _, m := range metrics {
+		for _, m := range metricRows {
 			r := m.Fig7
 			fmt.Printf("%-8s %12.0f %12.0f %9.2f%% %6d\n", r.Name, r.Before, r.After, r.Reduction, r.Iterations)
 			rep.Fig7 = append(rep.Fig7, r)
@@ -214,7 +221,7 @@ func run() int {
 	}
 	if *lpiters {
 		fmt.Println("== LP convergence (Section III-E-4: ≤ ~50 iterations) ==")
-		for _, m := range metrics {
+		for _, m := range metricRows {
 			r := m.LPIter
 			fmt.Printf("%-8s %d iterations over %d components\n", r.Name, r.Iterations, r.Components)
 			rep.LPIters = append(rep.LPIters, r)
@@ -224,7 +231,7 @@ func run() int {
 	if *gsize {
 		fmt.Println("== Octagonal tile graph vs uniform grid (graph size) ==")
 		fmt.Printf("%-8s %12s %12s %8s\n", "circuit", "tile nodes", "grid nodes", "ratio")
-		for _, m := range metrics {
+		for _, m := range metricRows {
 			r := m.Graph
 			fmt.Printf("%-8s %12d %12d %8.3f\n", r.Name, r.TileNodes, r.GridNodes, r.Ratio)
 			rep.GraphSize = append(rep.GraphSize, r)
@@ -232,7 +239,7 @@ func run() int {
 		fmt.Println()
 		fmt.Println("== Wirelength quality (vs octilinear lower bound) ==")
 		fmt.Printf("%-8s %12s %12s %8s %8s %8s\n", "circuit", "lower bound", "actual", "mean", "p95", "max")
-		for _, m := range metrics {
+		for _, m := range metricRows {
 			r := m.Quality
 			fmt.Printf("%-8s %12.0f %12.0f %8.3f %8.3f %8.3f\n",
 				r.Name, r.LowerBound, r.Actual, r.MeanDetour, r.P95, r.MaxDetour)
@@ -272,6 +279,23 @@ func run() int {
 		}
 		f.Close()
 		fmt.Printf("json report: %s\n", *jsonOut)
+	}
+	if reg != nil {
+		w := os.Stdout
+		if *metOut != "-" {
+			f, err := os.Create(*metOut)
+			if err != nil {
+				return fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.WriteText(w); err != nil {
+			return fail(err)
+		}
+		if *metOut != "-" {
+			fmt.Printf("metrics exposition: %s\n", *metOut)
+		}
 	}
 	if *memprof != "" {
 		f, err := os.Create(*memprof)

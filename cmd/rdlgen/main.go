@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"rdlroute"
@@ -24,6 +25,7 @@ func main() {
 		layers = flag.Int("layers", 3, "number of wire layers (|L_w|)")
 		seed   = flag.Int64("seed", 1, "generator seed")
 		out    = flag.String("o", "", "output file (default stdout)")
+		logFmt = flag.String("log-format", "text", "stats line format on stderr: text or json (json emits a structured slog record)")
 	)
 	flag.Parse()
 
@@ -61,6 +63,13 @@ func main() {
 		os.Exit(1)
 	}
 	s := d.Stats()
+	if *logFmt == "json" {
+		logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		logger.Info("design generated", "name", s.Name, "chips", s.Chips,
+			"io_pads", s.Q, "bump_pads", s.G, "nets", s.N,
+			"wire_layers", s.WireLayers, "via_layers", s.ViaLayers)
+		return
+	}
 	fmt.Fprintf(os.Stderr, "%s: %d chips, |Q|=%d, |G|=%d, |N|=%d, |Lw|=%d, |Lv|=%d\n",
 		s.Name, s.Chips, s.Q, s.G, s.N, s.WireLayers, s.ViaLayers)
 }

@@ -9,6 +9,7 @@
 //	rdlroute -bench dense2 -flow linext   # run the baseline instead
 //	rdlroute -bench dense1 -no-lp         # ablation: disable stage 5
 //	rdlroute -bench dense1 -trace t.jsonl -stats   # observability
+//	rdlroute -bench dense1 -metrics -              # Prometheus exposition on stdout
 //	rdlroute -bench dense1 -cpuprofile cpu.pprof   # stage-labelled profile
 //	rdlroute -bench dense1 -export-design d.json   # write rdl-design/v1 JSON
 //	rdlroute -design d.json -o result.json         # JSON in, rdl-result/v1 out
@@ -56,6 +57,7 @@ func run() int {
 		memprof   = flag.String("memprofile", "", "write a heap profile (taken after routing) to this file")
 		stats     = flag.Bool("stats", false, "print the aggregated metrics snapshot after routing")
 		statsJSON = flag.String("stats-json", "", "write the aggregated metrics snapshot as JSON to this file")
+		metOut    = flag.String("metrics", "", `write the run's production metrics as a Prometheus text exposition to this file ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -135,6 +137,11 @@ func run() int {
 		coll = rdlroute.NewCollector()
 		sinks = append(sinks, coll)
 	}
+	var reg *rdlroute.MetricsRegistry
+	if *metOut != "" {
+		reg = rdlroute.NewMetricsRegistry()
+		sinks = append(sinks, rdlroute.NewMetricsBridge(reg))
+	}
 	tracer := rdlroute.MultiTracer(sinks...)
 
 	var lay *rdlroute.Layout
@@ -209,6 +216,24 @@ func run() int {
 		}
 		f.Close()
 		fmt.Printf("stats       %s\n", *statsJSON)
+	}
+
+	if reg != nil {
+		w := os.Stdout
+		if *metOut != "-" {
+			f, err := os.Create(*metOut)
+			if err != nil {
+				return fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.WriteText(w); err != nil {
+			return fail(err)
+		}
+		if *metOut != "-" {
+			fmt.Printf("metrics     %s\n", *metOut)
+		}
 	}
 
 	if *out != "" {

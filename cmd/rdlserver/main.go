@@ -10,13 +10,18 @@
 //	GET  /v1/jobs/{id}        job state; embeds the rdl-result/v1 doc when done
 //	POST /v1/jobs/{id}/cancel cancel a queued or running job
 //	GET  /v1/jobs/{id}/trace  the job's observability trace (JSONL)
+//	GET  /v1/debug/jobs       flight recorder: the last N terminal jobs
+//	GET  /v1/debug/jobs/{id}  one job's post-mortem record
 //	GET  /healthz             liveness + queue occupancy
-//	GET  /metrics             job counters + aggregated routing metrics
+//	GET  /metrics             Prometheus text exposition (JSON via ?format=json)
 //
 // Usage:
 //
 //	rdlserver -addr :8080 -workers 4 -queue 8 -job-timeout 5m
-//	rdlserver -smoke                  # self-test: boot, route dense1, DRC-check
+//	rdlserver -log-format json        # structured job/request logs on stderr
+//	rdlserver -debug-addr :6060       # pprof on a separate listener
+//	rdlserver -smoke                  # self-test: boot, route dense1, DRC-check,
+//	                                  # scrape /metrics, fetch the flight record
 //	rdlserver -throughput 1,2,4       # jobs/min at several worker counts
 package main
 
@@ -27,8 +32,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -39,6 +47,7 @@ import (
 	"rdlroute/internal/codec"
 	"rdlroute/internal/design"
 	"rdlroute/internal/drc"
+	"rdlroute/internal/metrics"
 	"rdlroute/internal/serve"
 )
 
@@ -54,7 +63,11 @@ func run() int {
 		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-job routing deadline (0 = none)")
 		routeW     = flag.Int("route-workers", 1, "default Options.Workers for jobs that submit 0: the per-job worker-pool bound inside the flow (results identical at every value)")
 		drain      = flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
-		smoke      = flag.Bool("smoke", false, "self-test: boot on a random port, route dense1 over HTTP, DRC-check, exit")
+		flight     = flag.Int("flight", 64, "flight-recorder capacity: post-mortem records of the last N terminal jobs (-1 disables)")
+		logFormat  = flag.String("log-format", "off", "structured logs on stderr: text, json, or off")
+		debugAddr  = flag.String("debug-addr", "", "separate listener for net/http/pprof (empty = disabled)")
+		smoke      = flag.Bool("smoke", false, "self-test: boot on a random port, route dense1 over HTTP, DRC-check, scrape /metrics, exit")
+		printMet   = flag.Bool("print-metrics", false, "with -smoke: dump the scraped /metrics exposition to stdout")
 		throughput = flag.String("throughput", "", "comma-separated worker counts: measure jobs/min per count and exit")
 		circuits   = flag.String("circuits", "dense1,dense2,dense3", "benchmark circuits for -throughput")
 		jobs       = flag.Int("jobs", 4, "jobs per circuit for -throughput")
@@ -66,8 +79,13 @@ func run() int {
 		return 1
 	}
 
+	logger, err := buildLogger(*logFormat)
+	if err != nil {
+		return fail(err)
+	}
+
 	if *smoke {
-		if err := runSmoke(*workers, *queue); err != nil {
+		if err := runSmoke(*workers, *queue, *printMet); err != nil {
 			return fail(err)
 		}
 		fmt.Println("smoke: PASS")
@@ -80,13 +98,25 @@ func run() int {
 		return 0
 	}
 
-	s := serve.New(serve.Config{Workers: *workers, QueueDepth: *queue, JobTimeout: *jobTimeout, RouteWorkers: *routeW})
+	s := serve.New(serve.Config{
+		Workers: *workers, QueueDepth: *queue, JobTimeout: *jobTimeout,
+		RouteWorkers: *routeW, FlightSize: *flight, Logger: logger,
+	})
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fail(err)
 	}
 	fmt.Printf("rdlserver: listening on %s (workers %d, queue %d)\n", ln.Addr(), *workers, *queue)
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fail(fmt.Errorf("debug listener: %w", err))
+		}
+		fmt.Printf("rdlserver: pprof on %s/debug/pprof/\n", dln.Addr())
+		go http.Serve(dln, debugMux())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -109,6 +139,33 @@ func run() int {
 	}
 	fmt.Println("rdlserver: drained")
 	return 0
+}
+
+// buildLogger maps -log-format to a slog logger on stderr (nil = serve
+// discards).
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "off", "":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text, json, or off)", format)
+	}
+}
+
+// debugMux mounts the pprof handlers on a private mux, so profiling stays
+// off the public API listener.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // boot starts a server on a random loopback port and returns its base
@@ -180,9 +237,75 @@ func pollDone(base, id string, timeout time.Duration) (jobView, error) {
 	}
 }
 
-// runSmoke boots a real server, routes dense1 through the HTTP API and
-// asserts the decoded result is DRC-clean. verify.sh runs this in CI.
-func runSmoke(workers, queue int) error {
+// smokeMetrics scrapes /metrics, validates the exposition with the
+// in-repo parser, and asserts the families a routed job must have
+// populated. Returns the raw exposition for -print-metrics.
+func smokeMetrics(base string) ([]byte, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return nil, fmt.Errorf("smoke: /metrics Content-Type %q, want text/plain exposition", ct)
+	}
+	var buf bytes.Buffer
+	fams, err := metrics.ParseText(io.TeeReader(resp.Body, &buf))
+	if err != nil {
+		return nil, fmt.Errorf("smoke: /metrics exposition malformed: %w", err)
+	}
+	if len(fams) == 0 {
+		return nil, errors.New("smoke: /metrics exposition is empty")
+	}
+	f := fams["rdl_jobs_finished_total"]
+	if f == nil {
+		return nil, fmt.Errorf("smoke: rdl_jobs_finished_total missing (families: %v)", metrics.Names(fams))
+	}
+	s, ok := f.Sample(map[string]string{"outcome": "completed"})
+	if !ok || s.Value < 1 {
+		return nil, fmt.Errorf("smoke: rdl_jobs_finished_total{outcome=completed} = %v, want >= 1", s.Value)
+	}
+	for _, name := range []string{
+		"rdl_stage_duration_seconds", // bridged per-stage flow latency
+		"rdl_job_duration_seconds",   // serving-layer job histogram
+		"rdl_queue_depth",            // live queue gauge
+		"go_goroutines",              // runtime gauges
+	} {
+		if fams[name] == nil {
+			return nil, fmt.Errorf("smoke: family %s missing from /metrics", name)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// smokeFlight fetches the job's flight record and checks it carries the
+// post-mortem essentials.
+func smokeFlight(base, id string) error {
+	resp, err := http.Get(base + "/v1/debug/jobs/" + id)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke: flight record for %s: HTTP %d", id, resp.StatusCode)
+	}
+	var rec serve.FlightRecord
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		return fmt.Errorf("smoke: flight record: %w", err)
+	}
+	if rec.Outcome != serve.OutcomeCompleted {
+		return fmt.Errorf("smoke: flight outcome %q, want completed", rec.Outcome)
+	}
+	if rec.OptionsFP == "" || rec.Obs == nil || len(rec.Obs.Spans) == 0 {
+		return fmt.Errorf("smoke: flight record incomplete: fp=%q obs=%v", rec.OptionsFP, rec.Obs)
+	}
+	return nil
+}
+
+// runSmoke boots a real server, routes dense1 through the HTTP API,
+// asserts the decoded result is DRC-clean, then validates the /metrics
+// exposition and the job's flight record. verify.sh runs this in CI.
+func runSmoke(workers, queue int, printMetrics bool) error {
 	base, _, stop, err := boot(workers, queue)
 	if err != nil {
 		return err
@@ -218,6 +341,20 @@ func runSmoke(workers, queue int) error {
 	}
 	fmt.Printf("smoke: dense1 routability %.1f%% wirelength %.0f, DRC clean\n",
 		res.Routability, res.Wirelength)
+
+	expo, err := smokeMetrics(base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("smoke: /metrics exposition valid (%d bytes)\n", len(expo))
+	if printMetrics {
+		os.Stdout.Write(expo)
+	}
+	if err := smokeFlight(base, jv.ID); err != nil {
+		return err
+	}
+	fmt.Printf("smoke: flight record for %s complete\n", jv.ID)
+
 	if err := stop(); err != nil {
 		return fmt.Errorf("smoke: drain: %w", err)
 	}

@@ -52,12 +52,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		randomN    = fs.Int("random", 0, "run the qa harness on N seeded random designs")
 		seed       = fs.Int64("seed", 1, "base seed for -random; design i uses seed+i")
 		parallel   = fs.Int("parallel", 1, "check up to this many -random designs concurrently (0 = GOMAXPROCS); the report is identical at every value")
+		metOut     = fs.String("metrics", "", `with -random: write the sweep's production metrics (per-stage latency, A* effort) as a Prometheus text exposition to this file ("-" = stdout)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *randomN > 0 {
-		return runRandom(*randomN, *seed, *parallel, *jsonOut, stdout, stderr)
+		return runRandom(*randomN, *seed, *parallel, *jsonOut, *metOut, stdout, stderr)
 	}
 	if *designPath == "" || *routesPath == "" {
 		fmt.Fprintln(stderr, "rdlverify: need -design and -routes (or -random N)")
@@ -162,7 +163,13 @@ type randomReport struct {
 	OK bool `json:"ok"`
 }
 
-func runRandom(n int, seed int64, parallel int, jsonOut bool, stdout, stderr io.Writer) int {
+func runRandom(n int, seed int64, parallel int, jsonOut bool, metOut string, stdout, stderr io.Writer) int {
+	var reg *rdlroute.MetricsRegistry
+	if metOut != "" {
+		reg = rdlroute.NewMetricsRegistry()
+		qa.Tracer = rdlroute.NewMetricsBridge(reg)
+		defer func() { qa.Tracer = nil }()
+	}
 	cfg := qa.Config{
 		N:        n,
 		Seed:     seed,
@@ -177,6 +184,22 @@ func runRandom(n int, seed int64, parallel int, jsonOut bool, stdout, stderr io.
 		}
 	}
 	rep := qa.Run(cfg)
+	if reg != nil {
+		w := stdout
+		if metOut != "-" {
+			f, err := os.Create(metOut)
+			if err != nil {
+				fmt.Fprintln(stderr, "rdlverify:", err)
+				return 2
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.WriteText(w); err != nil {
+			fmt.Fprintln(stderr, "rdlverify:", err)
+			return 2
+		}
+	}
 	if jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")

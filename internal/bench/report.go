@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"strings"
+
+	"rdlroute/internal/obs"
 )
 
 // ReportSchema identifies the rdlbench JSON report format. Bump it when a
@@ -59,6 +61,11 @@ type Table1JSON struct {
 	OursAstarSearches int64              `json:"ours_astar_searches,omitempty"`
 	OursAstarExpanded float64            `json:"ours_astar_expanded,omitempty"`
 	OursAstarVisited  float64            `json:"ours_astar_visited,omitempty"`
+
+	// OursObs is the run's full observability snapshot — every counter
+	// (A*, MPSC, ctile, LP, rip-up) and distribution the flow emitted,
+	// not just the headline extracts above. Present since PR 6.
+	OursObs *obs.Snapshot `json:"ours_obs,omitempty"`
 }
 
 // JSON flattens the row for the report.
@@ -97,6 +104,7 @@ func (r *Table1Row) JSON() Table1JSON {
 		j.OursAstarSearches = o.Counters["astar.searches"]
 		j.OursAstarExpanded = o.Dists["astar.expanded"].Sum
 		j.OursAstarVisited = o.Dists["astar.visited"].Sum
+		j.OursObs = o
 	}
 	return j
 }

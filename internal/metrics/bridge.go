@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"rdlroute/internal/obs"
+)
+
+// Bridge is the obs→metrics adapter: an obs.Tracer that turns the
+// routing flow's existing instrumentation into cumulative production
+// series without touching any stage code.
+//
+// Mapping:
+//
+//   - Count("astar.searches", n)  → counter  rdl_astar_searches_total
+//   - Observe("astar.expanded",v) → histogram rdl_astar_expanded (SizeBuckets)
+//   - Span("stage:sequential")    → histogram rdl_stage_duration_seconds{stage="sequential"}
+//   - Span(other)                 → histogram rdl_span_duration_seconds{span=...}
+//   - Event(name)                 → counter  rdl_events_total{event=name}
+//
+// Obs names are sanitized for the exposition charset (dots and dashes
+// become underscores). The bridge is purely observational: attaching it
+// to Options.Tracer never changes routed results — the qa metrics gate
+// holds fingerprints and result bytes to byte-equality with the bridge
+// on versus off.
+//
+// Safe for concurrent use; hot-path updates are atomic with a read-locked
+// name lookup.
+type Bridge struct {
+	reg    *Registry
+	stages HistogramVec
+	spans  HistogramVec
+	events CounterVec
+
+	mu       sync.RWMutex
+	counters map[string]Counter
+	dists    map[string]Histogram
+}
+
+// NewBridge returns a bridge feeding reg. Counter and distribution
+// families are created lazily as the flow emits them.
+func NewBridge(reg *Registry) *Bridge {
+	return &Bridge{
+		reg: reg,
+		stages: reg.HistogramVec("rdl_stage_duration_seconds",
+			"Wall time of each routing-flow stage span.", LatencyBuckets(), "stage"),
+		spans: reg.HistogramVec("rdl_span_duration_seconds",
+			"Wall time of non-stage observability spans.", LatencyBuckets(), "span"),
+		events: reg.CounterVec("rdl_events_total",
+			"Point-in-time observability events by name.", "event"),
+		counters: make(map[string]Counter),
+		dists:    make(map[string]Histogram),
+	}
+}
+
+// Registry returns the registry the bridge feeds.
+func (b *Bridge) Registry() *Registry { return b.reg }
+
+// sanitize maps an obs name onto the exposition charset.
+func sanitize(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// Enabled reports true: the bridge always records. Stage code still pays
+// only the cost of building attrs plus atomic adds.
+func (b *Bridge) Enabled() bool { return true }
+
+// Count feeds the named obs counter into rdl_<name>_total.
+func (b *Bridge) Count(name string, delta int64) {
+	b.mu.RLock()
+	c, ok := b.counters[name]
+	b.mu.RUnlock()
+	if !ok {
+		c = b.reg.Counter("rdl_"+sanitize(name)+"_total", "Flow counter "+name+" (via obs bridge).")
+		b.mu.Lock()
+		b.counters[name] = c
+		b.mu.Unlock()
+	}
+	if delta >= 0 {
+		c.Add(delta)
+	}
+}
+
+// Observe feeds the named obs distribution into histogram rdl_<name>.
+func (b *Bridge) Observe(name string, v float64) {
+	b.mu.RLock()
+	h, ok := b.dists[name]
+	b.mu.RUnlock()
+	if !ok {
+		h = b.reg.Histogram("rdl_"+sanitize(name), "Flow distribution "+name+" (via obs bridge).", SizeBuckets())
+		b.mu.Lock()
+		b.dists[name] = h
+		b.mu.Unlock()
+	}
+	h.Observe(v)
+}
+
+// Event counts the named event in rdl_events_total.
+func (b *Bridge) Event(name string, _ ...obs.Attr) {
+	b.events.With(name).Inc()
+}
+
+// bridgeSpan times one open span.
+type bridgeSpan struct {
+	h  Histogram
+	t0 time.Time
+}
+
+// End observes the span's elapsed wall time in seconds.
+func (s bridgeSpan) End(_ ...obs.Attr) {
+	s.h.Observe(time.Since(s.t0).Seconds())
+}
+
+// Span opens a timed span: stage spans ("stage:<name>") land in the
+// per-stage latency histogram, everything else in the generic span
+// histogram.
+func (b *Bridge) Span(name string, _ ...obs.Attr) obs.Span {
+	if stage, ok := strings.CutPrefix(name, "stage:"); ok {
+		return bridgeSpan{h: b.stages.With(stage), t0: time.Now()}
+	}
+	return bridgeSpan{h: b.spans.With(sanitize(name)), t0: time.Now()}
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rdlroute/internal/obs"
+)
+
+// TestBridgeIsTracer: the bridge satisfies obs.Tracer and maps every
+// primitive onto the documented series.
+func TestBridgeIsTracer(t *testing.T) {
+	reg := NewRegistry()
+	b := NewBridge(reg)
+	var tr obs.Tracer = b // compile-time interface check
+
+	if !tr.Enabled() {
+		t.Fatal("bridge must report Enabled")
+	}
+	tr.Count("astar.searches", 3)
+	tr.Count("astar.searches", 2)
+	tr.Observe("astar.expanded", 120)
+	tr.Event("net.route", obs.Int("net", 1))
+	tr.Event("net.route")
+	sp := tr.Span("stage:sequential")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Span("corridor.build").End()
+
+	fams, err := ParseText(bytes.NewReader(reg.Expose()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if s, ok := fams["rdl_astar_searches_total"].Sample(nil); !ok || s.Value != 5 {
+		t.Errorf("rdl_astar_searches_total = %+v, want 5", s)
+	}
+	exp := fams["rdl_astar_expanded"]
+	if exp == nil || exp.Kind != KindHistogram {
+		t.Fatalf("rdl_astar_expanded missing or not a histogram: %+v", exp)
+	}
+	ev, ok := fams["rdl_events_total"].Sample(map[string]string{"event": "net.route"})
+	if !ok || ev.Value != 2 {
+		t.Errorf("rdl_events_total{net.route} = %+v, want 2", ev)
+	}
+	st := fams["rdl_stage_duration_seconds"]
+	if st == nil {
+		t.Fatal("rdl_stage_duration_seconds missing")
+	}
+	if _, ok := st.Sample(map[string]string{"stage": "sequential"}); !ok {
+		t.Fatal("stage=sequential series missing")
+	}
+	var stageCount float64
+	for _, s := range st.Samples {
+		if s.Name == "rdl_stage_duration_seconds_count" && s.Labels["stage"] == "sequential" {
+			stageCount = s.Value
+		}
+	}
+	if stageCount != 1 {
+		t.Errorf("stage histogram count = %v, want 1", stageCount)
+	}
+	if _, ok := fams["rdl_span_duration_seconds"].Sample(map[string]string{"span": "corridor_build"}); !ok {
+		t.Errorf("non-stage span series missing")
+	}
+}
+
+// TestBridgeThroughStage: obs.Stage wraps the bridge like any tracer and
+// the pprof-labeled stage span lands in the stage histogram.
+func TestBridgeThroughStage(t *testing.T) {
+	reg := NewRegistry()
+	b := NewBridge(reg)
+	end := obs.Stage(b, "preprocess", obs.String("design", "dense1"))
+	end()
+	fams, err := ParseText(bytes.NewReader(reg.Expose()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, ok := fams["rdl_stage_duration_seconds"].Sample(map[string]string{"stage": "preprocess"}); !ok {
+		t.Errorf("stage=preprocess series missing after obs.Stage")
+	}
+}
+
+// TestSanitize pins the obs→exposition name mapping.
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"astar.searches": "astar_searches",
+		"net-route":      "net_route",
+		"3rd":            "_3rd",
+		"ok_name":        "ok_name",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestBridgeInMulti: the bridge composes with the collector under
+// obs.Multi, the shape serve uses per job.
+func TestBridgeInMulti(t *testing.T) {
+	reg := NewRegistry()
+	b := NewBridge(reg)
+	coll := obs.NewCollector()
+	tr := obs.Multi(coll, b)
+	tr.Count("mpsc.chords_picked", 4)
+	if got := coll.Counter("mpsc.chords_picked"); got != 4 {
+		t.Errorf("collector counter = %d, want 4", got)
+	}
+	if got := reg.Counter("rdl_mpsc_chords_picked_total", "").Value(); got != 4 {
+		t.Errorf("bridged counter = %d, want 4", got)
+	}
+}

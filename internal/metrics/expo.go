@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format version 0.0.4, which WriteText produces.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format. Output is deterministic for a given set of values:
+// families in name order, series in label-value order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	hooks := append([]func(){}, r.onScrape...)
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.writeText(bw)
+	}
+	return bw.Flush()
+}
+
+// Expose renders the registry to a byte slice (the byte-stable snapshot
+// used by tests and differential gates).
+func (r *Registry) Expose() []byte {
+	var sb strings.Builder
+	r.WriteText(&sb) // strings.Builder never errors
+	return []byte(sb.String())
+}
+
+func (f *family) writeText(w *bufio.Writer) {
+	f.mu.Lock()
+	fn := f.fn
+	rows := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		rows = append(rows, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		return seriesKey(rows[i].labelValues) < seriesKey(rows[j].labelValues)
+	})
+
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(string(f.kind))
+	w.WriteByte('\n')
+
+	if fn != nil {
+		writeSample(w, f.name, nil, nil, "", fn())
+		return
+	}
+	for _, s := range rows {
+		switch f.kind {
+		case KindCounter:
+			writeSample(w, f.name, f.labels, s.labelValues, "", float64(s.val.Load()))
+		case KindGauge:
+			writeSample(w, f.name, f.labels, s.labelValues, "", math.Float64frombits(uint64(s.val.Load())))
+		case KindHistogram:
+			var cum int64
+			for i := range f.buckets {
+				cum += s.counts[i].Load()
+				writeSample(w, f.name+"_bucket", f.labels, s.labelValues,
+					formatFloat(f.buckets[i]), float64(cum))
+			}
+			cum += s.counts[len(f.buckets)].Load()
+			writeSample(w, f.name+"_bucket", f.labels, s.labelValues, "+Inf", float64(cum))
+			writeSample(w, f.name+"_sum", f.labels, s.labelValues, "", math.Float64frombits(s.sumBits.Load()))
+			writeSample(w, f.name+"_count", f.labels, s.labelValues, "", float64(cum))
+		}
+	}
+}
+
+// writeSample writes one exposition line. le, when non-empty, is appended
+// as the histogram bucket bound label.
+func writeSample(w *bufio.Writer, name string, labels, values []string, le string, v float64) {
+	w.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(`le="`)
+			w.WriteString(le)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: shortest round-trip form, with
+// integral values printed without an exponent or decimal point.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslashes, quotes and newlines in label values.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,346 @@
+// Package metrics is the stdlib-only production metrics layer: a
+// registry of monotonic counters, gauges and fixed-bucket histograms with
+// deterministic series ordering, a Prometheus text-exposition writer
+// (expo.go), a matching parser for smoke gates (parse.go), an
+// obs→metrics bridge Tracer that turns the routing flow's existing
+// Count/Observe/Span call sites into named production series (bridge.go),
+// and Go runtime gauges (runtime.go).
+//
+// The obs package answers "what did this one run do" (spans, events,
+// per-run snapshots); this package answers "what is the process doing
+// over time" (scrape-able cumulative series). The two meet in Bridge.
+//
+// Determinism: WriteText output is byte-stable for a given set of metric
+// values — families sort by name, series sort by label values, floats
+// format with strconv 'g' shortest form — so goldens and differential
+// gates can compare exposition bytes directly.
+//
+// All metric types are safe for concurrent use; hot-path updates are
+// lock-free (atomics), registration and scraping take locks.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the exposition TYPE of a metric family.
+type Kind string
+
+// Metric family kinds (the subset of Prometheus types we produce).
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	onScrape []func() // refresh hooks run once at the top of WriteText
+}
+
+// family is one named metric with zero or more labeled series.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string // label names; empty for unlabeled families
+
+	buckets []float64 // histogram upper bounds (sorted, +Inf implied)
+
+	mu     sync.Mutex
+	series map[string]*series // key: canonical joined label values
+	fn     func() float64     // func-backed family (single series, no labels)
+}
+
+// series is one label combination's live values.
+type series struct {
+	labelValues []string
+
+	val atomic.Int64 // counter delta sum / gauge float bits
+
+	// histogram state: per-bucket counts (cumulated at exposition time),
+	// +Inf overflow in counts[len(buckets)], plus sum as float bits.
+	counts  []atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// validName matches the Prometheus metric and label name charset.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register returns the named family, creating it on first use. It panics
+// on an invalid name or a redefinition with a different shape —
+// programmer errors, caught at startup by any test that touches the
+// metric.
+func (r *Registry) register(name, help string, kind Kind, labels []string, buckets []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) || strings.HasPrefix(l, "__") {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("metrics: %q redefined with different kind or labels", name))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("metrics: %q redefined with different labels", name))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels: append([]string(nil), labels...),
+		series: make(map[string]*series),
+	}
+	if kind == KindHistogram {
+		bs := append([]float64(nil), buckets...)
+		sort.Float64s(bs)
+		// Drop duplicates and a trailing +Inf (implied).
+		out := bs[:0]
+		for _, b := range bs {
+			if math.IsInf(b, 1) {
+				continue
+			}
+			if len(out) == 0 || out[len(out)-1] != b {
+				out = append(out, b)
+			}
+		}
+		if len(out) == 0 {
+			panic(fmt.Sprintf("metrics: histogram %q needs at least one finite bucket", name))
+		}
+		f.buckets = out
+	}
+	r.families[name] = f
+	return f
+}
+
+// seriesKey canonicalizes label values for map lookup. U+FFFE never
+// appears in valid UTF-8 label values, so joining with it is collision-free.
+func seriesKey(values []string) string { return strings.Join(values, "￾") }
+
+// get returns the series for the given label values, creating it on
+// first use.
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), values...)}
+		if f.kind == KindHistogram {
+			s.counts = make([]atomic.Int64, len(f.buckets)+1)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// OnScrape registers fn to run (under the registry lock) at the start of
+// every WriteText call. Runtime gauges use it to refresh a shared sample
+// once per scrape instead of once per metric.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onScrape = append(r.onScrape, fn)
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonic int64 counter.
+type Counter struct{ s *series }
+
+// Add adds delta (which must be non-negative) to the counter.
+func (c Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: counter decrease")
+	}
+	c.s.val.Add(delta)
+}
+
+// Inc adds one.
+func (c Counter) Inc() { c.s.val.Add(1) }
+
+// Value returns the current count.
+func (c Counter) Value() int64 { return c.s.val.Load() }
+
+// Counter returns the named unlabeled counter, creating it on first use.
+func (r *Registry) Counter(name, help string) Counter {
+	f := r.register(name, help, KindCounter, nil, nil)
+	return Counter{f.get(nil)}
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the named labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) CounterVec {
+	if len(labels) == 0 {
+		panic("metrics: CounterVec needs at least one label")
+	}
+	return CounterVec{r.register(name, help, KindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values.
+func (v CounterVec) With(values ...string) Counter { return Counter{v.f.get(values)} }
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+// Gauge is a float64 gauge.
+type Gauge struct{ s *series }
+
+// Set sets the gauge.
+func (g Gauge) Set(v float64) { g.s.val.Store(int64(math.Float64bits(v))) }
+
+// Value returns the current gauge value.
+func (g Gauge) Value() float64 { return math.Float64frombits(uint64(g.s.val.Load())) }
+
+// Gauge returns the named unlabeled gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) Gauge {
+	f := r.register(name, help, KindGauge, nil, nil)
+	return Gauge{f.get(nil)}
+}
+
+// GaugeFunc registers a gauge whose value is read by calling fn at
+// exposition time. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, KindGauge, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// CounterFunc registers a counter whose value is read by calling fn at
+// exposition time (for externally-accumulated monotonic values such as
+// runtime GC totals). fn must be safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, KindCounter, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// Histogram is a fixed-bucket histogram. Bucket upper bounds are
+// inclusive, per the Prometheus convention: a sample exactly on a bound
+// counts into that bucket.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// Observe records one sample.
+func (h Histogram) Observe(v float64) {
+	// First bucket whose upper bound is >= v; +Inf overflow otherwise.
+	bs := h.f.buckets
+	i := sort.SearchFloat64s(bs, v) // leftmost index with bs[i] >= v
+	h.s.counts[i].Add(1)
+	for {
+		old := h.s.sumBits.Load()
+		if h.s.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of samples observed.
+func (h Histogram) Count() int64 {
+	var n int64
+	for i := range h.s.counts {
+		n += h.s.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed samples.
+func (h Histogram) Sum() float64 { return math.Float64frombits(h.s.sumBits.Load()) }
+
+// Histogram returns the named unlabeled histogram, creating it on first
+// use with the given bucket upper bounds (+Inf is implied).
+func (r *Registry) Histogram(name, help string, buckets []float64) Histogram {
+	f := r.register(name, help, KindHistogram, nil, buckets)
+	return Histogram{f, f.get(nil)}
+}
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the named labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) HistogramVec {
+	if len(labels) == 0 {
+		panic("metrics: HistogramVec needs at least one label")
+	}
+	return HistogramVec{r.register(name, help, KindHistogram, labels, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v HistogramVec) With(values ...string) Histogram {
+	return Histogram{v.f, v.f.get(values)}
+}
+
+// ---------------------------------------------------------------------------
+// Standard bucket layouts
+
+// LatencyBuckets are upper bounds in seconds for request/stage latency
+// histograms: 1ms to ~4 minutes, doubling. Routing jobs span five orders
+// of magnitude (dense1 milliseconds to dense5 half-minutes), so a
+// doubling ladder keeps relative error uniform.
+func LatencyBuckets() []float64 {
+	bs := make([]float64, 0, 19)
+	for v := 0.001; v < 260; v *= 2 {
+		bs = append(bs, v)
+	}
+	return bs
+}
+
+// SizeBuckets are upper bounds for count-valued distributions (A*
+// expansions, wirelengths, queue sizes): powers of ten with 1-2-5
+// subdivision from 1 to 10^7.
+func SizeBuckets() []float64 {
+	var bs []float64
+	for mag := 1.0; mag <= 1e7; mag *= 10 {
+		bs = append(bs, mag, 2*mag, 5*mag)
+	}
+	return bs[:len(bs)-2] // stop at 1e7
+}

@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact exposition bytes of a small
+// registry: family ordering, label ordering, histogram bucket lines,
+// escaping and float formatting are all load-bearing for scrapers.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rdl_jobs_submitted_total", "Jobs accepted into the queue.").Add(3)
+	v := reg.CounterVec("rdl_jobs_finished_total", "Finished jobs by outcome.", "outcome")
+	v.With("completed").Add(2)
+	v.With("canceled").Inc()
+	reg.Gauge("rdl_queue_depth", "Jobs waiting in the queue.").Set(1.5)
+	h := reg.Histogram("rdl_job_duration_seconds", "End-to-end job latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(1) // exactly on a bound: counts into le="1"
+	h.Observe(99)
+	reg.Gauge("esc_gauge", `quote " and slash \`).Set(math.Inf(1))
+
+	want := strings.Join([]string{
+		`# HELP esc_gauge quote " and slash \\`,
+		`# TYPE esc_gauge gauge`,
+		`esc_gauge +Inf`,
+		`# HELP rdl_job_duration_seconds End-to-end job latency.`,
+		`# TYPE rdl_job_duration_seconds histogram`,
+		`rdl_job_duration_seconds_bucket{le="0.1"} 1`,
+		`rdl_job_duration_seconds_bucket{le="1"} 2`,
+		`rdl_job_duration_seconds_bucket{le="10"} 2`,
+		`rdl_job_duration_seconds_bucket{le="+Inf"} 3`,
+		`rdl_job_duration_seconds_sum 100.05`,
+		`rdl_job_duration_seconds_count 3`,
+		`# HELP rdl_jobs_finished_total Finished jobs by outcome.`,
+		`# TYPE rdl_jobs_finished_total counter`,
+		`rdl_jobs_finished_total{outcome="canceled"} 1`,
+		`rdl_jobs_finished_total{outcome="completed"} 2`,
+		`# HELP rdl_jobs_submitted_total Jobs accepted into the queue.`,
+		`# TYPE rdl_jobs_submitted_total counter`,
+		`rdl_jobs_submitted_total 3`,
+		`# HELP rdl_queue_depth Jobs waiting in the queue.`,
+		`# TYPE rdl_queue_depth gauge`,
+		`rdl_queue_depth 1.5`,
+		``,
+	}, "\n")
+	got := string(reg.Expose())
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Byte-stability: a second render of unchanged values is identical.
+	if again := string(reg.Expose()); again != got {
+		t.Errorf("second exposition differs from the first")
+	}
+}
+
+// TestHistogramBucketBoundaries is the boundary table: upper bounds are
+// inclusive, the next bucket starts strictly above, and out-of-range
+// samples land in +Inf only.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string // le of the bucket the sample's first increment lands in
+	}{
+		{-5, "1"},                    // below range → first bucket
+		{0, "1"},                     //
+		{1, "1"},                     // exactly on a bound → that bucket
+		{math.Nextafter(1, 2), "10"}, // just above → next bucket
+		{10, "10"},                   // exactly on the last finite bound
+		{10.0000001, "+Inf"},         // above every finite bound
+		{1e18, "+Inf"},               //
+	}
+	for _, tc := range cases {
+		reg := NewRegistry()
+		h := reg.Histogram("h", "", []float64{1, 10})
+		h.Observe(tc.v)
+		fams, err := ParseText(bytes.NewReader(reg.Expose()))
+		if err != nil {
+			t.Fatalf("v=%v: parse: %v", tc.v, err)
+		}
+		f := fams["h"]
+		if f == nil {
+			t.Fatalf("v=%v: family missing", tc.v)
+		}
+		// The first bucket with cumulative count 1 is where it landed.
+		landed := ""
+		for _, s := range f.Samples {
+			if strings.HasSuffix(s.Name, "_bucket") && s.Value == 1 {
+				landed = s.Labels["le"]
+				break
+			}
+		}
+		if landed != tc.want {
+			t.Errorf("Observe(%v) landed in le=%q, want le=%q", tc.v, landed, tc.want)
+		}
+		if c := h.Count(); c != 1 {
+			t.Errorf("Observe(%v): count %d, want 1", tc.v, c)
+		}
+	}
+}
+
+// TestHistogramSum checks the CAS float accumulation.
+func TestHistogramSum(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "", []float64{1})
+	for i := 1; i <= 100; i++ {
+		h.Observe(0.5)
+	}
+	if got := h.Sum(); got != 50 {
+		t.Errorf("sum = %v, want 50", got)
+	}
+}
+
+// TestConcurrentScrape hammers counters, gauges and histograms from many
+// goroutines while scraping concurrently; -race holds the registry to
+// its concurrency contract and the final totals must be exact.
+func TestConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	vec := reg.CounterVec("v_total", "", "k")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h", "", LatencyBuckets())
+
+	const workers, iters = 8, 2000
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() { // concurrent scraper
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := ParseText(bytes.NewReader(reg.Expose())); err != nil {
+				t.Errorf("mid-flight exposition unparseable: %v", err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				vec.With("a").Add(2)
+				g.Set(float64(i))
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-scraperDone
+
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := vec.With("a").Value(); got != 2*workers*iters {
+		t.Errorf("vec counter = %d, want %d", got, 2*workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := h.Sum(); math.Abs(got-0.01*workers*iters) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", got, 0.01*workers*iters)
+	}
+}
+
+// TestRegisterIdempotent: re-registering the same family returns the
+// same series; a shape change panics.
+func TestRegisterIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "").Add(1)
+	reg.Counter("c_total", "").Add(1)
+	if got := reg.Counter("c_total", "").Value(); got != 2 {
+		t.Errorf("re-registered counter = %d, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("redefining c_total as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("c_total", "")
+}
+
+// TestInvalidNamePanics: the registry refuses names outside the
+// exposition charset at registration time.
+func TestInvalidNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("invalid metric name did not panic")
+		}
+	}()
+	NewRegistry().Counter("bad.name", "")
+}

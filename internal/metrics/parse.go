@@ -1,0 +1,253 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string            // full sample name (may carry _bucket/_sum/_count suffixes)
+	Labels map[string]string // nil when the line has no labels
+	Value  float64
+}
+
+// Family is one parsed metric family: its TYPE, HELP and samples in
+// input order.
+type Family struct {
+	Name    string
+	Kind    Kind
+	Help    string
+	Samples []Sample
+}
+
+// ParseText parses the Prometheus text exposition format (the subset
+// WriteText produces plus untyped samples), validating line syntax,
+// label quoting and numeric values. It returns families keyed by name.
+// verify.sh's smoke gate uses it to hold /metrics output to the format.
+func ParseText(r io.Reader) (map[string]*Family, error) {
+	fams := make(map[string]*Family)
+	// base strips histogram sample suffixes so bucket lines attach to
+	// their TYPE'd family.
+	base := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name {
+				if f, ok := fams[trimmed]; ok && f.Kind == KindHistogram {
+					return trimmed
+				}
+			}
+		}
+		return name
+	}
+	famFor := func(name string) *Family {
+		name = base(name)
+		f, ok := fams[name]
+		if !ok {
+			f = &Family{Name: name}
+			fams[name] = f
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("metrics: line %d: %s", lineno, fmt.Sprintf(format, args...))
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validName(name) {
+				return nil, errf("invalid metric name %q", name)
+			}
+			f := famFor(name)
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, errf("TYPE line without a type")
+				}
+				switch Kind(fields[3]) {
+				case KindCounter, KindGauge, KindHistogram, Kind("summary"), Kind("untyped"):
+					f.Kind = Kind(fields[3])
+				default:
+					return nil, errf("unknown metric type %q", fields[3])
+				}
+			} else if len(fields) == 4 {
+				f.Help = fields[3]
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, errf("%v", err)
+		}
+		f := famFor(s.Name)
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	return fams, nil
+}
+
+// parseSample parses one `name{l="v",...} value` line.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	s.Name = rest[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	// A timestamp may follow the value; take the first field.
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a `{name="value",...}` block, returning the rest of
+// the line after the closing brace.
+func parseLabels(in string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	rest := in[1:] // past '{'
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if rest[0] == '}' {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !validName(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return nil, "", fmt.Errorf("label %q value not quoted", name)
+		}
+		val, tail, err := parseQuoted(rest)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %q: %v", name, err)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = val
+		rest = tail
+		if rest != "" && rest[0] == ',' {
+			rest = rest[1:]
+		}
+	}
+}
+
+// parseQuoted consumes a double-quoted, backslash-escaped string.
+func parseQuoted(in string) (string, string, error) {
+	var sb strings.Builder
+	for i := 1; i < len(in); i++ {
+		switch in[i] {
+		case '\\':
+			if i+1 >= len(in) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch in[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case '\\', '"':
+				sb.WriteByte(in[i])
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", in[i])
+			}
+		case '"':
+			return sb.String(), in[i+1:], nil
+		default:
+			sb.WriteByte(in[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}
+
+// parseValue parses a sample value, including the ±Inf and NaN spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Sample returns the first sample in the family whose labels are a
+// superset of want (nil want matches the first sample), and whether one
+// exists.
+func (f *Family) Sample(want map[string]string) (Sample, bool) {
+	for _, s := range f.Samples {
+		match := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}
+
+// Names returns the sorted family names (a convenience for gates and
+// pretty-printers).
+func Names(fams map[string]*Family) []string {
+	out := make([]string, 0, len(fams))
+	for n := range fams {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestParseRoundTrip: everything WriteText produces, ParseText reads
+// back with the same values.
+func TestParseRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total", "total jobs").Add(7)
+	reg.CounterVec("outcomes_total", "by outcome", "outcome", "code").With("failed", "500").Add(2)
+	reg.Gauge("depth", "queue depth").Set(3)
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.5, 2})
+	h.Observe(0.1)
+	h.Observe(1.7)
+	reg.Gauge("weird", "esc").Set(-2.25)
+
+	fams, err := ParseText(bytes.NewReader(reg.Expose()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if f := fams["jobs_total"]; f == nil || f.Kind != KindCounter {
+		t.Fatalf("jobs_total family missing or untyped: %+v", f)
+	} else if s, ok := f.Sample(nil); !ok || s.Value != 7 {
+		t.Errorf("jobs_total = %+v, want 7", s)
+	}
+	f := fams["outcomes_total"]
+	if f == nil {
+		t.Fatal("outcomes_total missing")
+	}
+	s, ok := f.Sample(map[string]string{"outcome": "failed", "code": "500"})
+	if !ok || s.Value != 2 {
+		t.Errorf("outcomes_total{failed,500} = %+v ok=%v, want 2", s, ok)
+	}
+	lf := fams["lat_seconds"]
+	if lf == nil || lf.Kind != KindHistogram {
+		t.Fatalf("lat_seconds family missing or untyped: %+v", lf)
+	}
+	// _count and _sum attach to the histogram family.
+	var count, sum float64
+	for _, smp := range lf.Samples {
+		switch smp.Name {
+		case "lat_seconds_count":
+			count = smp.Value
+		case "lat_seconds_sum":
+			sum = smp.Value
+		}
+	}
+	if count != 2 || sum != 1.8 {
+		t.Errorf("lat_seconds count=%v sum=%v, want 2 and 1.8", count, sum)
+	}
+}
+
+// TestParseLabelEscapes: quoted label values round-trip through the
+// escaping rules.
+func TestParseLabelEscapes(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("c_total", "", "k").With("a\"b\\c\nd").Inc()
+	fams, err := ParseText(bytes.NewReader(reg.Expose()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s, ok := fams["c_total"].Sample(nil)
+	if !ok || s.Labels["k"] != "a\"b\\c\nd" {
+		t.Errorf("label value = %q, want the original escaped string", s.Labels["k"])
+	}
+}
+
+// TestParseMalformed: each malformed payload must be rejected, not
+// silently skipped — the verify.sh smoke gate depends on it.
+func TestParseMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no value":          "jobs_total\n",
+		"bad value":         "jobs_total abc\n",
+		"bad name":          "1jobs 3\n",
+		"unclosed labels":   `jobs_total{a="b" 3` + "\n",
+		"unquoted label":    "jobs_total{a=b} 3\n",
+		"dangling escape":   `jobs_total{a="b\"` + "\n",
+		"unknown type":      "# TYPE jobs_total sparkline\n",
+		"type without type": "# TYPE jobs_total\n",
+		"duplicate label":   `jobs_total{a="1",a="2"} 3` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ParseText accepted %q", name, in)
+		}
+	}
+}
+
+// TestParseTolerated: blank lines, free comments, untyped samples,
+// timestamps and ±Inf values are all legal exposition.
+func TestParseTolerated(t *testing.T) {
+	in := strings.Join([]string{
+		"",
+		"# just a comment",
+		"untyped_thing 4.5",
+		"with_ts 3 1712345678901",
+		`inf_metric +Inf`,
+		`neg_inf -Inf`,
+	}, "\n") + "\n"
+	fams, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if s, ok := fams["with_ts"].Sample(nil); !ok || s.Value != 3 {
+		t.Errorf("timestamped sample = %+v, want 3", s)
+	}
+	if len(fams) != 4 {
+		t.Errorf("parsed %d families (%v), want 4", len(fams), Names(fams))
+	}
+}

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runtimeSampler caches one runtime.MemStats read per scrape, shared by
+// every runtime gauge, so a scrape pays a single stop-the-world stats
+// collection regardless of how many series it renders.
+type runtimeSampler struct {
+	mu sync.Mutex
+	ms runtime.MemStats
+}
+
+func (s *runtimeSampler) refresh() {
+	s.mu.Lock()
+	runtime.ReadMemStats(&s.ms)
+	s.mu.Unlock()
+}
+
+func (s *runtimeSampler) get(f func(*runtime.MemStats) float64) func() float64 {
+	return func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return f(&s.ms)
+	}
+}
+
+// RegisterGoRuntime adds the process-level Go runtime series a serving
+// deployment watches alongside the routing metrics: goroutine count, heap
+// occupancy, cumulative allocation, GC cycle count and total GC pause
+// time. Values refresh once per scrape via OnScrape.
+func RegisterGoRuntime(reg *Registry) {
+	s := &runtimeSampler{}
+	reg.OnScrape(s.refresh)
+	reg.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		s.get(func(ms *runtime.MemStats) float64 { return float64(ms.HeapAlloc) }))
+	reg.GaugeFunc("go_heap_inuse_bytes", "Bytes in in-use heap spans.",
+		s.get(func(ms *runtime.MemStats) float64 { return float64(ms.HeapInuse) }))
+	reg.GaugeFunc("go_sys_bytes", "Bytes obtained from the OS.",
+		s.get(func(ms *runtime.MemStats) float64 { return float64(ms.Sys) }))
+	reg.GaugeFunc("go_next_gc_bytes", "Heap size target of the next GC cycle.",
+		s.get(func(ms *runtime.MemStats) float64 { return float64(ms.NextGC) }))
+	reg.CounterFunc("go_alloc_bytes_total", "Cumulative bytes allocated for heap objects.",
+		s.get(func(ms *runtime.MemStats) float64 { return float64(ms.TotalAlloc) }))
+	reg.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		s.get(func(ms *runtime.MemStats) float64 { return float64(ms.NumGC) }))
+	reg.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		s.get(func(ms *runtime.MemStats) float64 { return float64(ms.PauseTotalNs) / 1e9 }))
+}

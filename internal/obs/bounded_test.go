@@ -1,0 +1,55 @@
+package obs
+
+import "testing"
+
+// TestBoundedCollector: past the retention bound, raw records stop
+// accumulating but every aggregate stays exact — the contract that lets
+// serve keep an always-on collector without unbounded growth.
+func TestBoundedCollector(t *testing.T) {
+	c := NewBoundedCollector(3)
+	for i := 0; i < 10; i++ {
+		c.Event("e", Int("i", i))
+		c.Count("n", 1)
+		c.Observe("d", float64(i+1))
+		sp := c.Span("s")
+		sp.End()
+	}
+
+	if got := len(c.Events("e")); got != 3 {
+		t.Errorf("retained events = %d, want 3", got)
+	}
+	if got := len(c.Spans("s")); got != 3 {
+		t.Errorf("retained spans = %d, want 3", got)
+	}
+
+	s := c.Snapshot()
+	if s.Events != 10 {
+		t.Errorf("snapshot events = %d, want 10 (all seen)", s.Events)
+	}
+	if s.Counters["n"] != 10 {
+		t.Errorf("counter = %d, want 10", s.Counters["n"])
+	}
+	d := s.Dists["d"]
+	if d.Count != 10 || d.Min != 1 || d.Max != 10 || d.Sum != 55 {
+		t.Errorf("dist aggregates = %+v, want count 10 min 1 max 10 sum 55", d)
+	}
+	if d.Mean != 5.5 {
+		t.Errorf("dist mean = %v, want 5.5", d.Mean)
+	}
+	// Percentiles summarize the retained window (first 3 samples).
+	if d.P50 != 2 {
+		t.Errorf("windowed p50 = %v, want 2", d.P50)
+	}
+	var span SpanStat
+	for _, st := range s.Spans {
+		if st.Name == "s" {
+			span = st
+		}
+	}
+	if span.Count != 10 {
+		t.Errorf("span count = %d, want 10 (aggregate exact past bound)", span.Count)
+	}
+	if span.TotalMs < 0 {
+		t.Errorf("span total = %v", span.TotalMs)
+	}
+}

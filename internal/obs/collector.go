@@ -38,28 +38,60 @@ type SpanRec struct {
 	Attrs map[string]any
 }
 
-// Collector is the in-memory sink: it retains every span, event, counter
-// and distribution sample, for tests and for Snapshot aggregation. Safe
-// for concurrent use.
-type Collector struct {
-	mu       sync.Mutex
-	start    time.Time
-	events   []Event
-	spans    []SpanRec
-	counters map[string]int64
-	dists    map[string][]float64
+// distAgg is one distribution's exact running aggregates plus a bounded
+// window of raw samples for percentile estimation.
+type distAgg struct {
+	n             int
+	min, max, sum float64
+	samples       []float64
 }
 
-// NewCollector returns an empty in-memory collector.
-func NewCollector() *Collector {
+// Collector is the in-memory sink: it aggregates every span, counter and
+// distribution sample, for tests and for Snapshot aggregation. Safe for
+// concurrent use.
+//
+// Aggregates (counters, span totals, distribution count/min/max/sum) are
+// always exact. Raw records — individual events, spans and distribution
+// samples — are retained in full by NewCollector, or up to a fixed cap
+// by NewBoundedCollector, which an always-on production sink uses to
+// stay allocation-bounded no matter how many jobs flow through it.
+// Beyond the cap, percentiles summarize the retained window only.
+type Collector struct {
+	mu     sync.Mutex
+	start  time.Time
+	bound  int // max retained events, spans, and samples per dist; 0 = unlimited
+	events []Event
+	nEvent int // all events seen, including unretained ones
+	spans  []SpanRec
+	agg    map[string]*SpanStat
+	counts map[string]int64
+	dists  map[string]*distAgg
+}
+
+// NewCollector returns an empty collector that retains every record.
+func NewCollector() *Collector { return newCollector(0) }
+
+// NewBoundedCollector returns a collector whose retained raw records —
+// events, spans, and samples per distribution — are each capped at
+// bound. Aggregates stay exact past the cap; percentiles degrade to the
+// first bound samples. bound <= 0 means unlimited.
+func NewBoundedCollector(bound int) *Collector { return newCollector(bound) }
+
+func newCollector(bound int) *Collector {
 	return &Collector{
-		start:    now(),
-		counters: map[string]int64{},
-		dists:    map[string][]float64{},
+		start:  now(),
+		bound:  bound,
+		agg:    map[string]*SpanStat{},
+		counts: map[string]int64{},
+		dists:  map[string]*distAgg{},
 	}
 }
 
 func (c *Collector) Enabled() bool { return true }
+
+// keep reports whether a slice of current length n may grow under the
+// collector's retention bound. Callers hold c.mu.
+func (c *Collector) keep(n int) bool { return c.bound <= 0 || n < c.bound }
 
 type collectorSpan struct {
 	c     *Collector
@@ -79,14 +111,24 @@ func (s *collectorSpan) End(attrs ...Attr) {
 		}
 	}
 	end := now()
-	s.c.mu.Lock()
-	s.c.spans = append(s.c.spans, SpanRec{
-		Name:  s.name,
-		Start: s.t0.Sub(s.c.start),
-		Dur:   end.Sub(s.t0),
-		Attrs: m,
-	})
-	s.c.mu.Unlock()
+	c := s.c
+	c.mu.Lock()
+	st := c.agg[s.name]
+	if st == nil {
+		st = &SpanStat{Name: s.name}
+		c.agg[s.name] = st
+	}
+	st.Count++
+	st.TotalMs += float64(end.Sub(s.t0).Nanoseconds()) / 1e6
+	if c.keep(len(c.spans)) {
+		c.spans = append(c.spans, SpanRec{
+			Name:  s.name,
+			Start: s.t0.Sub(c.start),
+			Dur:   end.Sub(s.t0),
+			Attrs: m,
+		})
+	}
+	c.mu.Unlock()
 }
 
 func (c *Collector) Span(name string, attrs ...Attr) Span {
@@ -96,23 +138,41 @@ func (c *Collector) Span(name string, attrs ...Attr) Span {
 func (c *Collector) Event(name string, attrs ...Attr) {
 	e := Event{Name: name, Time: now().Sub(c.start), Attrs: attrMap(attrs)}
 	c.mu.Lock()
-	c.events = append(c.events, e)
+	c.nEvent++
+	if c.keep(len(c.events)) {
+		c.events = append(c.events, e)
+	}
 	c.mu.Unlock()
 }
 
 func (c *Collector) Count(name string, delta int64) {
 	c.mu.Lock()
-	c.counters[name] += delta
+	c.counts[name] += delta
 	c.mu.Unlock()
 }
 
 func (c *Collector) Observe(name string, v float64) {
 	c.mu.Lock()
-	c.dists[name] = append(c.dists[name], v)
+	d := c.dists[name]
+	if d == nil {
+		d = &distAgg{}
+		c.dists[name] = d
+	}
+	if d.n == 0 || v < d.min {
+		d.min = v
+	}
+	if d.n == 0 || v > d.max {
+		d.max = v
+	}
+	d.n++
+	d.sum += v
+	if c.keep(len(d.samples)) {
+		d.samples = append(d.samples, v)
+	}
 	c.mu.Unlock()
 }
 
-// Events returns the collected events with the given name (all events
+// Events returns the retained events with the given name (all events
 // when name is empty), in emission order.
 func (c *Collector) Events(name string) []Event {
 	c.mu.Lock()
@@ -126,7 +186,7 @@ func (c *Collector) Events(name string) []Event {
 	return out
 }
 
-// Spans returns the collected spans with the given name (all spans when
+// Spans returns the retained spans with the given name (all spans when
 // name is empty), in completion order.
 func (c *Collector) Spans(name string) []SpanRec {
 	c.mu.Lock()
@@ -144,11 +204,11 @@ func (c *Collector) Spans(name string) []SpanRec {
 func (c *Collector) Counter(name string) int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.counters[name]
+	return c.counts[name]
 }
 
-// CountEvents counts events with the given name for which match returns
-// true (match nil counts them all).
+// CountEvents counts retained events with the given name for which match
+// returns true (match nil counts them all).
 func (c *Collector) CountEvents(name string, match func(Event) bool) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

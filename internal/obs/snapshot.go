@@ -34,53 +34,40 @@ type Snapshot struct {
 	Events   int              `json:"events"`
 }
 
-// Snapshot aggregates everything the collector has seen so far.
+// Snapshot aggregates everything the collector has seen so far. With a
+// bounded collector, counters and distribution count/min/max/sum/mean
+// are exact; percentiles summarize the retained sample window.
 func (c *Collector) Snapshot() *Snapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := &Snapshot{Events: len(c.events)}
-	if len(c.counters) > 0 {
-		s.Counters = make(map[string]int64, len(c.counters))
-		for k, v := range c.counters {
+	s := &Snapshot{Events: c.nEvent}
+	if len(c.counts) > 0 {
+		s.Counters = make(map[string]int64, len(c.counts))
+		for k, v := range c.counts {
 			s.Counters[k] = v
 		}
 	}
-	byName := map[string]*SpanStat{}
-	for _, sp := range c.spans {
-		st := byName[sp.Name]
-		if st == nil {
-			st = &SpanStat{Name: sp.Name}
-			byName[sp.Name] = st
-		}
-		st.Count++
-		st.TotalMs += float64(sp.Dur.Nanoseconds()) / 1e6
-	}
-	for _, st := range byName {
+	for _, st := range c.agg {
 		s.Spans = append(s.Spans, *st)
 	}
 	sort.Slice(s.Spans, func(i, j int) bool { return s.Spans[i].Name < s.Spans[j].Name })
 	if len(c.dists) > 0 {
 		s.Dists = make(map[string]Dist, len(c.dists))
-		for k, samples := range c.dists {
-			s.Dists[k] = summarize(samples)
+		for k, agg := range c.dists {
+			s.Dists[k] = summarize(agg)
 		}
 	}
 	return s
 }
 
-func summarize(samples []float64) Dist {
-	d := Dist{Count: len(samples)}
-	if len(samples) == 0 {
+func summarize(agg *distAgg) Dist {
+	d := Dist{Count: agg.n, Min: agg.min, Max: agg.max, Sum: agg.sum}
+	if agg.n == 0 {
 		return d
 	}
-	sorted := append([]float64(nil), samples...)
+	d.Mean = d.Sum / float64(agg.n)
+	sorted := append([]float64(nil), agg.samples...)
 	sort.Float64s(sorted)
-	d.Min = sorted[0]
-	d.Max = sorted[len(sorted)-1]
-	for _, v := range sorted {
-		d.Sum += v
-	}
-	d.Mean = d.Sum / float64(len(sorted))
 	d.P50 = quantile(sorted, 0.50)
 	d.P95 = quantile(sorted, 0.95)
 	return d

@@ -1,0 +1,89 @@
+package qa
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/metrics"
+	"rdlroute/internal/obs"
+	"rdlroute/internal/router"
+)
+
+// routeStableWithTracer routes d with the given tracer and worker count
+// and returns the lattice fingerprint plus the stable rdl-result/v1
+// encoding.
+func routeStableWithTracer(t *testing.T, d *design.Design, tr obs.Tracer, workers int) (uint64, []byte) {
+	t.Helper()
+	opts := flowOptions()
+	opts.Workers = workers
+	opts.Tracer = tr
+	res, fp, err := router.RouteFingerprint(context.Background(), d, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", d.Name, err)
+	}
+	enc, err := encodeResultStable(res)
+	if err != nil {
+		t.Fatalf("%s: encode: %v", d.Name, err)
+	}
+	return fp, enc
+}
+
+// assertTracerInvariant routes d with no tracer and with a live metrics
+// bridge (at worker counts 1 and 2) and fails unless the lattice
+// fingerprints and encoded result bytes are identical. This is the qa
+// gate for the PR-6 observability contract: the bridge is purely
+// observational — attaching production metrics to the flow must never
+// perturb routing, at any worker count.
+func assertTracerInvariant(t *testing.T, d *design.Design) {
+	t.Helper()
+	fpNop, encNop := routeStableWithTracer(t, d, obs.Nop(), 1)
+
+	reg := metrics.NewRegistry()
+	bridge := metrics.NewBridge(reg)
+	for _, workers := range []int{1, 2} {
+		fpBr, encBr := routeStableWithTracer(t, d, bridge, workers)
+		if fpBr != fpNop {
+			t.Errorf("%s: bridge-traced lattice fingerprint %x at workers=%d, untraced %x",
+				d.Name, fpBr, workers, fpNop)
+		}
+		if !bytes.Equal(encBr, encNop) {
+			t.Errorf("%s: workers=%d bridge-traced rdl-result/v1 bytes differ from untraced (%d vs %d bytes)",
+				d.Name, workers, len(encBr), len(encNop))
+		}
+	}
+
+	// The bridge must actually have observed the flow, or this gate is
+	// vacuously green.
+	fams, err := metrics.ParseText(bytes.NewReader(reg.Expose()))
+	if err != nil {
+		t.Fatalf("%s: exposition: %v", d.Name, err)
+	}
+	if fams["rdl_stage_duration_seconds"] == nil {
+		t.Errorf("%s: bridge recorded no stage latencies — gate did not exercise the tracer", d.Name)
+	}
+}
+
+// TestMetricsBridgeDeterminism: dense1 plus qa-generated irregular
+// designs route byte-identically with and without the metrics bridge
+// attached.
+func TestMetricsBridgeDeterminism(t *testing.T) {
+	spec, err := design.DenseSpec("dense1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := design.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTracerInvariant(t, d)
+
+	seeds := []int64{3, 17, 29}
+	if testing.Short() || raceEnabled {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		assertTracerInvariant(t, Generate(seed))
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"rdlroute/internal/design"
 	"rdlroute/internal/drc"
 	"rdlroute/internal/layout"
+	"rdlroute/internal/obs"
 	"rdlroute/internal/router"
 )
 
@@ -67,6 +68,13 @@ type Suite struct {
 // FullSuite enables every oracle family.
 func FullSuite() Suite { return Suite{Codec: true, Cancel: true, Metamorphic: true} }
 
+// Tracer, when non-nil, is attached to every routing run the harness
+// performs (rdlverify -random -metrics feeds a metrics bridge through
+// it). The routing contract makes any tracer purely observational, and
+// TestMetricsBridgeDeterminism enforces it, so the report is identical
+// with or without one.
+var Tracer obs.Tracer
+
 // flowOptions is the five-stage configuration the harness routes with:
 // the paper defaults plus the rip-up-and-reroute extension, which the
 // differential gate needs — on adversarial near-minimum-spacing designs
@@ -76,6 +84,7 @@ func FullSuite() Suite { return Suite{Codec: true, Cancel: true, Metamorphic: tr
 func flowOptions() router.Options {
 	opts := router.DefaultOptions()
 	opts.RipUpRounds = 3
+	opts.Tracer = Tracer
 	return opts
 }
 

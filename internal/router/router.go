@@ -59,6 +59,12 @@ type Options struct {
 	// labels), per-net route events, counters and distribution samples
 	// from the whole flow. Nil means the zero-overhead Nop tracer: no obs
 	// object is allocated on the hot path.
+	//
+	// Tracers are strictly observational: the flow never reads a tracer,
+	// so attaching any sink — Collector, JSONL stream, metrics.Bridge, or
+	// a Multi fan-out of all three — yields routing results byte-identical
+	// to an untraced run. The qa harness enforces this
+	// (TestMetricsBridgeDeterminism) alongside the worker matrix.
 	Tracer obs.Tracer
 }
 

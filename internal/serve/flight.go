@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"rdlroute/internal/codec"
+	"rdlroute/internal/obs"
+	"rdlroute/internal/router"
+)
+
+// FlightRecord is the post-mortem record of one terminal job: what ran,
+// how it ended, and the obs snapshot of what the flow actually did —
+// enough to answer "why was job-417 slow" hours after its trace buffer
+// is gone. Records are value types; the ring holds the last N.
+type FlightRecord struct {
+	ID      string   `json:"id"`
+	State   JobState `json:"state"`
+	Outcome string   `json:"outcome"`
+	Error   string   `json:"error,omitempty"`
+
+	Design string `json:"design,omitempty"`
+	Nets   int    `json:"nets,omitempty"`
+	// OptionsFP fingerprints the job's canonical rdl-options/v1 encoding,
+	// so "same design, different result" investigations can split by
+	// configuration at a glance.
+	OptionsFP string `json:"options_fingerprint,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+
+	Created  time.Time `json:"created"`
+	Finished time.Time `json:"finished"`
+	QueueMS  float64   `json:"queue_ms"`
+	RunMS    float64   `json:"run_ms"`
+
+	Routability float64 `json:"routability,omitempty"`
+	Wirelength  float64 `json:"wirelength,omitempty"`
+	RoutedNets  int     `json:"routed_nets,omitempty"`
+	TotalNets   int     `json:"total_nets,omitempty"`
+
+	// Obs is this job's own aggregated snapshot (per-stage ms, A* effort,
+	// counter totals) from its bounded per-job collector.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
+}
+
+// flightRecorder is a fixed-capacity ring of the most recent terminal
+// jobs. Always on and allocation-bounded: capacity is fixed at creation
+// and old records are overwritten in place.
+type flightRecorder struct {
+	mu    sync.Mutex
+	ring  []FlightRecord
+	next  int   // ring index the next record lands in
+	total int64 // records ever written
+}
+
+func newFlightRecorder(capacity int) *flightRecorder {
+	return &flightRecorder{ring: make([]FlightRecord, 0, capacity)}
+}
+
+// record appends rec, overwriting the oldest entry once full.
+func (f *flightRecorder) record(rec FlightRecord) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.total++
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, rec)
+		f.next = len(f.ring) % cap(f.ring)
+		return
+	}
+	if cap(f.ring) == 0 {
+		return
+	}
+	f.ring[f.next] = rec
+	f.next = (f.next + 1) % cap(f.ring)
+}
+
+// list returns the retained records newest-first plus the total ever
+// recorded.
+func (f *flightRecorder) list() ([]FlightRecord, int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightRecord, 0, len(f.ring))
+	for i := 0; i < len(f.ring); i++ {
+		// Walk backwards from the most recently written slot.
+		idx := (f.next - 1 - i + 2*len(f.ring)) % len(f.ring)
+		out = append(out, f.ring[idx])
+	}
+	return out, f.total
+}
+
+// get returns the retained record with the given job ID.
+func (f *flightRecorder) get(id string) (FlightRecord, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.ring {
+		if f.ring[i].ID == id {
+			return f.ring[i], true
+		}
+	}
+	return FlightRecord{}, false
+}
+
+// optionsFingerprint hashes the job's canonical rdl-options/v1 bytes.
+// The codec encoding is byte-stable, so equal fingerprints mean equal
+// effective configurations.
+func optionsFingerprint(opts router.Options) string {
+	var buf bytes.Buffer
+	if err := codec.EncodeOptions(&buf, opts); err != nil {
+		return ""
+	}
+	h := fnv.New64a()
+	h.Write(buf.Bytes())
+	return fmt.Sprintf("%016x", h.Sum64())
+}

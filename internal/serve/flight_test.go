@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/layout"
+	"rdlroute/internal/metrics"
+	"rdlroute/internal/obs"
+	"rdlroute/internal/router"
+)
+
+// TestFlightRingEviction: the ring keeps the last N records newest-first
+// and evicts the oldest in place.
+func TestFlightRingEviction(t *testing.T) {
+	f := newFlightRecorder(3)
+	for i := 1; i <= 5; i++ {
+		f.record(FlightRecord{ID: fmt.Sprintf("job-%d", i)})
+	}
+	recs, total := f.list()
+	if total != 5 {
+		t.Errorf("total = %d, want 5", total)
+	}
+	var ids []string
+	for _, r := range recs {
+		ids = append(ids, r.ID)
+	}
+	if got := strings.Join(ids, ","); got != "job-5,job-4,job-3" {
+		t.Errorf("retained = %s, want job-5,job-4,job-3 (newest first)", got)
+	}
+	if _, ok := f.get("job-1"); ok {
+		t.Errorf("evicted record job-1 still retrievable")
+	}
+	if r, ok := f.get("job-4"); !ok || r.ID != "job-4" {
+		t.Errorf("get(job-4) = %+v ok=%v", r, ok)
+	}
+}
+
+// tracedRoute emits a stage span and a counter through the job tracer,
+// so flight records and bridged metrics have content without routing for
+// real.
+func tracedRoute(ctx context.Context, d *design.Design, opts router.Options) (*router.Result, error) {
+	end := obs.Stage(obs.Or(opts.Tracer), "sequential")
+	tr := obs.Or(opts.Tracer)
+	if tr.Enabled() {
+		tr.Count("astar.searches", 7)
+	}
+	end()
+	return &router.Result{Layout: layout.New(d), TotalNets: len(d.Nets), RoutedNets: len(d.Nets), Routability: 100}, nil
+}
+
+// TestFlightEndpoints: terminal jobs appear at /v1/debug/jobs and
+// /v1/debug/jobs/{id} with outcome, timings, options fingerprint and the
+// per-job obs snapshot.
+func TestFlightEndpoints(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4, FlightSize: 2, Route: tracedRoute})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	d := dense1(t)
+
+	var last *Job
+	for i := 0; i < 3; i++ {
+		j, err := s.Submit(d, router.DefaultOptions(), 0, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitJob(t, s, j)
+		last = j
+	}
+
+	var list flightListView
+	lr, err := http.Get(ts.URL + "/v1/debug/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, lr, &list)
+	if list.Total != 3 || list.Capacity != 2 || len(list.Jobs) != 2 {
+		t.Fatalf("flight list = total %d capacity %d len %d, want 3/2/2", list.Total, list.Capacity, len(list.Jobs))
+	}
+	if list.Jobs[0].ID != last.ID {
+		t.Errorf("newest record is %s, want %s", list.Jobs[0].ID, last.ID)
+	}
+
+	var rec FlightRecord
+	rr, err := http.Get(ts.URL + "/v1/debug/jobs/" + last.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, rr, &rec)
+	if rec.Outcome != OutcomeCompleted || rec.State != JobDone {
+		t.Errorf("record outcome/state = %s/%s", rec.Outcome, rec.State)
+	}
+	if rec.Design != d.Name || rec.Nets != len(d.Nets) {
+		t.Errorf("record design = %s nets %d", rec.Design, rec.Nets)
+	}
+	if rec.OptionsFP == "" {
+		t.Errorf("record has no options fingerprint")
+	}
+	if rec.Obs == nil || rec.Obs.Counters["astar.searches"] != 7 {
+		t.Errorf("record obs snapshot = %+v, want astar.searches 7", rec.Obs)
+	}
+	if len(rec.Obs.Spans) == 0 || rec.Obs.Spans[0].Name != "stage:sequential" {
+		t.Errorf("record obs spans = %+v, want stage:sequential", rec.Obs.Spans)
+	}
+	if rec.Routability != 100 || rec.RoutedNets != len(d.Nets) {
+		t.Errorf("record result fields = %+v", rec)
+	}
+
+	// Evicted and unknown jobs 404.
+	for _, id := range []string{"job-1", "job-999"} {
+		nf, err := http.Get(ts.URL + "/v1/debug/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nf.Body.Close()
+		if nf.StatusCode != http.StatusNotFound {
+			t.Errorf("debug %s: status %d, want 404", id, nf.StatusCode)
+		}
+	}
+	shutdown(t, s)
+}
+
+// scrape parses the server's Prometheus exposition.
+func scrape(t *testing.T, s *Server) map[string]*metrics.Family {
+	t.Helper()
+	fams, err := metrics.ParseText(bytes.NewReader(s.Registry().Expose()))
+	if err != nil {
+		t.Fatalf("exposition: %v", err)
+	}
+	return fams
+}
+
+func counterValue(t *testing.T, fams map[string]*metrics.Family, name string, labels map[string]string) float64 {
+	t.Helper()
+	f := fams[name]
+	if f == nil {
+		t.Fatalf("family %s missing (have %v)", name, metrics.Names(fams))
+	}
+	s, ok := f.Sample(labels)
+	if !ok {
+		t.Fatalf("family %s has no sample with labels %v", name, labels)
+	}
+	return s.Value
+}
+
+// TestOutcomeCounters drives one job through each terminal outcome and
+// checks rdl_jobs_finished_total plus the bridged flow counters.
+func TestOutcomeCounters(t *testing.T) {
+	gate := make(chan struct{})
+	failing := func(ctx context.Context, d *design.Design, opts router.Options) (*router.Result, error) {
+		return nil, fmt.Errorf("boom")
+	}
+	d := dense1(t)
+
+	// completed + bridged counters
+	s := New(Config{Workers: 1, Route: tracedRoute})
+	j, err := s.Submit(d, router.DefaultOptions(), 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, j)
+	fams := scrape(t, s)
+	if got := counterValue(t, fams, "rdl_jobs_finished_total", map[string]string{"outcome": "completed"}); got != 1 {
+		t.Errorf("completed = %v, want 1", got)
+	}
+	if got := counterValue(t, fams, "rdl_astar_searches_total", nil); got != 7 {
+		t.Errorf("bridged astar searches = %v, want 7", got)
+	}
+	if _, ok := fams["rdl_stage_duration_seconds"].Sample(map[string]string{"stage": "sequential"}); !ok {
+		t.Errorf("per-stage latency histogram missing sequential series")
+	}
+	if got := counterValue(t, fams, "rdl_jobs_submitted_total", nil); got != 1 {
+		t.Errorf("submitted = %v, want 1", got)
+	}
+	if fams["go_goroutines"] == nil || fams["go_heap_alloc_bytes"] == nil {
+		t.Errorf("runtime gauges missing")
+	}
+	shutdown(t, s)
+
+	// failed
+	s = New(Config{Workers: 1, Route: failing})
+	if j, err = s.Submit(d, router.DefaultOptions(), 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, j)
+	if got := counterValue(t, scrape(t, s), "rdl_jobs_finished_total", map[string]string{"outcome": "failed"}); got != 1 {
+		t.Errorf("failed = %v, want 1", got)
+	}
+	shutdown(t, s)
+
+	// timeout: gated route + 20ms deadline
+	s = New(Config{Workers: 1, Route: gatedRoute(gate)})
+	if j, err = s.Submit(d, router.DefaultOptions(), 20*time.Millisecond, ""); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, j)
+	fams = scrape(t, s)
+	if got := counterValue(t, fams, "rdl_jobs_finished_total", map[string]string{"outcome": "timeout"}); got != 1 {
+		t.Errorf("timeout = %v, want 1", got)
+	}
+	if rec, ok := s.flight.get(j.ID); !ok || rec.Outcome != OutcomeTimeout {
+		t.Errorf("flight outcome = %+v ok=%v, want timeout", rec, ok)
+	}
+
+	// canceled: a running job (gated) cancelled explicitly
+	if j, err = s.Submit(d, router.DefaultOptions(), 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	for !s.Cancel(j.ID) {
+		time.Sleep(time.Millisecond)
+	}
+	waitJob(t, s, j)
+	if got := counterValue(t, scrape(t, s), "rdl_jobs_finished_total", map[string]string{"outcome": "canceled"}); got != 1 {
+		t.Errorf("canceled = %v, want 1", got)
+	}
+	shutdown(t, s)
+
+	// rejected: queue full
+	s = New(Config{Workers: 1, QueueDepth: 1, Route: gatedRoute(gate)})
+	var lastErr error
+	for i := 0; i < 4; i++ {
+		_, err := s.Submit(d, router.DefaultOptions(), 0, "")
+		if err != nil {
+			lastErr = err
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("queue never saturated")
+	}
+	fams = scrape(t, s)
+	if got := counterValue(t, fams, "rdl_jobs_rejected_total", map[string]string{"reason": "busy"}); got < 1 {
+		t.Errorf("rejected busy = %v, want >= 1", got)
+	}
+	close(gate)
+	shutdown(t, s)
+}
+
+// TestMetricsAcceptNegotiation: Accept: application/json keeps the
+// legacy JSON body on /metrics.
+func TestMetricsAcceptNegotiation(t *testing.T) {
+	s := New(Config{Workers: 1, Route: tracedRoute})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Jobs *Metrics `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil || v.Jobs == nil {
+		t.Fatalf("Accept: application/json did not return the legacy body: %v", err)
+	}
+	shutdown(t, s)
+}
+
+// TestStructuredJobLogs: the slog stream carries accepted/started/
+// finished lines correlated by job ID.
+func TestStructuredJobLogs(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	s := New(Config{Workers: 1, Route: tracedRoute, Logger: logger})
+	d := dense1(t)
+	j, err := s.Submit(d, router.DefaultOptions(), 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, j)
+	shutdown(t, s)
+
+	var accepted, started, finished bool
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line not JSON: %q", line)
+		}
+		if rec["job"] != j.ID {
+			continue
+		}
+		switch rec["msg"] {
+		case "job accepted":
+			accepted = true
+		case "job started":
+			started = true
+		case "job finished":
+			finished = true
+			if rec["outcome"] != OutcomeCompleted {
+				t.Errorf("finished log outcome = %v", rec["outcome"])
+			}
+		}
+	}
+	if !accepted || !started || !finished {
+		t.Errorf("log stream missing lifecycle lines: accepted=%v started=%v finished=%v\n%s",
+			accepted, started, finished, buf.String())
+	}
+}

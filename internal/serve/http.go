@@ -6,10 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"rdlroute/internal/codec"
 	"rdlroute/internal/design"
+	"rdlroute/internal/metrics"
 	"rdlroute/internal/router"
 )
 
@@ -61,16 +64,54 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, ev)
 }
 
-// Handler returns the HTTP API of the server.
+// Handler returns the HTTP API of the server. Every route is
+// instrumented (request counter + latency histogram per route) and
+// request-logged with job-ID correlation where one applies.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
-	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	route("POST /v1/jobs", s.handleSubmit)
+	route("GET /v1/jobs/{id}", s.handleGet)
+	route("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	route("GET /v1/jobs/{id}/trace", s.handleTrace)
+	route("GET /v1/debug/jobs", s.handleFlightList)
+	route("GET /v1/debug/jobs/{id}", s.handleFlightGet)
+	route("GET /healthz", s.handleHealth)
+	route("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// statusWriter captures the response code for logs and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-route request counter, latency
+// histogram, and a structured request log line. The route label is the
+// mux pattern, not the raw path, so the series stay low-cardinality.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		h(sw, r)
+		dt := time.Since(t0)
+		s.met.httpReqs.With(pattern, strconv.Itoa(sw.code)).Inc()
+		s.met.httpDur.With(pattern).Observe(dt.Seconds())
+		attrs := []any{"method", r.Method, "path", r.URL.Path,
+			"status", sw.code, "duration_ms", float64(dt) / float64(time.Millisecond)}
+		if id := r.PathValue("id"); id != "" {
+			attrs = append(attrs, "job", id)
+		}
+		s.log.Info("http request", attrs...)
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -212,9 +253,47 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves the production metrics. The default is the
+// Prometheus text exposition format; the pre-PR-6 JSON shape stays
+// available to existing clients via Accept: application/json or
+// ?format=json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"jobs": s.Metrics(),
-		"obs":  s.Obs(),
+	accept := r.Header.Get("Accept")
+	wantJSON := r.URL.Query().Get("format") == "json" ||
+		(strings.Contains(accept, "application/json") && !strings.Contains(accept, "text/plain"))
+	if wantJSON {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"jobs": s.Metrics(),
+			"obs":  s.Obs(),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", metrics.TextContentType)
+	w.WriteHeader(http.StatusOK)
+	s.cfg.Registry.WriteText(w)
+}
+
+// flightListView is the GET /v1/debug/jobs body.
+type flightListView struct {
+	Total    int64          `json:"total_recorded"`
+	Capacity int            `json:"capacity"`
+	Jobs     []FlightRecord `json:"jobs"`
+}
+
+func (s *Server) handleFlightList(w http.ResponseWriter, r *http.Request) {
+	recs, total := s.flight.list()
+	writeJSON(w, http.StatusOK, flightListView{
+		Total:    total,
+		Capacity: s.cfg.FlightSize,
+		Jobs:     recs,
 	})
+}
+
+func (s *Server) handleFlightGet(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.flight.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no flight record (job unknown, still in flight, or evicted)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
 }

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"rdlroute/internal/metrics"
+)
+
+// Job outcome labels of rdl_jobs_finished_total. States answer "where is
+// this job"; outcomes answer "how did it end" — a timed-out job's state
+// is failed but its outcome is timeout.
+const (
+	OutcomeCompleted = "completed"
+	OutcomeFailed    = "failed"
+	OutcomeTimeout   = "timeout"
+	OutcomeCanceled  = "canceled"
+)
+
+// serverMetrics are the serving layer's production series. Everything the
+// routing flow itself emits (per-stage latency, A* effort, MPSC/ctile/LP
+// counters) arrives through the obs bridge; these are the queue and job
+// lifecycle series only the server can see.
+type serverMetrics struct {
+	reg    *metrics.Registry
+	bridge *metrics.Bridge
+
+	submitted metrics.Counter    // accepted into the queue
+	deduped   metrics.Counter    // idempotency-key replays answered from cache
+	rejected  metrics.CounterVec // refused submissions by reason (busy | draining)
+	finished  metrics.CounterVec // terminal jobs by outcome
+	jobDur    metrics.Histogram  // run time of finished jobs (started→finished)
+	queueWait metrics.Histogram  // queue wait of started jobs (created→started)
+
+	httpReqs metrics.CounterVec   // HTTP requests by route and status code
+	httpDur  metrics.HistogramVec // HTTP handler latency by route
+}
+
+// newServerMetrics registers the serving series plus the Go runtime
+// gauges on reg and returns the handle set. The queue gauges close over
+// the server, so they read live values at scrape time.
+func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{
+		reg:    reg,
+		bridge: metrics.NewBridge(reg),
+		submitted: reg.Counter("rdl_jobs_submitted_total",
+			"Jobs accepted into the queue."),
+		deduped: reg.Counter("rdl_jobs_deduplicated_total",
+			"Submissions answered from an idempotency-key replay."),
+		rejected: reg.CounterVec("rdl_jobs_rejected_total",
+			"Refused submissions by reason.", "reason"),
+		finished: reg.CounterVec("rdl_jobs_finished_total",
+			"Terminal jobs by outcome.", "outcome"),
+		jobDur: reg.Histogram("rdl_job_duration_seconds",
+			"End-to-end run time of finished jobs.", metrics.LatencyBuckets()),
+		queueWait: reg.Histogram("rdl_job_queue_wait_seconds",
+			"Time jobs spent queued before a worker picked them up.", metrics.LatencyBuckets()),
+		httpReqs: reg.CounterVec("rdl_http_requests_total",
+			"HTTP requests by route and status code.", "route", "code"),
+		httpDur: reg.HistogramVec("rdl_http_request_duration_seconds",
+			"HTTP handler latency by route.", metrics.LatencyBuckets(), "route"),
+	}
+	// Pre-create the outcome and rejection series so a fresh scrape shows
+	// them at 0 instead of omitting them.
+	for _, o := range []string{OutcomeCompleted, OutcomeFailed, OutcomeTimeout, OutcomeCanceled} {
+		m.finished.With(o)
+	}
+	m.rejected.With("busy")
+	m.rejected.With("draining")
+
+	reg.GaugeFunc("rdl_queue_depth", "Jobs waiting in the queue.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("rdl_queue_capacity", "Configured queue bound.",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	reg.GaugeFunc("rdl_workers", "Configured worker-pool size.",
+		func() float64 { return float64(s.cfg.Workers) })
+	reg.GaugeFunc("rdl_jobs_inflight", "Jobs currently running on workers.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.running)
+		})
+	reg.GaugeFunc("rdl_draining", "1 after graceful shutdown began, else 0.",
+		func() float64 {
+			if s.Draining() {
+				return 1
+			}
+			return 0
+		})
+	metrics.RegisterGoRuntime(reg)
+	return m
+}
+
+// outcomeOf classifies a finished job for the outcome counter and the
+// flight recorder.
+func outcomeOf(j *Job) string {
+	switch j.State {
+	case JobDone:
+		return OutcomeCompleted
+	case JobCancelled:
+		return OutcomeCanceled
+	default:
+		if j.timedOut {
+			return OutcomeTimeout
+		}
+		return OutcomeFailed
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"rdlroute/internal/design"
 	"rdlroute/internal/drc"
 	"rdlroute/internal/layout"
+	"rdlroute/internal/metrics"
 	"rdlroute/internal/obs"
 	"rdlroute/internal/router"
 )
@@ -327,17 +328,34 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if health.Status != "ok" {
 		t.Fatalf("health: %+v", health)
 	}
-	var metrics struct {
+	// /metrics default is Prometheus text; ?format=json keeps the
+	// pre-PR-6 JSON shape for existing clients.
+	var mview struct {
 		Jobs Metrics       `json:"jobs"`
 		Obs  *obs.Snapshot `json:"obs"`
 	}
-	mr, err := http.Get(ts.URL + "/metrics")
+	mr, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	decodeBody(t, mr, &metrics)
-	if metrics.Jobs.Completed < 1 || metrics.Obs == nil {
-		t.Fatalf("metrics: %+v", metrics)
+	decodeBody(t, mr, &mview)
+	if mview.Jobs.Completed < 1 || mview.Obs == nil {
+		t.Fatalf("metrics: %+v", mview)
+	}
+	pr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := metrics.ParseText(pr.Body)
+	pr.Body.Close()
+	if err != nil {
+		t.Fatalf("prometheus exposition: %v", err)
+	}
+	if ct := pr.Header.Get("Content-Type"); ct != metrics.TextContentType {
+		t.Fatalf("exposition content-type %q", ct)
+	}
+	if got, ok := fams["rdl_jobs_finished_total"].Sample(map[string]string{"outcome": "completed"}); !ok || got.Value < 1 {
+		t.Fatalf("rdl_jobs_finished_total{completed} = %+v ok=%v", got, ok)
 	}
 
 	// Unknown job → 404.

@@ -15,10 +15,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"rdlroute/internal/design"
+	"rdlroute/internal/metrics"
 	"rdlroute/internal/obs"
 	"rdlroute/internal/router"
 )
@@ -48,6 +50,18 @@ type Config struct {
 	RouteWorkers int
 	// Route substitutes the routing function (default router.RouteContext).
 	Route RouteFunc
+
+	// Registry receives the server's production metrics (job outcome
+	// counters, latency histograms, queue gauges, Go runtime gauges, and
+	// the obs-bridged flow series). Nil creates a private registry;
+	// share one only across components scraped together.
+	Registry *metrics.Registry
+	// FlightSize bounds the flight recorder: the post-mortem ring keeps
+	// the last FlightSize terminal jobs (default 64; negative disables).
+	FlightSize int
+	// Logger receives structured request/job logs with job-ID
+	// correlation. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -60,8 +74,29 @@ func (c Config) withDefaults() Config {
 	if c.Route == nil {
 		c.Route = router.RouteContext
 	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	if c.FlightSize == 0 {
+		c.FlightSize = 64
+	}
+	if c.FlightSize < 0 {
+		c.FlightSize = 0
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(discardHandler{})
+	}
 	return c
 }
+
+// discardHandler drops every record (the default when Config.Logger is
+// nil; slog.DiscardHandler needs Go 1.24).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
 
 // JobState is the lifecycle state of a job.
 type JobState string
@@ -95,8 +130,14 @@ type Job struct {
 	cancel context.CancelFunc // non-nil while running; also used by Cancel
 	done   chan struct{}      // closed when the job reaches a terminal state
 
+	// timedOut marks a failure caused by the per-job deadline, so the
+	// outcome counter and flight record report "timeout" rather than a
+	// generic failure.
+	timedOut bool
+
 	trace  *lockedBuffer
 	tracer *obs.JSONL
+	coll   *obs.Collector // per-job bounded collector for the flight record
 }
 
 // lockedBuffer is a mutex-guarded byte buffer: the job's JSONL tracer
@@ -153,7 +194,14 @@ type Server struct {
 	wg       sync.WaitGroup
 
 	collector *obs.Collector
+	met       *serverMetrics
+	flight    *flightRecorder
+	log       *slog.Logger
 }
+
+// jobCollectorBound caps each per-job collector's retained raw records;
+// aggregates (the numbers the flight record reports) stay exact.
+const jobCollectorBound = 2048
 
 // New starts a server: the worker pool is live on return.
 func New(cfg Config) *Server {
@@ -166,14 +214,21 @@ func New(cfg Config) *Server {
 		idem:      make(map[string]string),
 		baseCtx:   ctx,
 		baseStop:  stop,
-		collector: obs.NewCollector(),
+		collector: obs.NewBoundedCollector(64 * 1024),
+		flight:    newFlightRecorder(cfg.FlightSize),
+		log:       cfg.Logger,
 	}
+	s.met = newServerMetrics(cfg.Registry, s)
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	return s
 }
+
+// Registry returns the server's metrics registry (for exposition and for
+// mounting extra collectors).
+func (s *Server) Registry() *metrics.Registry { return s.cfg.Registry }
 
 // Submit enqueues a routing job. A non-empty idempotency key returns the
 // existing job on replay instead of enqueueing a duplicate. A full queue
@@ -186,12 +241,16 @@ func (s *Server) Submit(d *design.Design, opts router.Options, timeout time.Dura
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.met.rejected.With("draining").Inc()
+		s.log.Info("job rejected", "reason", "draining")
 		return nil, ErrDraining
 	}
 	if idemKey != "" {
 		if id, ok := s.idem[idemKey]; ok {
 			j := s.jobs[id]
 			s.mu.Unlock()
+			s.met.deduped.Inc()
+			s.log.Info("job deduplicated", "job", j.ID, "idempotency_key", idemKey)
 			return j, nil
 		}
 	}
@@ -207,6 +266,7 @@ func (s *Server) Submit(d *design.Design, opts router.Options, timeout time.Dura
 		trace:   &lockedBuffer{},
 	}
 	j.tracer = obs.NewJSONL(j.trace)
+	j.coll = obs.NewBoundedCollector(jobCollectorBound)
 
 	select {
 	case s.queue <- j:
@@ -214,6 +274,8 @@ func (s *Server) Submit(d *design.Design, opts router.Options, timeout time.Dura
 		s.nextID-- // rejected jobs don't consume IDs
 		s.m.Rejected++
 		s.mu.Unlock()
+		s.met.rejected.With("busy").Inc()
+		s.log.Info("job rejected", "reason", "busy")
 		return nil, ErrBusy
 	}
 	s.jobs[j.ID] = j
@@ -222,6 +284,9 @@ func (s *Server) Submit(d *design.Design, opts router.Options, timeout time.Dura
 	}
 	s.m.Accepted++
 	s.mu.Unlock()
+	s.met.submitted.Inc()
+	s.log.Info("job accepted", "job", j.ID, "design", d.Name,
+		"nets", len(d.Nets), "timeout", timeout.String())
 	return j, nil
 }
 
@@ -249,6 +314,9 @@ func (s *Server) Cancel(id string) bool {
 		j.Err = context.Canceled
 		j.Finished = time.Now()
 		s.m.Cancelled++
+		s.met.finished.With(OutcomeCanceled).Inc()
+		s.flight.record(s.flightRecordOf(j))
+		s.log.Info("job cancelled while queued", "job", j.ID)
 		close(j.done)
 		return true
 	case JobRunning:
@@ -344,9 +412,13 @@ func (s *Server) run(j *Job) {
 	if opts.Workers == 0 {
 		opts.Workers = s.cfg.RouteWorkers
 	}
-	opts.Tracer = obs.Multi(s.collector, j.tracer)
+	opts.Tracer = obs.Multi(s.collector, j.tracer, j.coll, s.met.bridge)
 	s.mu.Unlock()
 	defer cancel()
+
+	s.met.queueWait.Observe(j.Started.Sub(j.Created).Seconds())
+	s.log.Info("job started", "job", j.ID, "design", j.d.Name,
+		"queue_ms", float64(j.Started.Sub(j.Created))/float64(time.Millisecond))
 
 	res, err := s.cfg.Route(ctx, j.d, opts)
 	j.tracer.Flush()
@@ -365,10 +437,61 @@ func (s *Server) run(j *Job) {
 		s.m.Cancelled++
 	default:
 		j.State = JobFailed
+		j.timedOut = errors.Is(err, context.DeadlineExceeded)
 		s.m.Failed++
 	}
+	outcome := outcomeOf(j)
+	rec := s.flightRecordOf(j)
+	runSecs := j.Finished.Sub(j.Started).Seconds()
 	s.mu.Unlock()
+
+	s.met.finished.With(outcome).Inc()
+	s.met.jobDur.Observe(runSecs)
+	s.flight.record(rec)
+	attrs := []any{"job", j.ID, "outcome", outcome,
+		"run_ms", runSecs * 1e3, "design", rec.Design}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+		s.log.Warn("job finished", attrs...)
+	} else {
+		attrs = append(attrs, "routability", rec.Routability,
+			"wirelength", rec.Wirelength, "routed_nets", rec.RoutedNets)
+		s.log.Info("job finished", attrs...)
+	}
 	close(j.done)
+}
+
+// flightRecordOf snapshots a terminal job into its post-mortem record.
+// Callers hold s.mu.
+func (s *Server) flightRecordOf(j *Job) FlightRecord {
+	rec := FlightRecord{
+		ID:        j.ID,
+		State:     j.State,
+		Outcome:   outcomeOf(j),
+		Design:    j.d.Name,
+		Nets:      len(j.d.Nets),
+		OptionsFP: optionsFingerprint(j.opts),
+		Workers:   j.opts.Workers,
+		Created:   j.Created,
+		Finished:  j.Finished,
+	}
+	if j.Err != nil {
+		rec.Error = j.Err.Error()
+	}
+	if !j.Started.IsZero() {
+		rec.QueueMS = float64(j.Started.Sub(j.Created)) / float64(time.Millisecond)
+		rec.RunMS = float64(j.Finished.Sub(j.Started)) / float64(time.Millisecond)
+	}
+	if r := j.Result; r != nil {
+		rec.Routability = r.Routability
+		rec.Wirelength = r.Wirelength
+		rec.RoutedNets = r.RoutedNets
+		rec.TotalNets = r.TotalNets
+	}
+	if j.coll != nil {
+		rec.Obs = j.coll.Snapshot()
+	}
+	return rec
 }
 
 // Trace returns the job's JSONL trace captured so far (complete records

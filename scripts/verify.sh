@@ -19,11 +19,15 @@ echo "== regression gate (lattice/router/geom) =="
 go test -race -run \
   'TestRipUpLatticeMatchesLayout|TestNewRejectsStateSpaceBeyondInt32|TestStateSpaceNoOverflow|TestFingerprintCommitOrderIndependent|TestCenterContainedProperty|TestCenterDegenerate|TestConnectedTJunction|TestCancelLeavesNoCorruption' \
   ./internal/lattice/ ./internal/router/ ./internal/geom/ ./internal/layout/
-echo "== serving gate: codec + serve semantics (-race) =="
+echo "== serving gate: codec + metrics + serve semantics (-race) =="
 # Queue saturation → 429, per-job deadlines, graceful drain, concurrent
-# determinism, codec round-trips — the serving subsystem's contract.
-go test -race ./internal/codec/ ./internal/serve/
-echo "== rdlserver smoke: boot, route dense1 over HTTP, DRC-check =="
+# determinism, codec round-trips, and the metrics registry's concurrent
+# increment/scrape contract — the serving subsystem's contract.
+go test -race ./internal/codec/ ./internal/metrics/ ./internal/serve/
+echo "== rdlserver smoke: route dense1 over HTTP, DRC-check, scrape /metrics =="
+# The smoke self-test also scrapes /metrics, parses the exposition with
+# the in-repo parser (failing on malformed or empty output, or missing
+# families), and fetches the job's flight record.
 go run ./cmd/rdlserver -smoke
 echo "== determinism matrix: workers 1/2/8 at GOMAXPROCS=2 (-race) =="
 # The parallel-stage contract: lattice fingerprint, metrics and encoded
