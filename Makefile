@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-short bench bench-json bench-scaling serve serve-smoke serve-bench metrics-smoke fmt qa qa-metrics fuzz
+.PHONY: build test verify verify-short bench bench-json bench-scaling bench-eco serve serve-smoke serve-bench metrics-smoke fmt qa qa-metrics fuzz
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,14 @@ bench-json:
 SCALING_JSON ?= BENCH_pr5.json
 bench-scaling:
 	$(GO) run ./cmd/rdlbench -scaling -scaling-workers 1,2,4,8 -json $(SCALING_JSON)
+
+# Incremental ECO sweep: cold route each circuit once, then reroute
+# single-net edits through the recorded search memo; each row carries a
+# byte-identity check against a cold route of the edited design
+# (identical must read "true" everywhere — see EXPERIMENTS.md).
+ECO_JSON ?= BENCH_pr8.json
+bench-eco:
+	$(GO) run ./cmd/rdlbench -eco -json $(ECO_JSON)
 
 # Boot the HTTP routing service on :8080 (SIGINT/SIGTERM drain gracefully).
 serve:
@@ -70,5 +78,6 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/codec -run '^$$' -fuzz '^FuzzDecodeDesign$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/codec -run '^$$' -fuzz '^FuzzDecodeOptions$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/codec -run '^$$' -fuzz '^FuzzDecodeDesignDelta$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/geom -run '^$$' -fuzz '^FuzzOct8Ops$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lp -run '^$$' -fuzz '^FuzzSimplex$$' -fuzztime $(FUZZTIME)

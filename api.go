@@ -28,6 +28,7 @@ import (
 	"rdlroute/internal/congest"
 	"rdlroute/internal/design"
 	"rdlroute/internal/drc"
+	"rdlroute/internal/eco"
 	"rdlroute/internal/layout"
 	"rdlroute/internal/metrics"
 	"rdlroute/internal/obs"
@@ -208,6 +209,7 @@ const (
 	DesignSchemaV1  = codec.DesignSchema
 	OptionsSchemaV1 = codec.OptionsSchema
 	ResultSchemaV1  = codec.ResultSchema
+	DeltaSchemaV1   = codec.DeltaSchema
 )
 
 // EncodeDesignJSON writes the design as an rdl-design/v1 JSON document.
@@ -252,3 +254,38 @@ type CongestionMap = congest.Map
 
 // BuildCongestion computes the congestion map with a cells×cells grid.
 func BuildCongestion(l *Layout, cells int) *CongestionMap { return congest.Build(l, cells) }
+
+// ECO rerouting: apply a design delta and reroute incrementally, with
+// unchanged searches served from the base run's recorded memo. Results
+// are byte-identical to cold-routing the edited design.
+type (
+	// DesignDelta is one ECO edit batch against a base design.
+	DesignDelta = eco.Delta
+	// ECOPlan is a routed design plus its recorded search memo — the unit
+	// of incremental rerouting.
+	ECOPlan = eco.Plan
+)
+
+// RouteECO cold-routes the design while recording the memo later deltas
+// reroute against. The result is byte-identical to Route with the same
+// options.
+func RouteECO(ctx context.Context, d *Design, opts Options) (*ECOPlan, error) {
+	return eco.Route(ctx, d, opts)
+}
+
+// ApplyDelta produces the edited design (the base is not mutated).
+func ApplyDelta(base *Design, dl *DesignDelta) (*Design, error) { return eco.Apply(base, dl) }
+
+// EncodeDesignDeltaJSON writes the delta as an rdl-design-delta/v1
+// document; identical deltas encode to identical bytes.
+func EncodeDesignDeltaJSON(w io.Writer, dl *DesignDelta) error {
+	return codec.EncodeDesignDelta(w, dl)
+}
+
+// DecodeDesignDeltaJSON reads an rdl-design-delta/v1 document; malformed
+// payloads yield a *CodecError.
+func DecodeDesignDeltaJSON(r io.Reader) (*DesignDelta, error) { return codec.DecodeDesignDelta(r) }
+
+// DesignContentHash is the content address deltas name their base design
+// by: the sha256 (hex) of the design's canonical rdl-design/v1 encoding.
+func DesignContentHash(d *Design) (string, error) { return codec.DesignHash(d) }

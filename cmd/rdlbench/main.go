@@ -66,6 +66,8 @@ func run() int {
 		all      = flag.Bool("all", false, "run everything (except -scaling, which is its own sweep)")
 		scaling  = flag.Bool("scaling", false, "run the worker-scaling sweep: each circuit at every -scaling-workers count, with a determinism check")
 		scalingW = flag.String("scaling-workers", "1,2,4,8", "comma-separated worker counts for -scaling (first is the speedup baseline)")
+		ecoRun   = flag.Bool("eco", false, "run the incremental-ECO sweep: cold route each circuit, then reroute seeded single-net edits against the recorded memo, with a byte-identity check")
+		ecoEdits = flag.Int("eco-edits", 3, "independent single-net edits per circuit for -eco")
 		quick    = flag.Bool("quick", false, "restrict circuit sweeps to dense1..dense3")
 		workers  = flag.Int("workers", 0, "worker-pool bound inside each routing run (0 = GOMAXPROCS, 1 = sequential); results are identical at every value")
 		parallel = flag.Int("parallel", 1, "route up to this many circuits concurrently across the batch (0 = GOMAXPROCS); interleaves per-run timings and any -trace stream")
@@ -80,7 +82,7 @@ func run() int {
 	if *all {
 		*table1, *fig2, *fig5, *fig7, *ablation, *lpiters, *gsize = true, true, true, true, true, true, true
 	}
-	if !*table1 && !*fig2 && !*fig5 && !*fig7 && !*ablation && !*lpiters && !*gsize && !*scaling {
+	if !*table1 && !*fig2 && !*fig5 && !*fig7 && !*ablation && !*lpiters && !*gsize && !*scaling && !*ecoRun {
 		flag.Usage()
 		return 2
 	}
@@ -262,6 +264,23 @@ func run() int {
 		for _, r := range rows {
 			if !r.Deterministic {
 				fmt.Printf("WARNING %s workers=%d: result diverges from the baseline run\n", r.Name, r.Workers)
+				errCount++
+			}
+		}
+		fmt.Println()
+	}
+
+	if *ecoRun {
+		fmt.Println("== Incremental ECO rerouting (single-net edits vs cold route) ==")
+		rows, err := bench.RunECO(names, *ecoEdits)
+		if die(err) {
+			return 1
+		}
+		rep.ECO = rows
+		fmt.Print(bench.FormatECO(rows))
+		for _, r := range rows {
+			if !r.Identical {
+				fmt.Printf("WARNING %s: incremental reroute diverges from the cold route\n", r.Name)
 				errCount++
 			}
 		}

@@ -47,6 +47,7 @@ import (
 	"rdlroute/internal/codec"
 	"rdlroute/internal/design"
 	"rdlroute/internal/drc"
+	"rdlroute/internal/eco"
 	"rdlroute/internal/metrics"
 	"rdlroute/internal/serve"
 )
@@ -169,9 +170,10 @@ func debugMux() *http.ServeMux {
 }
 
 // boot starts a server on a random loopback port and returns its base
-// URL plus a shutdown function.
-func boot(workers, queue int) (string, *serve.Server, func() error, error) {
-	s := serve.New(serve.Config{Workers: workers, QueueDepth: queue})
+// URL plus a shutdown function. cacheEntries < 0 disables the result
+// cache (the throughput sweep must route every job for real).
+func boot(workers, queue, cacheEntries int) (string, *serve.Server, func() error, error) {
+	s := serve.New(serve.Config{Workers: workers, QueueDepth: queue, CacheEntries: cacheEntries})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, nil, err
@@ -197,15 +199,28 @@ type jobView struct {
 }
 
 func submitBenchmark(base, name string) (jobView, error) {
-	var jv jobView
 	body := fmt.Sprintf(`{"schema":%q,"benchmark":%q}`, serve.JobSchema, name)
-	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	return submitJob(base, body, "")
+}
+
+func submitJob(base, body, idemKey string) (jobView, error) {
+	var jv jobView
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		return jv, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return jv, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		return jv, fmt.Errorf("submit %s: HTTP %d", name, resp.StatusCode)
+		msg, _ := io.ReadAll(resp.Body)
+		return jv, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, msg)
 	}
 	err = json.NewDecoder(resp.Body).Decode(&jv)
 	return jv, err
@@ -270,9 +285,20 @@ func smokeMetrics(base string) ([]byte, error) {
 		"rdl_job_duration_seconds",   // serving-layer job histogram
 		"rdl_queue_depth",            // live queue gauge
 		"go_goroutines",              // runtime gauges
+		"rdl_cache_entries",          // result-cache gauges and counters
+		"rdl_cache_bytes",
+		"rdl_cache_hits_total",
+		"rdl_cache_misses_total",
+		"rdl_cache_evictions_total",
 	} {
 		if fams[name] == nil {
 			return nil, fmt.Errorf("smoke: family %s missing from /metrics", name)
+		}
+	}
+	for fam, min := range map[string]float64{"rdl_cache_hits_total": 1, "rdl_cache_misses_total": 1} {
+		s, ok := fams[fam].Sample(nil)
+		if !ok || s.Value < min {
+			return nil, fmt.Errorf("smoke: %s = %v, want >= %v after the replay and delta jobs", fam, s.Value, min)
 		}
 	}
 	return buf.Bytes(), nil
@@ -306,7 +332,7 @@ func smokeFlight(base, id string) error {
 // asserts the decoded result is DRC-clean, then validates the /metrics
 // exposition and the job's flight record. verify.sh runs this in CI.
 func runSmoke(workers, queue int, printMetrics bool) error {
-	base, _, stop, err := boot(workers, queue)
+	base, _, stop, err := boot(workers, queue, 0)
 	if err != nil {
 		return err
 	}
@@ -342,6 +368,53 @@ func runSmoke(workers, queue int, printMetrics bool) error {
 	fmt.Printf("smoke: dense1 routability %.1f%% wirelength %.0f, DRC clean\n",
 		res.Routability, res.Wirelength)
 
+	// Result cache: resubmitting identical content under a fresh
+	// idempotency key must mint a NEW job served from the cache, with its
+	// flight record tagged "hit".
+	hit, err := submitJob(base, fmt.Sprintf(`{"schema":%q,"benchmark":%q}`, serve.JobSchema, "dense1"), "smoke-replay")
+	if err != nil {
+		return err
+	}
+	if hit.ID == jv.ID {
+		return fmt.Errorf("smoke: fresh idempotency key deduped to job %s", jv.ID)
+	}
+	if _, err = pollDone(base, hit.ID, time.Minute); err != nil {
+		return err
+	}
+	if err := smokeCacheTag(base, hit.ID, "hit"); err != nil {
+		return err
+	}
+	fmt.Printf("smoke: resubmission %s served from cache\n", hit.ID)
+
+	// Delta job against the cached base: remove one net and reroute
+	// incrementally, then DRC-check the edited result.
+	hash, err := codec.DesignHash(d)
+	if err != nil {
+		return err
+	}
+	dlBody := fmt.Sprintf(`{"schema":%q,"delta":{"schema":%q,"base":%q,"remove_nets":[0]}}`,
+		serve.JobSchema, codec.DeltaSchema, hash)
+	dj, err := submitJob(base, dlBody, "")
+	if err != nil {
+		return fmt.Errorf("smoke: delta submit: %w", err)
+	}
+	if dj, err = pollDone(base, dj.ID, 5*time.Minute); err != nil {
+		return err
+	}
+	edited, err := eco.Apply(d, &eco.Delta{RemoveNets: []int{0}})
+	if err != nil {
+		return err
+	}
+	dres, err := codec.DecodeResult(bytes.NewReader(dj.Result), edited)
+	if err != nil {
+		return fmt.Errorf("smoke: delta result: %w", err)
+	}
+	if v := drc.Check(dres.Layout); len(v) != 0 {
+		return fmt.Errorf("smoke: delta result has %d DRC violations; first: %v", len(v), v[0])
+	}
+	fmt.Printf("smoke: delta job %s rerouted %d/%d nets, DRC clean\n",
+		dj.ID, dres.RoutedNets, dres.TotalNets)
+
 	expo, err := smokeMetrics(base)
 	if err != nil {
 		return err
@@ -361,6 +434,24 @@ func runSmoke(workers, queue int, printMetrics bool) error {
 	return nil
 }
 
+// smokeCacheTag asserts the job's flight record carries the expected
+// cache outcome.
+func smokeCacheTag(base, id, want string) error {
+	resp, err := http.Get(base + "/v1/debug/jobs/" + id)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var rec serve.FlightRecord
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		return fmt.Errorf("smoke: flight record: %w", err)
+	}
+	if rec.Cache != want {
+		return fmt.Errorf("smoke: job %s flight cache tag %q, want %q", id, rec.Cache, want)
+	}
+	return nil
+}
+
 // runThroughput measures jobs/min at each worker count: per circuit it
 // submits -jobs copies and waits for all of them, all through the HTTP
 // API (the EXPERIMENTS.md serving-throughput table).
@@ -376,7 +467,9 @@ func runThroughput(workerList, circuitList string, jobsPer int) error {
 	circuits := strings.Split(circuitList, ",")
 	fmt.Printf("%-8s %-28s %8s %10s\n", "workers", "circuits", "jobs", "jobs/min")
 	for _, w := range counts {
-		base, _, stop, err := boot(w, 2*jobsPer*len(circuits))
+		// Cache disabled: identical submissions must route for real, or
+		// jobs/min would measure the cache instead of the workers.
+		base, _, stop, err := boot(w, 2*jobsPer*len(circuits), -1)
 		if err != nil {
 			return err
 		}

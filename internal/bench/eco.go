@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"rdlroute/internal/codec"
+	"rdlroute/internal/design"
+	"rdlroute/internal/eco"
+	"rdlroute/internal/geom"
+)
+
+// ECORow is one circuit's incremental-rerouting measurement: cold route
+// time against the latency of rerouting single-net edits through the
+// recorded search memo.
+type ECORow struct {
+	Name        string  `json:"circuit"`
+	Nets        int     `json:"nets"`
+	Edits       int     `json:"edits"`
+	ColdSeconds float64 `json:"cold_route_seconds"`
+	P50Seconds  float64 `json:"reroute_p50_seconds"`
+	MeanSeconds float64 `json:"reroute_mean_seconds"`
+	SpeedupP50  float64 `json:"speedup_p50"`
+	MemoHits    int     `json:"memo_hits"`
+	MemoMisses  int     `json:"memo_misses"`
+	// Identical reports the byte-identity check on the first edit: the
+	// incremental reroute equals a cold route of the edited design
+	// (fingerprint and canonical result encoding, runtime excluded).
+	Identical bool `json:"identical"`
+}
+
+// oneNetEdit draws a random single-net ECO against d: move one endpoint
+// pad of a random net by one lattice pitch. Draws are retried until the
+// edit produces a valid design (a move that collides with another pad or
+// leaves the fan-out region is rejected by eco.Apply).
+func oneNetEdit(d *design.Design, rng *rand.Rand, pitch int64) (*eco.Delta, error) {
+	dirs := []geom.Point{geom.Pt(pitch, 0), geom.Pt(-pitch, 0), geom.Pt(0, pitch), geom.Pt(0, -pitch)}
+	for attempt := 0; attempt < 64; attempt++ {
+		n := d.Nets[rng.Intn(len(d.Nets))]
+		ref := n.P1
+		if rng.Intn(2) == 1 {
+			ref = n.P2
+		}
+		to := d.PadCenter(ref).Add(dirs[rng.Intn(len(dirs))])
+		dl := &eco.Delta{Name: d.Name}
+		if ref.Kind == design.IOKind {
+			dl.MoveIOPads = []eco.MovePad{{Index: ref.Index, To: to}}
+		} else {
+			dl.MoveBumpPads = []eco.MovePad{{Index: ref.Index, To: to}}
+		}
+		if _, err := eco.Apply(d, dl); err == nil {
+			return dl, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: no valid single-net edit found for %s after 64 draws", d.Name)
+}
+
+// resultBytes canonicalizes a result for the identity check: the
+// rdl-result/v1 encoding with the wall-clock runtime zeroed.
+func resultBytes(p *eco.Plan) ([]byte, error) {
+	res := *p.Result
+	res.Runtime = 0
+	var buf bytes.Buffer
+	if err := codec.EncodeResult(&buf, &res); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RunECO measures incremental ECO rerouting on each circuit: one cold
+// route recording the search memo, then `edits` independent single-net
+// edits rerouted against it. The first edit of every circuit is also
+// cold-routed to verify the incremental result is byte-identical. Edits
+// are drawn from a fixed seed, so reports are reproducible.
+func RunECO(names []string, edits int) ([]ECORow, error) {
+	rows := make([]ECORow, 0, len(names))
+	for ci, name := range names {
+		spec, err := design.DenseSpec(name)
+		if err != nil {
+			return nil, err
+		}
+		d, err := design.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel := timeoutCtx()
+		opts := routerOptions()
+
+		t0 := time.Now()
+		base, err := eco.Route(ctx, d, opts)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("%s cold route: %w", name, err)
+		}
+		cold := time.Since(t0)
+
+		rng := rand.New(rand.NewSource(0x9e3779b9*int64(ci) + 1))
+		row := ECORow{Name: name, Nets: len(d.Nets), Edits: edits,
+			ColdSeconds: cold.Seconds(), Identical: true}
+		durs := make([]float64, 0, edits)
+		for k := 0; k < edits; k++ {
+			dl, err := oneNetEdit(d, rng, opts.Pitch)
+			if err != nil {
+				cancel()
+				return nil, err
+			}
+			t1 := time.Now()
+			inc, err := base.Reroute(ctx, dl, opts)
+			if err != nil {
+				cancel()
+				return nil, fmt.Errorf("%s edit %d reroute: %w", name, k, err)
+			}
+			durs = append(durs, time.Since(t1).Seconds())
+			h, m, _ := inc.MemoStats()
+			row.MemoHits += h
+			row.MemoMisses += m
+
+			if k == 0 {
+				coldPlan, err := eco.Route(ctx, inc.Design, opts)
+				if err != nil {
+					cancel()
+					return nil, fmt.Errorf("%s edit 0 cold verify: %w", name, err)
+				}
+				ib, err1 := resultBytes(inc)
+				cb, err2 := resultBytes(coldPlan)
+				if err1 != nil || err2 != nil {
+					cancel()
+					return nil, fmt.Errorf("%s identity encode: %v / %v", name, err1, err2)
+				}
+				row.Identical = inc.Fingerprint == coldPlan.Fingerprint && bytes.Equal(ib, cb)
+			}
+		}
+		cancel()
+
+		sort.Float64s(durs)
+		row.P50Seconds = durs[len(durs)/2]
+		for _, s := range durs {
+			row.MeanSeconds += s
+		}
+		row.MeanSeconds /= float64(len(durs))
+		if row.P50Seconds > 0 {
+			row.SpeedupP50 = row.ColdSeconds / row.P50Seconds
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatECO renders the ECO rows as the EXPERIMENTS.md table.
+func FormatECO(rows []ECORow) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%-8s %5s %6s %10s %12s %12s %8s %12s %10s\n",
+		"circuit", "nets", "edits", "cold", "reroute p50", "reroute mean", "speedup", "memo h/m", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %5d %6d %9.2fs %11.2fs %11.2fs %7.2fx %12s %10v\n",
+			r.Name, r.Nets, r.Edits, r.ColdSeconds, r.P50Seconds, r.MeanSeconds, r.SpeedupP50,
+			fmt.Sprintf("%d/%d", r.MemoHits, r.MemoMisses), r.Identical)
+	}
+	return b.String()
+}

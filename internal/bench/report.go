@@ -27,6 +27,7 @@ type Report struct {
 	Quality   []QualityRow   `json:"quality,omitempty"`
 	Ablations []AblationRow  `json:"ablations,omitempty"`
 	Scaling   []ScalingRow   `json:"scaling,omitempty"`
+	ECO       []ECORow       `json:"eco,omitempty"`
 }
 
 // Table1JSON is one Table-I comparison row flattened for serialization.

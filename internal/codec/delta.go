@@ -1,0 +1,211 @@
+package codec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/eco"
+)
+
+// DeltaSchema identifies version 1 of the design-delta wire format: one
+// ECO edit against a base design addressed by its canonical-bytes hash.
+const DeltaSchema = "rdl-design-delta/v1"
+
+// Wire representation of an eco.Delta. Move entries address the base
+// design's tables, additions are appended, removal indices address the
+// post-addition tables — the application-order contract documented on
+// eco.Delta, which this format mirrors field for field.
+type deltaDoc struct {
+	Schema string `json:"schema"`
+	Base   string `json:"base,omitempty"`
+	Name   string `json:"name,omitempty"`
+
+	MoveIOPads    []movePadDoc      `json:"move_io_pads,omitempty"`
+	MoveBumpPads  []movePadDoc      `json:"move_bump_pads,omitempty"`
+	MoveObstacles []moveObstacleDoc `json:"move_obstacles,omitempty"`
+
+	AddIOPads    []ioPadDoc    `json:"add_io_pads,omitempty"`
+	AddBumpPads  []bumpPadDoc  `json:"add_bump_pads,omitempty"`
+	AddNets      []netDoc      `json:"add_nets,omitempty"`
+	AddObstacles []obstacleDoc `json:"add_obstacles,omitempty"`
+
+	RemoveNets      []int `json:"remove_nets,omitempty"`
+	RemoveIOPads    []int `json:"remove_io_pads,omitempty"`
+	RemoveBumpPads  []int `json:"remove_bump_pads,omitempty"`
+	RemoveObstacles []int `json:"remove_obstacles,omitempty"`
+}
+
+type movePadDoc struct {
+	Index int      `json:"index"`
+	To    [2]int64 `json:"to"`
+}
+
+type moveObstacleDoc struct {
+	Index int      `json:"index"`
+	To    [2]int64 `json:"to"`
+}
+
+// EncodeDesignDelta writes dl as an rdl-design-delta/v1 JSON document.
+// Encoding the same delta twice produces identical bytes.
+func EncodeDesignDelta(w io.Writer, dl *eco.Delta) error {
+	doc := deltaDoc{
+		Schema: DeltaSchema,
+		Base:   dl.Base,
+		Name:   dl.Name,
+
+		RemoveNets:      dl.RemoveNets,
+		RemoveIOPads:    dl.RemoveIOPads,
+		RemoveBumpPads:  dl.RemoveBumpPads,
+		RemoveObstacles: dl.RemoveObstacles,
+	}
+	for _, m := range dl.MoveIOPads {
+		doc.MoveIOPads = append(doc.MoveIOPads, movePadDoc{Index: m.Index, To: pointDoc(m.To)})
+	}
+	for _, m := range dl.MoveBumpPads {
+		doc.MoveBumpPads = append(doc.MoveBumpPads, movePadDoc{Index: m.Index, To: pointDoc(m.To)})
+	}
+	for _, m := range dl.MoveObstacles {
+		doc.MoveObstacles = append(doc.MoveObstacles, moveObstacleDoc{Index: m.Index, To: pointDoc(m.To)})
+	}
+	for _, p := range dl.AddIOPads {
+		doc.AddIOPads = append(doc.AddIOPads, ioPadDoc{
+			ID: p.ID, Chip: p.Chip, Center: pointDoc(p.Center), HalfW: p.HalfW,
+		})
+	}
+	for _, p := range dl.AddBumpPads {
+		doc.AddBumpPads = append(doc.AddBumpPads, bumpPadDoc{ID: p.ID, Center: pointDoc(p.Center), W: p.W})
+	}
+	for _, n := range dl.AddNets {
+		doc.AddNets = append(doc.AddNets, netDoc{ID: n.ID, P1: refDoc(n.P1), P2: refDoc(n.P2)})
+	}
+	for _, o := range dl.AddObstacles {
+		doc.AddObstacles = append(doc.AddObstacles, obstacleDoc{Layer: o.Layer, Box: rectDoc(o.Box)})
+	}
+	return writeDoc(w, DeltaSchema, doc)
+}
+
+// decodeDeltaRef converts a wire pad reference for an added net. Range
+// checks against the base design's tables cannot happen here — the base is
+// resolved later (eco.Apply validates the edited design) — but the kind
+// string and index sign are checked so a malformed document fails with a
+// precise path instead of a confusing Apply error.
+func decodeDeltaRef(r padRefDoc, path string) (design.PadRef, error) {
+	var kind design.PadKind
+	switch r.Kind {
+	case "io":
+		kind = design.IOKind
+	case "bump":
+		kind = design.BumpKind
+	default:
+		return design.PadRef{}, invalidf(DeltaSchema, path+".kind",
+			"pad kind %q (want \"io\" or \"bump\")", r.Kind)
+	}
+	if r.Index < 0 {
+		return design.PadRef{}, invalidf(DeltaSchema, path+".index",
+			"negative pad index %d", r.Index)
+	}
+	return design.PadRef{Kind: kind, Index: r.Index}, nil
+}
+
+func checkIndices(field string, idx []int) error {
+	for i, v := range idx {
+		if v < 0 {
+			return invalidf(DeltaSchema, fmt.Sprintf("%s[%d]", field, i),
+				"negative index %d", v)
+		}
+	}
+	return nil
+}
+
+// DecodeDesignDelta reads an rdl-design-delta/v1 document. Structural
+// errors (bad kind strings, negative indices) yield a *Error; whether the
+// delta actually applies to its base — indices in range, the edited design
+// valid — is decided by eco.Apply once the base is resolved.
+func DecodeDesignDelta(r io.Reader) (*eco.Delta, error) {
+	var doc deltaDoc
+	if err := decodeDoc(r, DeltaSchema, &doc); err != nil {
+		return nil, err
+	}
+	dl := &eco.Delta{
+		Base: doc.Base,
+		Name: doc.Name,
+
+		RemoveNets:      doc.RemoveNets,
+		RemoveIOPads:    doc.RemoveIOPads,
+		RemoveBumpPads:  doc.RemoveBumpPads,
+		RemoveObstacles: doc.RemoveObstacles,
+	}
+	for i, m := range doc.MoveIOPads {
+		if m.Index < 0 {
+			return nil, invalidf(DeltaSchema, fmt.Sprintf("move_io_pads[%d].index", i),
+				"negative index %d", m.Index)
+		}
+		dl.MoveIOPads = append(dl.MoveIOPads, eco.MovePad{Index: m.Index, To: docPoint(m.To)})
+	}
+	for i, m := range doc.MoveBumpPads {
+		if m.Index < 0 {
+			return nil, invalidf(DeltaSchema, fmt.Sprintf("move_bump_pads[%d].index", i),
+				"negative index %d", m.Index)
+		}
+		dl.MoveBumpPads = append(dl.MoveBumpPads, eco.MovePad{Index: m.Index, To: docPoint(m.To)})
+	}
+	for i, m := range doc.MoveObstacles {
+		if m.Index < 0 {
+			return nil, invalidf(DeltaSchema, fmt.Sprintf("move_obstacles[%d].index", i),
+				"negative index %d", m.Index)
+		}
+		dl.MoveObstacles = append(dl.MoveObstacles, eco.MoveObstacle{Index: m.Index, To: docPoint(m.To)})
+	}
+	for _, p := range doc.AddIOPads {
+		dl.AddIOPads = append(dl.AddIOPads, design.IOPad{
+			ID: p.ID, Chip: p.Chip, Center: docPoint(p.Center), HalfW: p.HalfW,
+		})
+	}
+	for _, p := range doc.AddBumpPads {
+		dl.AddBumpPads = append(dl.AddBumpPads, design.BumpPad{ID: p.ID, Center: docPoint(p.Center), W: p.W})
+	}
+	for i, n := range doc.AddNets {
+		p1, err := decodeDeltaRef(n.P1, fmt.Sprintf("add_nets[%d].p1", i))
+		if err != nil {
+			return nil, err
+		}
+		p2, err := decodeDeltaRef(n.P2, fmt.Sprintf("add_nets[%d].p2", i))
+		if err != nil {
+			return nil, err
+		}
+		dl.AddNets = append(dl.AddNets, design.Net{ID: n.ID, P1: p1, P2: p2})
+	}
+	for _, o := range doc.AddObstacles {
+		dl.AddObstacles = append(dl.AddObstacles, design.Obstacle{Layer: o.Layer, Box: docRect(o.Box)})
+	}
+	for _, f := range []struct {
+		name string
+		idx  []int
+	}{
+		{"remove_nets", doc.RemoveNets},
+		{"remove_io_pads", doc.RemoveIOPads},
+		{"remove_bump_pads", doc.RemoveBumpPads},
+		{"remove_obstacles", doc.RemoveObstacles},
+	} {
+		if err := checkIndices(f.name, f.idx); err != nil {
+			return nil, err
+		}
+	}
+	return dl, nil
+}
+
+// DesignHash returns the content address of a design: the sha256 (hex) of
+// its canonical rdl-design/v1 encoding. Deltas reference their base design
+// by this hash, and the serve result cache is keyed on it.
+func DesignHash(d *design.Design) (string, error) {
+	var buf bytes.Buffer
+	if err := EncodeDesign(&buf, d); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}

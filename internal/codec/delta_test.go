@@ -1,0 +1,124 @@
+package codec_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"rdlroute/internal/codec"
+	"rdlroute/internal/design"
+	"rdlroute/internal/eco"
+	"rdlroute/internal/geom"
+)
+
+func sampleDelta() *eco.Delta {
+	return &eco.Delta{
+		Base: "0123abcd",
+		Name: "edited",
+		MoveIOPads: []eco.MovePad{
+			{Index: 2, To: geom.Pt(120, 480)},
+		},
+		MoveObstacles: []eco.MoveObstacle{
+			{Index: 0, To: geom.Pt(900, 900)},
+		},
+		AddIOPads: []design.IOPad{
+			{ID: 77, Chip: 0, Center: geom.Pt(60, 60), HalfW: 12},
+		},
+		AddNets: []design.Net{
+			{ID: 9, P1: design.PadRef{Kind: design.IOKind, Index: 1},
+				P2: design.PadRef{Kind: design.BumpKind, Index: 4}},
+		},
+		AddObstacles: []design.Obstacle{
+			{Layer: 1, Box: geom.RectWH(0, 0, 60, 60)},
+		},
+		RemoveNets:      []int{3},
+		RemoveObstacles: []int{1},
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	dl := sampleDelta()
+	var b1 bytes.Buffer
+	if err := codec.EncodeDesignDelta(&b1, dl); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if !strings.Contains(b1.String(), `"rdl-design-delta/v1"`) {
+		t.Fatalf("encoding lacks schema header:\n%s", b1.String())
+	}
+	got, err := codec.DecodeDesignDelta(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	var b2 bytes.Buffer
+	if err := codec.EncodeDesignDelta(&b2, got); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("round-trip not byte-stable:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	if got.Base != dl.Base || got.Name != dl.Name ||
+		len(got.MoveIOPads) != 1 || got.MoveIOPads[0] != dl.MoveIOPads[0] ||
+		len(got.AddNets) != 1 || got.AddNets[0] != dl.AddNets[0] ||
+		len(got.RemoveNets) != 1 || got.RemoveNets[0] != 3 {
+		t.Fatalf("decoded delta differs: %+v", got)
+	}
+}
+
+func TestDeltaDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		kind codec.Kind
+		path string
+	}{
+		{"garbage", "{", codec.KindSyntax, "$"},
+		{"wrong-schema", `{"schema":"rdl-design/v1"}`, codec.KindSchema, "schema"},
+		{"bad-kind", `{"schema":"rdl-design-delta/v1","add_nets":[{"id":1,"p1":{"kind":"laser","index":0},"p2":{"kind":"bump","index":0}}]}`,
+			codec.KindValidate, "add_nets[0].p1.kind"},
+		{"negative-move", `{"schema":"rdl-design-delta/v1","move_io_pads":[{"index":-4,"to":[0,0]}]}`,
+			codec.KindValidate, "move_io_pads[0].index"},
+		{"negative-remove", `{"schema":"rdl-design-delta/v1","remove_nets":[0,-2]}`,
+			codec.KindValidate, "remove_nets[1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := codec.DecodeDesignDelta(strings.NewReader(tc.in))
+			var ce *codec.Error
+			if !errors.As(err, &ce) {
+				t.Fatalf("want *codec.Error, got %v", err)
+			}
+			if ce.Kind != tc.kind || ce.Path != tc.path {
+				t.Fatalf("got kind=%v path=%q, want kind=%v path=%q (%v)",
+					ce.Kind, ce.Path, tc.kind, tc.path, ce)
+			}
+		})
+	}
+}
+
+func TestDesignHash(t *testing.T) {
+	spec, err := design.DenseSpec("dense1")
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	d, err := design.Generate(spec)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	h1, err := codec.DesignHash(d)
+	if err != nil {
+		t.Fatalf("hash: %v", err)
+	}
+	h2, _ := codec.DesignHash(d)
+	if h1 != h2 || len(h1) != 64 {
+		t.Fatalf("hash not stable or not sha256 hex: %q vs %q", h1, h2)
+	}
+	edited, err := eco.Apply(d, &eco.Delta{RemoveNets: []int{0}})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	h3, _ := codec.DesignHash(edited)
+	if h3 == h1 {
+		t.Fatal("edited design hashes identically to base")
+	}
+}

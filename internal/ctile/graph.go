@@ -74,9 +74,16 @@ func (m *Model) adjacent(a geom.Oct8, abb geom.Rect, b geom.Oct8, bbb geom.Rect)
 }
 
 // arc is one cached same-layer corridor adjacency: the neighbor tile and
-// the center-to-center octilinear move cost.
+// the move cost. Costs are measured between CELL centers, not tile
+// centers: the corridor's only downstream consumer is the cell-granular
+// region mask, so pricing moves on the fixed cell grid makes the chosen
+// cell chain a canonical function of tile connectivity — re-partitioning
+// a cell's tiles (an ECO edit shifting a clearance band) cannot nudge
+// equal-cost choices through center drift, only a genuine connectivity
+// change can alter the corridor.
 type arc struct {
 	cell, idx int
+	tcomp     int // target tile's intra-cell component id
 	cost      float64
 }
 
@@ -88,6 +95,7 @@ type cellAdj struct {
 	ring    []int
 	ringGen []uint32
 	arcs    [][]arc
+	comp    []int // per-tile intra-cell connectivity component id
 }
 
 // cellArcs returns the per-tile arc lists for the cell, rebuilding the
@@ -96,12 +104,18 @@ type cellAdj struct {
 // A* pop into an amortized array walk: tile adjacency is geometric and
 // only changes when a committed net re-partitions a nearby cell.
 func (m *Model) cellArcs(layer, cell int) [][]arc {
+	return m.adjEntry(layer, cell).arcs
+}
+
+// adjEntry returns the validated (or rebuilt) adjacency cache entry for the
+// cell: arc lists plus the per-tile component labeling.
+func (m *Model) adjEntry(layer, cell int) *cellAdj {
 	if e := m.adj[layer][cell]; e != nil && m.arcsValid(layer, e) {
-		return e.arcs
+		return e
 	}
 	e := m.buildArcs(layer, cell)
 	m.adj[layer][cell] = e
-	return e.arcs
+	return e
 }
 
 func (m *Model) arcsValid(layer int, e *cellAdj) bool {
@@ -117,8 +131,10 @@ func (m *Model) arcsValid(layer int, e *cellAdj) bool {
 func (m *Model) buildArcs(layer, cell int) *cellAdj {
 	tiles := m.Tiles(layer, cell)
 	bbs := m.TileBBs(layer, cell)
-	centers := m.TileCenters(layer, cell)
+	center := m.cellBox(cell).Center()
 	e := &cellAdj{ring: m.neighborCells(cell), arcs: make([][]arc, len(tiles))}
+	comps := map[int][]int{cell: m.components(layer, cell)}
+	e.comp = comps[cell]
 	for i := range tiles {
 		// Ring order then index order, matching the seed's per-pop emit
 		// order so heap tie-breaking (and thus chosen corridors) is
@@ -126,16 +142,16 @@ func (m *Model) buildArcs(layer, cell int) *cellAdj {
 		for _, rc := range e.ring {
 			rTiles := m.Tiles(layer, rc)
 			rBBs := m.TileBBs(layer, rc)
-			rCenters := m.TileCenters(layer, rc)
+			if _, ok := comps[rc]; !ok {
+				comps[rc] = m.components(layer, rc)
+			}
+			cost := geom.OctDist(center, m.cellBox(rc).Center())
 			for i2 := range rTiles {
 				if rc == cell && i2 == i {
 					continue
 				}
 				if m.adjacent(tiles[i], bbs[i], rTiles[i2], rBBs[i2]) {
-					e.arcs[i] = append(e.arcs[i], arc{
-						cell: rc, idx: i2,
-						cost: geom.OctDist(centers[i], rCenters[i2]),
-					})
+					e.arcs[i] = append(e.arcs[i], arc{cell: rc, idx: i2, tcomp: comps[rc][i2], cost: cost})
 				}
 			}
 		}
@@ -147,45 +163,52 @@ func (m *Model) buildArcs(layer, cell int) *cellAdj {
 	return e
 }
 
-// snapshot freezes tile ids for one search.
-type snapshot struct {
-	m       *Model
-	offsets [][]int   // [layer][cell] -> base id
-	refs    []TileRef // id -> TileRef, precomputed so lookups are O(1)
-	total   int
-	sites   map[int][]ViaSite // by cell
-}
-
-func (m *Model) snapshot(sites []ViaSite) *snapshot {
-	s := &snapshot{m: m, sites: map[int][]ViaSite{}}
-	s.offsets = make([][]int, m.D.WireLayers)
-	id := 0
-	for l := 0; l < m.D.WireLayers; l++ {
-		s.offsets[l] = make([]int, m.CellsX*m.CellsY)
-		for c := 0; c < m.CellsX*m.CellsY; c++ {
-			s.offsets[l][c] = id
-			id += len(m.Tiles(l, c))
-		}
+// components labels the cell's tiles with intra-cell connectivity
+// component ids: two tiles share an id iff they are linked by a chain of
+// usable boundaries within this cell alone. Ids are assigned in tile-index
+// order (component of the lowest-indexed tile is 0, and so on), reading
+// only this cell's tiles.
+func (m *Model) components(layer, cell int) []int {
+	tiles := m.Tiles(layer, cell)
+	bbs := m.TileBBs(layer, cell)
+	n := len(tiles)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
 	}
-	s.total = id
-	s.refs = make([]TileRef, id)
-	for l := 0; l < m.D.WireLayers; l++ {
-		for c := 0; c < m.CellsX*m.CellsY; c++ {
-			base := s.offsets[l][c]
-			for i := range m.Tiles(l, c) {
-				s.refs[base+i] = TileRef{Layer: l, Cell: c, Idx: i}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if m.adjacent(tiles[i], bbs[i], tiles[j], bbs[j]) {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[rj] = ri
+				}
 			}
 		}
 	}
-	for _, v := range sites {
-		s.sites[v.Cell] = append(s.sites[v.Cell], v)
+	comp := make([]int, n)
+	next := 0
+	label := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		c, ok := label[r]
+		if !ok {
+			c = next
+			next++
+			label[r] = c
+		}
+		comp[i] = c
 	}
-	return s
+	return comp
 }
-
-func (s *snapshot) id(r TileRef) int { return s.offsets[r.Layer][r.Cell] + r.Idx }
-
-func (s *snapshot) ref(id int) TileRef { return s.refs[id] }
 
 // neighborCells returns cells within one ring of c plus c itself.
 func (m *Model) neighborCells(c int) []int {
@@ -230,64 +253,193 @@ func (m *Model) TileNear(layer int, p geom.Point) (TileRef, bool) {
 	return best, found
 }
 
-// FindCorridor runs A* on the octagonal-tile routing graph from the tile
-// near (from, fromLayer) to the tile near (to, toLayer), changing layers
-// only at the inserted via sites. It returns the tile path.
+// FindCorridor runs A* on the cell-adjacency graph the octagonal tile
+// model induces: states are (layer, cell) pairs, two cells on a layer are
+// connected when any tile of one shares a usable boundary with any tile of
+// the other, and layers change only at cells holding an inserted via site
+// spanning both. It returns the corridor as a (layer, cell) chain (TileRefs
+// with Idx 0 — the downstream region mask is cell-granular and never
+// addresses individual tiles).
+//
+// Searching cells rather than tiles is what makes corridors stable under
+// ECO edits: state ids are fixed functions of the grid, move costs are
+// cell-center distances, and the expansion never reads tile shapes or
+// indices — so re-partitioning a cell's tiles (a committed band shifting
+// one pitch) cannot perturb equal-cost tie-breaking anywhere. Only a real
+// connectivity change — a passage opening or closing — can alter the
+// corridor, which is exactly the global-routing signal the paper's tile
+// graph exists to provide.
 func (m *Model) FindCorridor(from geom.Point, fromLayer int, to geom.Point, toLayer int, sites []ViaSite, viaCost float64) ([]TileRef, bool) {
+	// Memo consult: a recorded corridor whose cell-content and via-site
+	// footprint still matches is re-derived bit for bit — serve it and skip
+	// the snapshot and the tile-graph A* entirely.
+	var ckey corKey
+	var siteHash []uint64
+	if m.cj != nil {
+		siteHash = m.cj.ensureSiteHashes(m, sites)
+		ckey = m.corKeyFor(from, fromLayer, to, toLayer, viaCost)
+		if e, hit := m.cj.memo.lookup(ckey, m.cj, siteHash); hit {
+			if !e.ok {
+				return nil, false
+			}
+			out := make([]TileRef, len(e.path))
+			copy(out, e.path)
+			return out, true
+		}
+		m.cj.fpReset()
+		// TileNear reads the tiles of the ring around each endpoint's cell.
+		for _, c := range m.cellsTouching(geom.RectOf(from, from)) {
+			m.fpMarkRing(fromLayer, c)
+		}
+		for _, c := range m.cellsTouching(geom.RectOf(to, to)) {
+			m.fpMarkRing(toLayer, c)
+		}
+	}
+	corStore := func(ok bool, path []TileRef) {
+		if m.cj != nil {
+			m.cj.memo.store(ckey, m.cj.snapshotEntry(siteHash, ok, path))
+		}
+	}
 	startRef, ok1 := m.TileNear(fromLayer, from)
 	goalRef, ok2 := m.TileNear(toLayer, to)
 	if !ok1 || !ok2 {
+		corStore(false, nil)
 		return nil, false
 	}
-	s := m.snapshot(sites)
-	goalID := s.id(goalRef)
+	if m.cj != nil {
+		// Endpoint component lookups read the rings of the resolved cells
+		// (which TileNear may have picked a ring away from the query point).
+		m.fpMarkRing(startRef.Layer, startRef.Cell)
+		m.fpMarkRing(goalRef.Layer, goalRef.Cell)
+	}
+	ncells := m.CellsX * m.CellsY
+	siteByCell := make(map[int][]ViaSite)
+	for _, v := range sites {
+		siteByCell[v.Cell] = append(siteByCell[v.Cell], v)
+	}
+	// States are (layer, cell, component): the component factor keeps the
+	// graph honest about cells whose free space is internally split — a
+	// corridor may pass through a walled cell only on the side its entry
+	// tile can actually reach. Component ids above the cap share the last
+	// slot; the resulting (rare, optimistic) merges can only cost a masked
+	// search a fallback, never a wrong route.
+	const maxComp = 8
+	clampC := func(c int) int {
+		if c >= maxComp {
+			return maxComp - 1
+		}
+		return c
+	}
+	stateOf := func(l, c, comp int) int { return (l*ncells+c)*maxComp + clampC(comp) }
+	compAt := func(l int, ref TileRef) int {
+		e := m.adjEntry(l, ref.Cell)
+		if ref.Idx < len(e.comp) {
+			return e.comp[ref.Idx]
+		}
+		return 0
+	}
+	startID := stateOf(startRef.Layer, startRef.Cell, compAt(startRef.Layer, startRef))
+	goalID := stateOf(goalRef.Layer, goalRef.Cell, compAt(goalRef.Layer, goalRef))
 
 	expand := func(u int, emit func(int, float64)) {
-		r := s.refs[u]
-		// Same-layer adjacencies from the generation-validated cache; the
-		// arc order matches the per-pop scan it replaces, so heap
-		// tie-breaking (and the chosen corridor) is unchanged.
-		arcs := m.cellArcs(r.Layer, r.Cell)
-		for _, a := range arcs[r.Idx] {
-			emit(s.id(TileRef{r.Layer, a.cell, a.idx}), a.cost)
+		lc := u / maxComp
+		l, c, comp := lc/ncells, lc%ncells, u%maxComp
+		if m.cj != nil {
+			// Footprint: expanding here reads the ring's tiles (through the
+			// arc cache) on this layer and this cell's site list.
+			m.fpMarkRing(l, c)
+			m.cj.spMark(c)
 		}
-		// Via moves at sites inside this tile.
-		if vs := s.sites[r.Cell]; len(vs) > 0 {
-			region := m.Region(r)
-			for _, v := range vs {
-				if !region.Contains(v.P) {
+		// Cross-cell connectivity from the generation-validated arc cache:
+		// (rc, rcomp) is reachable when any tile of this component has an
+		// arc into that component of rc. Emit in ring order for
+		// deterministic tie-breaking.
+		ring := m.neighborCells(c)
+		var reach [9 * maxComp]bool
+		e := m.adjEntry(l, c)
+		for i := range e.arcs {
+			if i < len(e.comp) && clampC(e.comp[i]) != comp {
+				continue
+			}
+			for _, a := range e.arcs[i] {
+				if a.cell == c {
 					continue
 				}
-				for _, nl := range []int{r.Layer - 1, r.Layer + 1} {
-					if nl < v.L0 || nl > v.L1 || nl < 0 || nl >= m.D.WireLayers {
-						continue
-					}
-					if nr, ok := m.TileAt(nl, v.P); ok {
-						emit(s.id(nr), viaCost)
+				for k, rc := range ring {
+					if rc == a.cell {
+						reach[k*maxComp+clampC(a.tcomp)] = true
+						break
 					}
 				}
 			}
 		}
+		center := m.cellBox(c).Center()
+		for k, rc := range ring {
+			if rc == c {
+				continue
+			}
+			cost := geom.OctDist(center, m.cellBox(rc).Center())
+			for rcomp := 0; rcomp < maxComp; rcomp++ {
+				if reach[k*maxComp+rcomp] {
+					emit((l*ncells+rc)*maxComp+rcomp, cost)
+				}
+			}
+		}
+		// Layer moves at this cell's via sites: the site point must sit in
+		// free space of this component and of the target layer.
+		for _, v := range siteByCell[c] {
+			ref, ok := m.TileAt(l, v.P)
+			if !ok || ref.Cell != c || clampC(compAt(l, ref)) != comp {
+				continue
+			}
+			for _, nl := range []int{l - 1, l + 1} {
+				if nl < v.L0 || nl > v.L1 || nl < 0 || nl >= m.D.WireLayers {
+					continue
+				}
+				if m.cj != nil {
+					m.fpMarkRing(nl, c)
+				}
+				nref, ok := m.TileAt(nl, v.P)
+				if !ok || nref.Cell != c {
+					continue
+				}
+				emit(stateOf(nl, c, compAt(nl, nref)), viaCost)
+			}
+		}
 	}
 	h := func(u int) float64 {
-		r := s.refs[u]
-		d := geom.OctDist(m.TileCenters(r.Layer, r.Cell)[r.Idx], to)
-		dl := r.Layer - toLayer
+		lc := u / maxComp
+		l, c := lc/ncells, lc%ncells
+		// Cell-center based, matching the arc costs: the estimate must not
+		// read tile geometry or it would reintroduce the center-drift
+		// sensitivity the cell graph removes.
+		d := geom.OctDist(m.cellBox(c).Center(), to)
+		dl := l - toLayer
 		if dl < 0 {
 			dl = -dl
 		}
 		return d*0.5 + float64(dl)*viaCost*0.5
 	}
-	path, _, ok := graphs.AStar(s.total,
-		[]graphs.StartState{{State: s.id(startRef)}},
+	path, _, ok := graphs.AStar(m.D.WireLayers*ncells*maxComp,
+		[]graphs.StartState{{State: startID}},
 		func(u int) bool { return u == goalID },
 		expand, h)
 	if !ok {
+		corStore(false, nil)
 		return nil, false
 	}
-	out := make([]TileRef, len(path))
+	out := make([]TileRef, 0, len(path))
 	for i, id := range path {
-		out[i] = s.ref(id)
+		l, c := id/maxComp/ncells, id/maxComp%ncells
+		// Collapse component moves within one (layer, cell): the mask is
+		// cell-granular, so duplicates carry no information.
+		if i > 0 && len(out) > 0 {
+			if last := out[len(out)-1]; last.Layer == l && last.Cell == c {
+				continue
+			}
+		}
+		out = append(out, TileRef{Layer: l, Cell: c})
 	}
+	corStore(true, out)
 	return out, true
 }

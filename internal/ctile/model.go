@@ -48,6 +48,10 @@ type Model struct {
 	// minDim: tiles thinner than this in bounding box are dropped (too
 	// narrow for any wire).
 	minDim int64
+
+	// cj, when non-nil, journals per-cell blocker content and memoizes
+	// corridor searches across runs; see memo.go. Strictly observational.
+	cj *corJournal
 }
 
 // NewModel builds the decomposition over the design with a cells×cells
@@ -97,6 +101,9 @@ func NewModel(d *design.Design, cells int) *Model {
 	return m
 }
 
+// CellBox returns the rectangle of global cell c.
+func (m *Model) CellBox(c int) geom.Rect { return m.cellBox(c) }
+
 // cellBox returns the rectangle of global cell c.
 func (m *Model) cellBox(c int) geom.Rect {
 	cx := c % m.CellsX
@@ -145,9 +152,13 @@ func (m *Model) addBlocker(layer int, shape geom.Oct8) {
 	}
 	bb := shape.BBox()
 	for _, c := range m.cellsTouching(bb) {
-		if shape.Intersects(geom.OctFromRect(m.cellBox(c))) {
+		box := m.cellBox(c)
+		if shape.Intersects(geom.OctFromRect(box)) {
 			m.blockers[layer][c] = append(m.blockers[layer][c], shape)
 			m.tiles[layer][c] = nil // dirty
+			if m.cj != nil {
+				m.cj.fold(layer, c, m.CellsX*m.CellsY, cellClampHash(shape, box))
+			}
 		}
 	}
 }

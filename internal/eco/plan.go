@@ -1,0 +1,85 @@
+package eco
+
+import (
+	"context"
+
+	"rdlroute/internal/ctile"
+	"rdlroute/internal/design"
+	"rdlroute/internal/lattice"
+	"rdlroute/internal/router"
+)
+
+// Plan is a routed design plus the search memo its run recorded: the unit
+// of incremental rerouting. A completed plan is immutable — Reroute builds
+// a new plan chained off this one's memo, and several reroutes may share a
+// base plan concurrently (the previous run's recordings are read-only).
+type Plan struct {
+	Design      *design.Design
+	Opts        router.Options // Tracer and SearchMemo stripped
+	Result      *router.Result
+	Fingerprint uint64 // lattice occupancy fingerprint of the run
+
+	memo  *lattice.Memo
+	cmemo *ctile.CorridorMemo
+}
+
+// Route cold-routes the design while recording a memo, yielding the plan
+// future deltas reroute against. The result is byte-identical to a plain
+// router.RouteContext call with the same options: recording never changes
+// search outcomes, and serving only happens on provably-identical state.
+func Route(ctx context.Context, d *design.Design, opts router.Options) (*Plan, error) {
+	return routeWith(ctx, d, opts, lattice.NewMemo(), ctile.NewCorridorMemo())
+}
+
+// Reroute applies the delta to this plan's design and routes the edited
+// design incrementally: the full flow re-runs natively, with unchanged A*
+// searches served from this plan's memo. opts may differ from the base
+// plan's in observational fields only (Tracer, Workers); changing
+// flow-shaping options is legal but degrades every search to a miss.
+func (p *Plan) Reroute(ctx context.Context, dl *Delta, opts router.Options) (*Plan, error) {
+	d2, err := Apply(p.Design, dl)
+	if err != nil {
+		return nil, err
+	}
+	return p.RerouteDesign(ctx, d2, opts)
+}
+
+// RerouteDesign is Reroute for an already-applied edited design.
+func (p *Plan) RerouteDesign(ctx context.Context, d2 *design.Design, opts router.Options) (*Plan, error) {
+	return routeWith(ctx, d2, opts, p.memo.Next(), p.cmemo.Next())
+}
+
+// MemoStats reports the lattice-search hit/miss counters of the plan's
+// routing run and the approximate bytes its recordings retain.
+func (p *Plan) MemoStats() (hits, misses int, bytes int64) {
+	hits, misses = p.memo.Stats()
+	return hits, misses, p.memo.SizeBytes() + p.cmemo.SizeBytes()
+}
+
+// CorridorStats reports the tile-graph corridor memo's hit/miss counters.
+func (p *Plan) CorridorStats() (hits, misses int) {
+	return p.cmemo.Stats()
+}
+
+// MissKinds splits both memos' miss counters into "no recording under the
+// key" (the request itself changed) and "stale footprint" (state the search
+// reads changed) — the diagnostic for where an ECO's reroute cost comes from.
+func (p *Plan) MissKinds() (latticeNoKey, latticeStale, corridorNoKey, corridorStale int) {
+	ln, ls := p.memo.MissKinds()
+	cn, cs := p.cmemo.MissKinds()
+	return ln, ls, cn, cs
+}
+
+func routeWith(ctx context.Context, d *design.Design, opts router.Options, m *lattice.Memo, cm *ctile.CorridorMemo) (*Plan, error) {
+	opts.SearchMemo = m
+	opts.CorridorMemo = cm
+	res, fp, err := router.RouteFingerprint(ctx, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	stored := opts
+	stored.Tracer = nil
+	stored.SearchMemo = nil
+	stored.CorridorMemo = nil
+	return &Plan{Design: d, Opts: stored, Result: res, Fingerprint: fp, memo: m, cmemo: cm}, nil
+}

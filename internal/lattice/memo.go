@@ -1,0 +1,628 @@
+package lattice
+
+import (
+	"math"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+)
+
+// Search memoization for incremental (ECO) rerouting.
+//
+// An edited design is rerouted by re-running the whole flow natively — every
+// ordering decision, MPSC pick and mask build is recomputed from scratch, so
+// the result is byte-identical to a cold route by construction — while the
+// expensive part, the per-net A* searches, is served from a memo recorded on
+// the base run whenever it is provably safe.
+//
+// Safety is decided per search in two parts:
+//
+//   - a 128-bit key over the request itself (net identity, terminals,
+//     layers, costs, flags, layer mask, region mask contents, lattice
+//     dims), and
+//   - a footprint snapshot over the occupancy state the search actually
+//     read. The lattice keeps a journal — a coarse 2D grid of block
+//     hashes, each the multiset hash (commutative sum) of every occupancy
+//     mutation whose writes can touch the block — and a recorded entry
+//     stores the hashes of all blocks covering the nodes the search
+//     probed (every popped node grown by two nodes, which dominates
+//     neighbor probes and the edge-guard reads at cell
+//     (i−1, j−1)). A hit is served only when every snapshot block hash
+//     still equals the journal's current value.
+//
+// Each mutation's hash covers its bounding box grown by a conservative
+// margin that dominates every clearance radius and the edge-guard reach,
+// so every write that can reach a node is journaled in that node's block.
+// The blocks sum op hashes instead of chaining them: every occupancy
+// surface resolves claims with the same owner/free/hard switch, whose
+// final value depends only on the set of distinct claimants — so the state
+// at any point in a run is a function of the multiset of ops so far, and
+// summing makes the journal blind to reorderings of unrelated commits
+// (which ECO edits routinely cause among equal-cost nets).
+// Matching snapshots therefore imply an identical op multiset produced
+// the state at every node the search read, so re-running it would
+// re-derive the identical result; any other change only flips block
+// hashes and degrades to a miss (a live search), never to a wrong hit.
+// Keying on what the search read — not on its full window — is what makes
+// the footprint tight: an A* between two pads probes a narrow band around
+// the route it finds, so a distant edit leaves its snapshot intact even
+// when the cost-bound window would span the whole lattice.
+//
+// Net indices are not stable across deltas (removals renumber), so keys and
+// journal hashes identify nets by a canonical key. Net IDs are stable across
+// deltas (Apply never renumbers them), so when IDs are unique within the
+// design — the normal case — the key is derived from the ID alone, which
+// keeps a net's key stable when its pads move: memo reads only ever depend
+// on owner-equality relations, so any per-design injective key is sound.
+// Validate does not forbid duplicate IDs, so nets whose ID collides fall
+// back to a terminal-derived key (kind, center, size), which the
+// no-shared-pads rule makes injective.
+
+// Memo carries recorded searches across routing runs: prev is the frozen
+// map of the previous run (read-only, shareable across concurrent runs),
+// cur collects this run's searches — both fresh recordings and prev entries
+// that hit, so chaining plans naturally expires entries that stop being
+// reachable. A Memo must only be attached to one lattice/run at a time;
+// within a run all Route calls are sequential.
+type Memo struct {
+	prev, cur map[memoKey][]*memoEntry
+	hits      int
+	misses    int
+	missNoKey int   // misses with no recorded entry under the request key
+	bytes     int64 // approximate retained size of cur
+}
+
+// NewMemo returns an empty memo: the first run only records.
+func NewMemo() *Memo {
+	return &Memo{prev: map[memoKey][]*memoEntry{}, cur: map[memoKey][]*memoEntry{}}
+}
+
+// Next returns the memo for a follow-up run: this run's recordings become
+// the read-only prev of the next. The receiver must not be attached to a
+// running route anymore; concurrent Next calls on a frozen memo are safe.
+func (m *Memo) Next() *Memo {
+	return &Memo{prev: m.cur, cur: map[memoKey][]*memoEntry{}}
+}
+
+// Stats returns the hit/miss counters of the runs this memo was attached to.
+func (m *Memo) Stats() (hits, misses int) { return m.hits, m.misses }
+
+// MissKinds splits the miss counter: noKey misses had no recording under
+// the request key (the request itself is new — net, terminals or masks
+// changed), stale ones had recordings whose footprint no longer matched
+// (occupancy the search reads was touched). The split tells an ECO user
+// whether reroute cost comes from request churn or from state churn.
+func (m *Memo) MissKinds() (noKey, stale int) {
+	return m.missNoKey, m.misses - m.missNoKey
+}
+
+// SizeBytes approximates the heap retained by this run's recordings.
+func (m *Memo) SizeBytes() int64 { return m.bytes }
+
+type memoKey struct{ a, b uint64 }
+
+// blockSnap is one journal block's hash at record time.
+type blockSnap struct {
+	idx  int32
+	hash uint64
+}
+
+type memoEntry struct {
+	ok       bool
+	cost     float64
+	expanded int
+	visited  int
+	path     []PathStep
+	snap     []blockSnap // footprint proof: blocks the search read
+}
+
+const memoEntryBase = 120 // struct + map overhead estimate
+
+func entrySize(e *memoEntry) int64 {
+	return memoEntryBase + int64(len(e.path))*24 + int64(len(e.snap))*12
+}
+
+// lookup serves an entry recorded under the same request key whose block
+// snapshot still matches the journal — i.e. the state the search read is
+// reproduced bit for bit. Several entries may share a key (e.g. rip-up
+// ghost searches repeating across rounds against evolving occupancy); the
+// snapshot picks the right one.
+func (m *Memo) lookup(k memoKey, j *journal) (*memoEntry, bool) {
+	for _, e := range m.cur[k] {
+		if j.snapValid(e.snap) {
+			m.hits++
+			return e, true
+		}
+	}
+	for _, e := range m.prev[k] {
+		if j.snapValid(e.snap) {
+			m.hits++
+			m.cur[k] = append(m.cur[k], e)
+			m.bytes += entrySize(e)
+			return e, true
+		}
+	}
+	m.misses++
+	if len(m.cur[k]) == 0 && len(m.prev[k]) == 0 {
+		m.missNoKey++
+	}
+	return nil, false
+}
+
+func (m *Memo) store(k memoKey, e *memoEntry) {
+	m.cur[k] = append(m.cur[k], e)
+	m.bytes += entrySize(e)
+}
+
+func (j *journal) snapValid(snap []blockSnap) bool {
+	for _, s := range snap {
+		if int(s.idx) >= len(j.blocks) || j.blocks[s.idx] != s.hash {
+			return false
+		}
+	}
+	return true
+}
+
+// fpReset clears the footprint scratch for a new live search.
+func (j *journal) fpReset() {
+	if j.fpBits == nil {
+		j.fpBits = make([]uint64, (j.nbx*j.nby+63)/64)
+	}
+	for _, k := range j.fpList {
+		j.fpBits[k>>6] &^= 1 << (uint(k) & 63)
+	}
+	j.fpList = j.fpList[:0]
+}
+
+// fpMark adds the journal blocks covering node (i, jj) grown by two nodes:
+// probed neighbors extend one node beyond popped nodes, and the edge-guard
+// probe reads the cell one further down-left. Tracking the exact popped
+// block set (instead of the popped bbox) is what keeps footprints of long
+// diagonal or L-shaped searches from swallowing the whole lattice.
+func (j *journal) fpMark(i, jj int) {
+	bx0 := clampInt((i-2)/journalBlock, 0, j.nbx-1)
+	bx1 := clampInt((i+2)/journalBlock, 0, j.nbx-1)
+	by0 := clampInt((jj-2)/journalBlock, 0, j.nby-1)
+	by1 := clampInt((jj+2)/journalBlock, 0, j.nby-1)
+	for by := by0; by <= by1; by++ {
+		for bx := bx0; bx <= bx1; bx++ {
+			k := int32(by*j.nbx + bx)
+			if j.fpBits[k>>6]&(1<<(uint(k)&63)) == 0 {
+				j.fpBits[k>>6] |= 1 << (uint(k) & 63)
+				j.fpList = append(j.fpList, k)
+			}
+		}
+	}
+}
+
+// fpSnapshot freezes the footprint scratch into a snapshot.
+func (j *journal) fpSnapshot() []blockSnap {
+	snap := make([]blockSnap, len(j.fpList))
+	for n, k := range j.fpList {
+		snap[n] = blockSnap{idx: k, hash: j.blocks[k]}
+	}
+	return snap
+}
+
+// hasher accumulates the 128-bit memo key as two independent mixes of the
+// same word stream (FNV-style and splitmix-style), so a silent collision
+// needs both 64-bit hashes to collide at once.
+type hasher struct{ a, b uint64 }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func newHasher() hasher { return hasher{a: fnvOffset, b: 0x9e3779b97f4a7c15} }
+
+func (h *hasher) word(v uint64) {
+	h.a = (h.a ^ v) * fnvPrime
+	h.b += v + 0x9e3779b97f4a7c15
+	h.b = (h.b ^ (h.b >> 31)) * 0xbf58476d1ce4e5b9
+	h.b ^= h.b >> 27
+}
+
+func (h *hasher) int64(v int64) { h.word(uint64(v)) }
+
+func (h *hasher) point(p geom.Point) { h.int64(p.X); h.int64(p.Y) }
+
+func (h *hasher) key() memoKey { return memoKey{h.a, h.b} }
+
+// opHash folds one occupancy mutation into a single 64-bit journal word.
+func opHash(words ...uint64) uint64 {
+	h := uint64(fnvOffset)
+	for _, w := range words {
+		h = (h ^ w) * fnvPrime
+	}
+	// splitmix finalizer: journal blocks combine op hashes with xor/multiply,
+	// so each op hash must already be well distributed.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	return h
+}
+
+// journalBlock is the block side length in lattice nodes. Smaller blocks
+// localize edits better (fewer false misses); the journal itself is tiny
+// either way.
+const journalBlock = 8
+
+// hardOwnerKey stands in for hard (netless) claims in op hashes.
+const hardOwnerKey = 0x8c97d7a0f5e1b3d9
+
+// journal tracks which regions of the lattice's occupancy state each
+// mutation may have written, at block granularity, for memo key footprints.
+type journal struct {
+	memo     *Memo
+	nbx, nby int
+	blocks   []uint64
+	netKeys  []uint64
+	margin   int // node margin dominating every write's reach beyond its bbox
+
+	// Footprint scratch for the one live search in flight (Route calls are
+	// sequential within a run): the set of blocks its pops touched.
+	fpBits []uint64
+	fpList []int32
+}
+
+// AttachMemo enables search memoization on this lattice. It must be called
+// right after construction (and after any SetTracer), before commits beyond
+// the static design shapes: the static shapes New pre-blocked are folded
+// into the journal here, in New's order, so two lattices over equal designs
+// start from equal block hashes. A nil memo detaches.
+func (la *Lattice) AttachMemo(m *Memo) {
+	if m == nil {
+		la.j = nil
+		return
+	}
+	j := &journal{memo: m}
+	j.nbx = (la.NX + journalBlock - 1) / journalBlock
+	j.nby = (la.NY + journalBlock - 1) / journalBlock
+	j.blocks = make([]uint64, j.nbx*j.nby)
+
+	// Margin: markDisk writes reach its bbox grown by the clearance radius;
+	// edge marking reaches the item poly's bbox (itself up to wire/via half
+	// widths beyond the op bbox) grown by spacing+wireWidth/2, plus one node
+	// of windowing slop on each side. One generous bound covers all ops.
+	r := la.D.Rules
+	reach := math.Max(math.Max(la.rWireWire, la.rWireVia), math.Max(la.rViaVia, math.Max(la.rShapeW, la.rShapeV)))
+	reach += float64(r.Spacing + r.WireWidth + r.ViaWidth)
+	j.margin = int(math.Ceil(reach/float64(la.Pitch))) + 3
+
+	d := la.D
+	idCount := make(map[int]int, len(d.Nets))
+	for _, n := range d.Nets {
+		idCount[n.ID]++
+	}
+	j.netKeys = make([]uint64, len(d.Nets))
+	for ni, n := range d.Nets {
+		if idCount[n.ID] == 1 {
+			// Stable identity: a pad move must not change the net's key, or
+			// every block its committed path touches goes stale spuriously.
+			j.netKeys[ni] = opHash(0xa0, uint64(int64(n.ID)))
+			continue
+		}
+		h := newHasher()
+		h.int64(int64(n.ID))
+		for _, ref := range []design.PadRef{n.P1, n.P2} {
+			h.int64(int64(ref.Kind))
+			h.point(d.PadCenter(ref))
+			h.int64(padSize(d, ref))
+		}
+		j.netKeys[ni] = opHash(0xb0, h.a, h.b)
+	}
+	la.j = j
+
+	// Replay the static pre-blocking of New into the journal, in the same
+	// order, with the same owners (canonicalized).
+	for _, o := range d.Obstacles {
+		j.note(la, o.Box, opHash(1, uint64(o.Layer), rectWords(o.Box), hardOwnerKey))
+	}
+	ioOwner, bumpOwner := la.padOwnerKeys()
+	for pi, p := range d.IOPads {
+		j.note(la, p.Box(), opHash(2, rectWords(p.Box()), ioOwner[pi]))
+	}
+	for pi, p := range d.BumpPads {
+		bb := p.Oct().BBox()
+		j.note(la, bb, opHash(3, rectWords(bb), bumpOwner[pi]))
+	}
+	for _, v := range d.FixedVias {
+		owner := uint64(hardOwnerKey)
+		if v.Net >= 0 {
+			owner = j.ownerKey(v.Net)
+		}
+		j.note(la, geom.RectOf(v.Center, v.Center),
+			opHash(4, uint64(v.Slab), uint64(v.Center.X), uint64(v.Center.Y), owner))
+	}
+}
+
+// Memo returns the attached memo, or nil.
+func (la *Lattice) Memo() *Memo {
+	if la.j == nil {
+		return nil
+	}
+	return la.j.memo
+}
+
+// padOwnerKeys computes the canonical owner key of every pad: the owning
+// net's key, or hardOwnerKey for unreferenced pads (mirrors New's owners).
+func (la *Lattice) padOwnerKeys() (io, bump []uint64) {
+	d := la.D
+	io = make([]uint64, len(d.IOPads))
+	bump = make([]uint64, len(d.BumpPads))
+	for i := range io {
+		io[i] = hardOwnerKey
+	}
+	for i := range bump {
+		bump[i] = hardOwnerKey
+	}
+	for ni, n := range d.Nets {
+		key := la.j.netKeys[ni]
+		for _, ref := range []design.PadRef{n.P1, n.P2} {
+			if ref.Kind == design.IOKind {
+				io[ref.Index] = key
+			} else {
+				bump[ref.Index] = key
+			}
+		}
+	}
+	return io, bump
+}
+
+// padSize is the pad's characteristic dimension, part of its canonical
+// identity (two pads can never share a center in a valid design, but the
+// size guards the key against degenerate inputs).
+func padSize(d *design.Design, ref design.PadRef) int64 {
+	if ref.Kind == design.IOKind {
+		return d.IOPads[ref.Index].HalfW
+	}
+	return d.BumpPads[ref.Index].W
+}
+
+// rectWords folds a rectangle into one journal word.
+func rectWords(r geom.Rect) uint64 {
+	return opHash(uint64(r.X0), uint64(r.Y0), uint64(r.X1), uint64(r.Y1))
+}
+
+// ownerKey maps a net index to its canonical key (guarded for safety).
+func (j *journal) ownerKey(net int) uint64 {
+	if net >= 0 && net < len(j.netKeys) {
+		return j.netKeys[net]
+	}
+	return opHash(0xfeed, uint64(int64(net)))
+}
+
+// note mixes one mutation's hash into every journal block its writes can
+// touch: the bbox in node space grown by the conservative margin.
+func (j *journal) note(la *Lattice, bbox geom.Rect, h uint64) {
+	p := la.Pitch
+	i0 := int(floorDiv(bbox.X0-la.X0, p)) - j.margin
+	i1 := int(ceilDiv(bbox.X1-la.X0, p)) + j.margin
+	k0 := int(floorDiv(bbox.Y0-la.Y0, p)) - j.margin
+	k1 := int(ceilDiv(bbox.Y1-la.Y0, p)) + j.margin
+	j.mixBlocks(la, i0, k0, i1, k1, h)
+}
+
+func (j *journal) mixBlocks(la *Lattice, i0, j0, i1, j1 int, h uint64) {
+	bx0 := clampInt(i0/journalBlock, 0, j.nbx-1)
+	bx1 := clampInt(i1/journalBlock, 0, j.nbx-1)
+	by0 := clampInt(j0/journalBlock, 0, j.nby-1)
+	by1 := clampInt(j1/journalBlock, 0, j.nby-1)
+	for by := by0; by <= by1; by++ {
+		for bx := bx0; bx <= bx1; bx++ {
+			j.blocks[by*j.nbx+bx] += h
+		}
+	}
+}
+
+// noteWire journals a committed wire segment. Merged collinear segments
+// can span the die, so unlike point ops the hash is computed per block,
+// over the sub-segment clipped to the block's reach window (the block's
+// node range grown by the journal margin): every disk or edge write that
+// can land on a block's nodes originates within reach of them, and the
+// margin dominates reach, so the effect of the op on a block is a function
+// of that clipped sub-segment alone. Blocks whose window the segment
+// misses are skipped entirely — a long diagonal no longer dirties its
+// whole bounding box, and moving one endpoint of a long wire only touches
+// the blocks near that endpoint.
+func (la *Lattice) noteWire(layer int, seg geom.Segment, net int) {
+	if la.j == nil {
+		return
+	}
+	la.j.noteSeg(la, layer, seg, la.j.ownerKey(net))
+}
+
+func (j *journal) noteSeg(la *Lattice, layer int, seg geom.Segment, owner uint64) {
+	dx, dy := seg.B.X-seg.A.X, seg.B.Y-seg.A.Y
+	if !(dx == 0 || dy == 0 || dx == dy || dx == -dy) {
+		// Non-octilinear segments have no exact integer clip; fall back to
+		// one whole-op hash over the full reach (the pre-clipping scheme).
+		j.note(la, seg.BBox(), opHash(5, uint64(layer),
+			uint64(seg.A.X), uint64(seg.A.Y), uint64(seg.B.X), uint64(seg.B.Y), owner))
+		return
+	}
+	bbox := seg.BBox()
+	p := la.Pitch
+	i0 := int(floorDiv(bbox.X0-la.X0, p)) - j.margin
+	i1 := int(ceilDiv(bbox.X1-la.X0, p)) + j.margin
+	k0 := int(floorDiv(bbox.Y0-la.Y0, p)) - j.margin
+	k1 := int(ceilDiv(bbox.Y1-la.Y0, p)) + j.margin
+	bx0 := clampInt(i0/journalBlock, 0, j.nbx-1)
+	bx1 := clampInt(i1/journalBlock, 0, j.nbx-1)
+	by0 := clampInt(k0/journalBlock, 0, j.nby-1)
+	by1 := clampInt(k1/journalBlock, 0, j.nby-1)
+	m := int64(j.margin) * p
+	for by := by0; by <= by1; by++ {
+		wy0 := la.Y0 + int64(by*journalBlock)*p - m
+		wy1 := la.Y0 + int64(by*journalBlock+journalBlock-1)*p + m
+		for bx := bx0; bx <= bx1; bx++ {
+			wx0 := la.X0 + int64(bx*journalBlock)*p - m
+			wx1 := la.X0 + int64(bx*journalBlock+journalBlock-1)*p + m
+			cs, ok := clipSegOct(seg, wx0, wy0, wx1, wy1)
+			if !ok {
+				continue
+			}
+			j.blocks[by*j.nbx+bx] += opHash(5, uint64(layer),
+				uint64(cs.A.X), uint64(cs.A.Y), uint64(cs.B.X), uint64(cs.B.Y), owner)
+		}
+	}
+}
+
+// clipSegOct clips an octilinear segment to the closed window, exactly in
+// integer coordinates: each active axis of an H/V/45° segment advances one
+// DBU per parameter step, so the window's half-plane bounds translate to
+// integer parameter bounds. ok is false when the intersection is empty.
+func clipSegOct(seg geom.Segment, x0, y0, x1, y1 int64) (geom.Segment, bool) {
+	a, b := seg.A, seg.B
+	dx, dy := b.X-a.X, b.Y-a.Y
+	length := dx
+	if length < 0 {
+		length = -length
+	}
+	if dy > length {
+		length = dy
+	}
+	if -dy > length {
+		length = -dy
+	}
+	tlo, thi := int64(0), length
+	clip := func(d, lo, hi, start int64) bool {
+		switch {
+		case d > 0:
+			tlo = geom.Max64(tlo, lo-start)
+			thi = geom.Min64(thi, hi-start)
+		case d < 0:
+			tlo = geom.Max64(tlo, start-hi)
+			thi = geom.Min64(thi, start-lo)
+		default:
+			if start < lo || start > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if !clip(dx, x0, x1, a.X) || !clip(dy, y0, y1, a.Y) || tlo > thi {
+		return geom.Segment{}, false
+	}
+	at := func(t int64) geom.Point {
+		pt := a
+		if dx > 0 {
+			pt.X += t
+		} else if dx < 0 {
+			pt.X -= t
+		}
+		if dy > 0 {
+			pt.Y += t
+		} else if dy < 0 {
+			pt.Y -= t
+		}
+		return pt
+	}
+	return geom.Segment{A: at(tlo), B: at(thi)}, true
+}
+
+// noteVia journals a committed via.
+func (la *Lattice) noteVia(s int, p geom.Point, net int) {
+	if la.j == nil {
+		return
+	}
+	la.j.note(la, geom.RectOf(p, p),
+		opHash(6, uint64(s), uint64(p.X), uint64(p.Y), la.j.ownerKey(net)))
+}
+
+// noteRect journals a post-construction BlockRect.
+func (la *Lattice) noteRect(layer int, box geom.Rect, net int) {
+	if la.j == nil {
+		return
+	}
+	owner := uint64(hardOwnerKey)
+	if net >= 0 {
+		owner = la.j.ownerKey(net)
+	}
+	la.j.note(la, box, opHash(7, uint64(layer), rectWords(box), owner))
+}
+
+// memoKeyFor hashes the request-determined part of a Route call: the
+// occupancy the search reads is proven separately by the entry's block
+// snapshot. The search window is implied by From/To/MaxCost/lattice dims,
+// all hashed.
+func (la *Lattice) memoKeyFor(req *Request) memoKey {
+	j := la.j
+	h := newHasher()
+	// Lattice identity: equal designs at equal pitch agree; anything else
+	// must not alias.
+	h.int64(int64(la.NX)<<32 | int64(la.NY))
+	h.int64(int64(la.Layers))
+	h.int64(la.Pitch)
+	h.int64(la.X0)
+	h.int64(la.Y0)
+	// Request.
+	h.word(j.ownerKey(req.Net))
+	h.point(req.From)
+	h.point(req.To)
+	h.int64(int64(req.FromLayer)<<32 | int64(req.ToLayer))
+	h.word(math.Float64bits(req.ViaCost))
+	h.word(math.Float64bits(req.MaxCost))
+	if req.IgnoreForeign {
+		h.word(0x1f)
+	} else {
+		h.word(0x2e)
+	}
+	if req.LayerMask == nil {
+		h.word(^uint64(0))
+	} else {
+		var bits uint64 = 1 << 63
+		for l, ok := range req.LayerMask {
+			if ok && l < 63 {
+				bits |= 1 << uint(l)
+			}
+		}
+		h.word(bits)
+	}
+	if req.RegionMask == nil {
+		h.word(0)
+	} else {
+		req.RegionMask.hashInto(&h)
+	}
+	return h.key()
+}
+
+// hashInto folds the mask's dimensions and full bit contents into the key.
+func (m *RegionMask) hashInto(h *hasher) {
+	h.word(1)
+	h.int64(int64(m.nx)<<32 | int64(m.ny))
+	h.int64(int64(m.layers))
+	h.int64(m.x0)
+	h.int64(m.y0)
+	h.int64(m.pitch)
+	for _, w := range m.bits {
+		h.word(w)
+	}
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

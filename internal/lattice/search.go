@@ -276,6 +276,46 @@ func (la *Lattice) Route(req Request) (path []PathStep, cost float64, ok bool) {
 	// lattice on hard or unroutable nets.
 	wi0, wj0, wi1, wj1 := la.SearchWindow(req.From, req.To, req.MaxCost)
 
+	// Memo consult: with a journal attached and a hashable request (the
+	// Region closure is opaque, so such requests always search live), a
+	// recorded entry whose request key matches and whose block snapshot
+	// still holds proves the search would be re-derived bit for bit —
+	// serve it, replaying the recorded effort so tracer streams match a
+	// cold run. Recording skips context-cancelled searches: their outcome
+	// reflects the deadline, not the lattice.
+	memoOK := la.j != nil && req.Region == nil
+	var mkey memoKey
+	if memoOK {
+		mkey = la.memoKeyFor(&req)
+		if e, hit := la.j.memo.lookup(mkey, la.j); hit {
+			la.recordSearch(&req, e.expanded, e.visited, e.ok)
+			if !e.ok {
+				return nil, 0, false
+			}
+			p := make([]PathStep, len(e.path))
+			copy(p, e.path)
+			return p, e.cost, true
+		}
+	}
+	// Footprint of the live search: the block set of popped nodes (plus the
+	// start probe), each grown by the two-node read reach fpMark applies.
+	if memoOK {
+		la.j.fpReset()
+		la.j.fpMark(fi, fj)
+	}
+	memoStore := func(ok bool, cost float64, path []PathStep, expanded, visited int) {
+		if !memoOK {
+			return
+		}
+		e := &memoEntry{ok: ok, cost: cost, expanded: expanded, visited: visited,
+			snap: la.j.fpSnapshot()}
+		if len(path) > 0 {
+			e.path = make([]PathStep, len(path))
+			copy(e.path, path)
+		}
+		la.j.memo.store(mkey, e)
+	}
+
 	wireOK := func(l, i, j int) bool {
 		if req.IgnoreForeign {
 			return la.wireOcc[l*la.NX*la.NY+la.idx(i, j)] != hard
@@ -316,6 +356,7 @@ func (la *Lattice) Route(req Request) (path []PathStep, cost float64, ok bool) {
 	start := la.stateID(req.FromLayer, fi, fj, noDir)
 	if !wireOK(req.FromLayer, fi, fj) {
 		la.recordSearch(&req, 0, 0, false)
+		memoStore(false, 0, nil, 0, 0)
 		return nil, 0, false
 	}
 	relax(start, 0, -1, h(fi, fj, req.FromLayer))
@@ -333,12 +374,18 @@ func (la *Lattice) Route(req Request) (path []PathStep, cost float64, ok bool) {
 		}
 		if f > req.MaxCost {
 			la.recordSearch(&req, expanded, visited, false)
+			memoStore(false, 0, nil, expanded, visited)
 			return nil, 0, false
 		}
 		l, i, j, dir := la.unpack(s)
+		if memoOK {
+			la.j.fpMark(i, j)
+		}
 		if l == req.ToLayer && la.idx(i, j) == goalNode {
 			la.recordSearch(&req, expanded, visited, true)
-			return la.rebuild(ss, s), ss.dist[s], true
+			path := la.rebuild(ss, s)
+			memoStore(true, ss.dist[s], path, expanded, visited)
+			return path, ss.dist[s], true
 		}
 		d := ss.dist[s]
 		// Wire moves.
@@ -401,6 +448,7 @@ func (la *Lattice) Route(req Request) (path []PathStep, cost float64, ok bool) {
 		}
 	}
 	la.recordSearch(&req, expanded, visited, false)
+	memoStore(false, 0, nil, expanded, visited)
 	return nil, 0, false
 }
 

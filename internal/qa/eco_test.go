@@ -1,0 +1,135 @@
+package qa
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"rdlroute/internal/codec"
+	"rdlroute/internal/design"
+	"rdlroute/internal/eco"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/router"
+)
+
+// randomDelta draws one valid ECO edit against d: a pad move of one or
+// two grid steps, a net removal, a remove-and-readd of a net under a
+// fresh ID (exercising the add path), or an obstacle removal. Draws
+// retry until eco.Apply accepts the edit.
+func randomDelta(t *testing.T, d *design.Design, rng *rand.Rand) *eco.Delta {
+	t.Helper()
+	dirs := []geom.Point{geom.Pt(1, 0), geom.Pt(-1, 0), geom.Pt(0, 1), geom.Pt(0, -1)}
+	maxID := 0
+	for _, n := range d.Nets {
+		if n.ID > maxID {
+			maxID = n.ID
+		}
+	}
+	for attempt := 0; attempt < 100; attempt++ {
+		dl := &eco.Delta{}
+		switch k := rng.Intn(4); {
+		case k == 0:
+			n := d.Nets[rng.Intn(len(d.Nets))]
+			ref := n.P1
+			if rng.Intn(2) == 1 {
+				ref = n.P2
+			}
+			step := design.Grid * int64(1+rng.Intn(2))
+			to := d.PadCenter(ref).Add(dirs[rng.Intn(len(dirs))].Scale(step))
+			if ref.Kind == design.IOKind {
+				dl.MoveIOPads = []eco.MovePad{{Index: ref.Index, To: to}}
+			} else {
+				dl.MoveBumpPads = []eco.MovePad{{Index: ref.Index, To: to}}
+			}
+		case k == 1:
+			dl.RemoveNets = []int{rng.Intn(len(d.Nets))}
+		case k == 2:
+			i := rng.Intn(len(d.Nets))
+			n := d.Nets[i]
+			dl.RemoveNets = []int{i}
+			dl.AddNets = []design.Net{{ID: maxID + 1, P1: n.P1, P2: n.P2}}
+		case len(d.Obstacles) > 0:
+			dl.RemoveObstacles = []int{rng.Intn(len(d.Obstacles))}
+		default:
+			continue
+		}
+		if _, err := eco.Apply(d, dl); err == nil {
+			return dl
+		}
+	}
+	t.Fatalf("no valid random delta found for %s after 100 draws", d.Name)
+	return nil
+}
+
+// ecoSweepSize mirrors sweepSize's tiering for the ECO gate: each seed
+// costs three routing runs (base, incremental, cold verification).
+func ecoSweepSize() int {
+	n := 8
+	if testing.Short() {
+		n = 3
+	}
+	if raceEnabled && n > 3 {
+		n = 3
+	}
+	return n
+}
+
+// TestECOIncrementalEqualsCold is the incremental-rerouting acceptance
+// gate: for seeded random designs and random deltas, rerouting through
+// the base plan's memo must be byte-identical to cold-routing the edited
+// design — same occupancy fingerprint and identical canonical result
+// encoding (runtime excluded). Worker counts alternate between 1 and 2
+// across seeds, and the cold verification always runs sequentially, so
+// the identity also spans the parallel-stage scheduling.
+func TestECOIncrementalEqualsCold(t *testing.T) {
+	n := ecoSweepSize()
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		seed := int64(9100 + i)
+		d := Generate(seed)
+		workers := 1 + i%2
+
+		opts := router.DefaultOptions()
+		opts.Workers = workers
+		base, err := eco.Route(ctx, d, opts)
+		if err != nil {
+			t.Fatalf("seed %d: base route: %v", seed, err)
+		}
+		rng := rand.New(rand.NewSource(seed*31 + int64(workers)))
+		dl := randomDelta(t, d, rng)
+		inc, err := base.Reroute(ctx, dl, opts)
+		if err != nil {
+			t.Fatalf("seed %d: incremental reroute: %v", seed, err)
+		}
+
+		coldOpts := router.DefaultOptions()
+		coldOpts.Workers = 1
+		coldRes, coldFP, err := router.RouteFingerprint(ctx, inc.Design, coldOpts)
+		if err != nil {
+			t.Fatalf("seed %d: cold route: %v", seed, err)
+		}
+		if inc.Fingerprint != coldFP {
+			t.Errorf("seed %d workers %d: fingerprint diverges: incremental %x, cold %x (delta %+v)",
+				seed, workers, inc.Fingerprint, coldFP, dl)
+			continue
+		}
+		ib := encodeResultNoRuntime(t, inc.Result)
+		cb := encodeResultNoRuntime(t, coldRes)
+		if !bytes.Equal(ib, cb) {
+			t.Errorf("seed %d workers %d: result encoding diverges despite equal fingerprints (delta %+v)",
+				seed, workers, dl)
+		}
+	}
+}
+
+func encodeResultNoRuntime(t *testing.T, res *router.Result) []byte {
+	t.Helper()
+	r := *res
+	r.Runtime = 0
+	var buf bytes.Buffer
+	if err := codec.EncodeResult(&buf, &r); err != nil {
+		t.Fatalf("encode result: %v", err)
+	}
+	return buf.Bytes()
+}

@@ -66,6 +66,19 @@ type Options struct {
 	// to an untraced run. The qa harness enforces this
 	// (TestMetricsBridgeDeterminism) alongside the worker matrix.
 	Tracer obs.Tracer
+
+	// SearchMemo, when non-nil, records this run's A* searches and serves
+	// provably-unchanged ones from a previous run's recordings (see
+	// internal/lattice memo.go). Like Tracer it cannot change results —
+	// a memo hit is only taken when the identical search would be
+	// re-derived — so routes stay byte-identical to an un-memoized run;
+	// it is not part of the wire format and never serialized.
+	SearchMemo *lattice.Memo
+
+	// CorridorMemo is SearchMemo's counterpart for the stage-4 tile-graph
+	// corridor searches (see internal/ctile memo.go). Same contract:
+	// strictly observational, never serialized.
+	CorridorMemo *ctile.CorridorMemo
 }
 
 // NetOrder is a sequential-stage net ordering strategy.
@@ -175,6 +188,7 @@ func route(ctx context.Context, d *design.Design, opts Options) (*Result, *latti
 		return nil, nil, err
 	}
 	la.SetTracer(tr)
+	la.AttachMemo(opts.SearchMemo)
 	lay := layout.New(d)
 	res := &Result{Layout: lay, TotalNets: len(d.Nets)}
 
@@ -212,6 +226,7 @@ func route(ctx context.Context, d *design.Design, opts Options) (*Result, *latti
 	// Stage 3: Routing graph construction (octagonal tiles, via insertion).
 	end = obs.Stage(tr, "graph")
 	model := ctile.NewModel(d, opts.GlobalCells)
+	model.AttachMemo(opts.CorridorMemo)
 	seedModel(model, lay)
 	// Warm every (layer, cell) tile decomposition on the worker pool. The
 	// per-cell builds are pure functions of the seeded blockers, and the
@@ -314,9 +329,20 @@ func concurrentRoute(ctx context.Context, d *design.Design, a *fanout.Analysis, 
 			return routed, fmt.Errorf("router: %w", err)
 		}
 		// Route inner (short-span) chords first so nested nets claim the
-		// tracks nearest their pads.
+		// tracks nearest their pads. Ties break on stable net identity so
+		// that editing one net's pads cannot reshuffle the commit order of
+		// unrelated equal-span nets (incremental reroutes depend on
+		// unchanged nets keeping their relative order).
 		sort.Slice(picked, func(i, j int) bool {
-			return chordSpan(chords, picked[i]) < chordSpan(chords, picked[j])
+			si, sj := chordSpan(chords, picked[i]), chordSpan(chords, picked[j])
+			if si != sj {
+				return si < sj
+			}
+			idi, idj := d.Nets[chords[picked[i]].Tag].ID, d.Nets[chords[picked[j]].Tag].ID
+			if idi != idj {
+				return idi < idj
+			}
+			return chords[picked[i]].Tag < chords[picked[j]].Tag
 		})
 		// Commit the picked nets in order, prebuilding their region masks on
 		// the worker pool in bounded batches ahead of the commit loop. Each
@@ -490,9 +516,25 @@ func sequentialRoute(ctx context.Context, d *design.Design, model *ctile.Model, 
 		p1, p2 := d.PadCenter(nn.P1), d.PadCenter(nn.P2)
 		jobs = append(jobs, job{net: ni, direct: geom.OctDist(p1, p2), bbox: geom.RectOf(p1, p2)})
 	}
+	// Sort ties break on stable net identity (ID, then index): a pad edit
+	// changes one net's sort key, and without a total order the unstable
+	// sort could reshuffle equal-keyed nets, cascading order changes into
+	// every downstream commit — fatal for incremental (memoized) reroutes.
+	idLess := func(i, j int) bool {
+		idi, idj := d.Nets[jobs[i].net].ID, d.Nets[jobs[j].net].ID
+		if idi != idj {
+			return idi < idj
+		}
+		return jobs[i].net < jobs[j].net
+	}
 	switch opts.NetOrder {
 	case OrderLongest:
-		sort.Slice(jobs, func(i, j int) bool { return jobs[i].direct > jobs[j].direct })
+		sort.Slice(jobs, func(i, j int) bool {
+			if jobs[i].direct != jobs[j].direct {
+				return jobs[i].direct > jobs[j].direct
+			}
+			return idLess(i, j)
+		})
 	case OrderCongested:
 		// Each net counts its bbox overlaps against every other net — the
 		// same totals the pairwise double-increment formulation produces,
@@ -508,9 +550,19 @@ func sequentialRoute(ctx context.Context, d *design.Design, model *ctile.Model, 
 		}); err != nil {
 			return fmt.Errorf("router: %w", err)
 		}
-		sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].overlap > jobs[j].overlap })
+		sort.Slice(jobs, func(i, j int) bool {
+			if jobs[i].overlap != jobs[j].overlap {
+				return jobs[i].overlap > jobs[j].overlap
+			}
+			return idLess(i, j)
+		})
 	default:
-		sort.Slice(jobs, func(i, j int) bool { return jobs[i].direct < jobs[j].direct })
+		sort.Slice(jobs, func(i, j int) bool {
+			if jobs[i].direct != jobs[j].direct {
+				return jobs[i].direct < jobs[j].direct
+			}
+			return idLess(i, j)
+		})
 	}
 
 	viaCost := opts.ViaCost
@@ -602,15 +654,25 @@ func terminal(d *design.Design, r design.PadRef) (geom.Point, int) {
 	return d.BumpPads[r.Index].Center, d.WireLayers - 1
 }
 
-// corridorMask rasterizes a tile path into a per-layer lattice bitmap,
-// each tile grown so the wire centerline has room near tile borders.
-// Rasterizing once per net replaces the seed's per-probe closure that
-// linearly scanned every corridor octagon for every A* neighbor — the
-// sequential stage's hot path.
+// corridorMask rasterizes a tile path into a per-layer lattice bitmap at
+// cell granularity: each corridor tile admits its whole grid cell, grown so
+// the wire centerline has room near cell borders. Rasterizing once per net
+// replaces the seed's per-probe closure that linearly scanned every
+// corridor octagon for every A* neighbor — the sequential stage's hot path.
+//
+// Masking over the fixed cell geometry instead of the exact tile octagons
+// keeps the mask — and with it the masked search's result — insensitive to
+// within-cell tile re-partitioning: an edit that shifts an unrelated
+// clearance band inside a crossed cell no longer changes this net's search
+// region unless the corridor's cell sequence itself changes. Without this,
+// a one-pad ECO edit cascades tile-shape noise into the masks (and thus
+// the equal-cost path choices) of most nets routed after it. The mask is
+// still a corridor — the union of the global route's crossed cells — per
+// the paper's restriction of detailed routing to the global region.
 func corridorMask(la *lattice.Lattice, model *ctile.Model, corridor []ctile.TileRef, pitch int64) *lattice.RegionMask {
 	m := la.NewRegionMask()
 	for _, ref := range corridor {
-		m.AllowOct(ref.Layer, model.Region(ref).Grow(3*pitch))
+		m.AllowRect(ref.Layer, model.CellBox(ref.Cell).Expand(3*pitch))
 	}
 	return m
 }

@@ -29,6 +29,10 @@ type FlightRecord struct {
 	// configuration at a glance.
 	OptionsFP string `json:"options_fingerprint,omitempty"`
 	Workers   int    `json:"workers,omitempty"`
+	// Cache is the result-cache outcome of the run: "hit" (answered from
+	// the content-addressed cache), "miss" (routed, then inserted), or
+	// empty (caching disabled, or the job never reached a worker).
+	Cache string `json:"cache,omitempty"`
 
 	Created  time.Time `json:"created"`
 	Finished time.Time `json:"finished"`

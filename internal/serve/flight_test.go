@@ -62,7 +62,9 @@ func tracedRoute(ctx context.Context, d *design.Design, opts router.Options) (*r
 // /v1/debug/jobs/{id} with outcome, timings, options fingerprint and the
 // per-job obs snapshot.
 func TestFlightEndpoints(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 4, FlightSize: 2, Route: tracedRoute})
+	// CacheEntries -1: identical resubmissions must route (and trace) for
+	// real here; cache-hit flight tagging has its own tests in cache_test.go.
+	s := New(Config{Workers: 1, QueueDepth: 4, FlightSize: 2, Route: tracedRoute, CacheEntries: -1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	d := dense1(t)

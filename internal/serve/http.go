@@ -12,6 +12,7 @@ import (
 
 	"rdlroute/internal/codec"
 	"rdlroute/internal/design"
+	"rdlroute/internal/eco"
 	"rdlroute/internal/metrics"
 	"rdlroute/internal/router"
 )
@@ -19,13 +20,18 @@ import (
 // JobSchema is the schema identifier of job submissions.
 const JobSchema = "rdl-job/v1"
 
-// jobRequest is the POST /v1/jobs body. Exactly one of Benchmark or
-// Design selects the circuit; Design and Options are nested codec
-// documents carrying their own schema fields.
+// jobRequest is the POST /v1/jobs body. Exactly one of Benchmark, Design
+// or Delta selects the circuit; Design, Delta and Options are nested
+// codec documents carrying their own schema fields. A Delta request
+// routes the edited design produced by applying the delta to the base
+// design its "base" hash names — the base must be resident in the
+// server's result cache (route it first), and when the cached run
+// recorded a search memo the job reroutes incrementally.
 type jobRequest struct {
 	Schema    string          `json:"schema"`
 	Benchmark string          `json:"benchmark,omitempty"` // "dense1".."dense5"
 	Design    json.RawMessage `json:"design,omitempty"`    // rdl-design/v1 document
+	Delta     json.RawMessage `json:"delta,omitempty"`     // rdl-design-delta/v1 document
 	Options   json.RawMessage `json:"options,omitempty"`   // rdl-options/v1 document
 	TimeoutMS int             `json:"timeout_ms,omitempty"`
 }
@@ -128,11 +134,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var d *design.Design
+	var basePlan *eco.Plan
+	selected := 0
+	for _, set := range []bool{req.Benchmark != "", req.Design != nil, req.Delta != nil} {
+		if set {
+			selected++
+		}
+	}
 	switch {
-	case req.Benchmark != "" && req.Design != nil:
+	case selected > 1:
 		writeError(w, http.StatusBadRequest,
-			errors.New("set exactly one of benchmark and design"))
+			errors.New("set exactly one of benchmark, design and delta"))
 		return
+	case req.Delta != nil:
+		dl, err := codec.DecodeDesignDelta(bytes.NewReader(req.Delta))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if dl.Base == "" {
+			writeError(w, http.StatusBadRequest,
+				errors.New(`delta has no base hash (set "base" to the design's content hash)`))
+			return
+		}
+		base, plan, ok := s.cache.base(dl.Base)
+		if !ok {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("base design %s not in the result cache (route it first, then resubmit the delta)", dl.Base))
+			return
+		}
+		if d, err = eco.Apply(base, dl); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("delta does not apply: %w", err))
+			return
+		}
+		basePlan = plan
 	case req.Benchmark != "":
 		spec, err := design.DenseSpec(req.Benchmark)
 		if err != nil {
@@ -151,7 +186,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	default:
 		writeError(w, http.StatusBadRequest,
-			errors.New("set one of benchmark and design"))
+			errors.New("set one of benchmark, design and delta"))
 		return
 	}
 
@@ -165,7 +200,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
-	j, err := s.Submit(d, opts, timeout, r.Header.Get("Idempotency-Key"))
+	j, err := s.submitJob(d, opts, timeout, r.Header.Get("Idempotency-Key"), basePlan)
 	switch {
 	case errors.Is(err, ErrBusy):
 		w.Header().Set("Retry-After", "1")

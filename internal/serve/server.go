@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"rdlroute/internal/design"
+	"rdlroute/internal/eco"
 	"rdlroute/internal/metrics"
 	"rdlroute/internal/obs"
 	"rdlroute/internal/router"
@@ -49,7 +50,20 @@ type Config struct {
 	// of GOMAXPROCS. Results are identical at every value.
 	RouteWorkers int
 	// Route substitutes the routing function (default router.RouteContext).
+	// Leaving it nil also enables eco search-memo recording on cache
+	// misses, so later delta jobs against the cached result reroute
+	// incrementally; a substituted Route routes every miss from scratch.
 	Route RouteFunc
+
+	// CacheEntries bounds the content-addressed result cache (default 32
+	// entries; negative disables caching). A submission whose canonical
+	// (design, options) encoding matches a cached completed run is
+	// answered from the cache inside the worker — the job and its flight
+	// record still exist, tagged with the cache outcome.
+	CacheEntries int
+	// CacheBytes bounds the cache's retained bytes — encoded results plus
+	// recorded eco memos (default 256 MiB; 0 means the default).
+	CacheBytes int64
 
 	// Registry receives the server's production metrics (job outcome
 	// counters, latency histograms, queue gauges, Go runtime gauges, and
@@ -71,8 +85,11 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 8
 	}
-	if c.Route == nil {
-		c.Route = router.RouteContext
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 32
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
 	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
@@ -135,6 +152,13 @@ type Job struct {
 	// generic failure.
 	timedOut bool
 
+	// cacheOutcome records how the result cache treated this job
+	// ("hit", "miss", or "" when caching is disabled or the job never
+	// ran); basePlan carries the resolved base plan of a delta job, so
+	// the worker reroutes incrementally instead of cold.
+	cacheOutcome string
+	basePlan     *eco.Plan
+
 	trace  *lockedBuffer
 	tracer *obs.JSONL
 	coll   *obs.Collector // per-job bounded collector for the flight record
@@ -196,6 +220,7 @@ type Server struct {
 	collector *obs.Collector
 	met       *serverMetrics
 	flight    *flightRecorder
+	cache     *resultCache
 	log       *slog.Logger
 }
 
@@ -216,9 +241,11 @@ func New(cfg Config) *Server {
 		baseStop:  stop,
 		collector: obs.NewBoundedCollector(64 * 1024),
 		flight:    newFlightRecorder(cfg.FlightSize),
+		cache:     newResultCache(cfg.CacheEntries, cfg.CacheBytes),
 		log:       cfg.Logger,
 	}
 	s.met = newServerMetrics(cfg.Registry, s)
+	registerCacheMetrics(cfg.Registry, s.cache)
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -234,6 +261,18 @@ func (s *Server) Registry() *metrics.Registry { return s.cfg.Registry }
 // existing job on replay instead of enqueueing a duplicate. A full queue
 // returns ErrBusy; a draining server returns ErrDraining.
 func (s *Server) Submit(d *design.Design, opts router.Options, timeout time.Duration, idemKey string) (*Job, error) {
+	return s.submitJob(d, opts, timeout, idemKey, nil)
+}
+
+// SubmitDelta enqueues an incremental job: the edited design (already
+// produced by eco.Apply) rides the normal queue, but the worker reroutes
+// against the base plan's recorded memo instead of routing cold. The
+// result is byte-identical either way; only the latency differs.
+func (s *Server) SubmitDelta(d *design.Design, basePlan *eco.Plan, opts router.Options, timeout time.Duration, idemKey string) (*Job, error) {
+	return s.submitJob(d, opts, timeout, idemKey, basePlan)
+}
+
+func (s *Server) submitJob(d *design.Design, opts router.Options, timeout time.Duration, idemKey string, basePlan *eco.Plan) (*Job, error) {
 	if s.cfg.JobTimeout > 0 && (timeout <= 0 || timeout > s.cfg.JobTimeout) {
 		timeout = s.cfg.JobTimeout
 	}
@@ -264,6 +303,8 @@ func (s *Server) Submit(d *design.Design, opts router.Options, timeout time.Dura
 		Created: time.Now(),
 		done:    make(chan struct{}),
 		trace:   &lockedBuffer{},
+
+		basePlan: basePlan,
 	}
 	j.tracer = obs.NewJSONL(j.trace)
 	j.coll = obs.NewBoundedCollector(jobCollectorBound)
@@ -420,12 +461,50 @@ func (s *Server) run(j *Job) {
 	s.log.Info("job started", "job", j.ID, "design", j.d.Name,
 		"queue_ms", float64(j.Started.Sub(j.Created))/float64(time.Millisecond))
 
-	res, err := s.cfg.Route(ctx, j.d, opts)
+	// Result cache: the content address covers the canonical (design,
+	// options) bytes. The check lives here — not in Submit — so every
+	// accepted submission mints a real job and flight record whatever the
+	// cache says; a hit merely skips the routing work.
+	var res *router.Result
+	var err error
+	var plan *eco.Plan
+	cacheOutcome := ""
+	key := ""
+	if s.cache != nil {
+		key = cacheKey(j.d, j.opts)
+		if cached, ok := s.cache.get(key); ok {
+			res, cacheOutcome = cached, "hit"
+		} else {
+			cacheOutcome = "miss"
+		}
+	}
+	if res == nil {
+		switch {
+		case s.cfg.Route != nil:
+			res, err = s.cfg.Route(ctx, j.d, opts)
+		case j.basePlan != nil:
+			// Incremental: replay the flow against the base plan's memo.
+			// Byte-identical to the cold route by the eco contract.
+			if plan, err = j.basePlan.RerouteDesign(ctx, j.d, opts); plan != nil {
+				res = plan.Result
+			}
+		default:
+			// Cold route, recording a search memo so a future delta job
+			// against this result reroutes incrementally.
+			if plan, err = eco.Route(ctx, j.d, opts); plan != nil {
+				res = plan.Result
+			}
+		}
+		if err == nil {
+			s.cache.put(key, j.d, res, plan)
+		}
+	}
 	j.tracer.Flush()
 
 	s.mu.Lock()
 	j.Result = res
 	j.Err = err
+	j.cacheOutcome = cacheOutcome
 	j.Finished = time.Now()
 	s.running--
 	switch {
@@ -472,6 +551,7 @@ func (s *Server) flightRecordOf(j *Job) FlightRecord {
 		Nets:      len(j.d.Nets),
 		OptionsFP: optionsFingerprint(j.opts),
 		Workers:   j.opts.Workers,
+		Cache:     j.cacheOutcome,
 		Created:   j.Created,
 		Finished:  j.Finished,
 	}

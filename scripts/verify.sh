@@ -39,6 +39,13 @@ echo "== determinism matrix: workers 1/2/8 at GOMAXPROCS=2 (-race) =="
 GOMAXPROCS=2 go test -race -count=1 -run \
   'TestWorkerDeterminism|TestRegressionParallelBatchBoundary|TestCancelMidParallelStage|TestConcurrentEmit' \
   ./internal/qa/ ./internal/router/ ./internal/obs/ ./internal/par/
+echo "== eco gate: incremental reroute == cold route (-race) =="
+# The incremental-rerouting contract: for seeded random designs and
+# random deltas, rerouting through the base plan's recorded memo must be
+# byte-identical to cold-routing the edited design (fingerprint and
+# canonical rdl-result/v1 bytes). Race-capped sweep; the full-size sweep
+# runs race-free in the qa harness below.
+go test -race -count=1 -run 'TestECOIncrementalEqualsCold' ./internal/qa/ ./internal/eco/
 echo "== qa harness: randomized DRC-oracle sweep =="
 # 200 seeded random designs through both routers, full oracle suite
 # (DRC, connectivity, codec round-trip, cancellation, differential and
@@ -48,6 +55,7 @@ go test ./internal/qa -count=1 "$@"
 echo "== fuzz smoke: 10s per native fuzz target =="
 go test ./internal/codec -run '^$' -fuzz '^FuzzDecodeDesign$' -fuzztime 10s
 go test ./internal/codec -run '^$' -fuzz '^FuzzDecodeOptions$' -fuzztime 10s
+go test ./internal/codec -run '^$' -fuzz '^FuzzDecodeDesignDelta$' -fuzztime 10s
 go test ./internal/geom -run '^$' -fuzz '^FuzzOct8Ops$' -fuzztime 10s
 go test ./internal/lp -run '^$' -fuzz '^FuzzSimplex$' -fuzztime 10s
 echo "== go test -race $* ./... =="
