@@ -70,6 +70,7 @@ func run() int {
 		ecoEdits = flag.Int("eco-edits", 3, "independent single-net edits per circuit for -eco")
 		quick    = flag.Bool("quick", false, "restrict circuit sweeps to dense1..dense3")
 		workers  = flag.Int("workers", 0, "worker-pool bound inside each routing run (0 = GOMAXPROCS, 1 = sequential); results are identical at every value")
+		specul   = flag.Bool("speculative", false, "speculative stage-4 scheduler for our flow's runs (byte-identical results; -scaling keeps its first worker count on the sequential loop as the identity baseline)")
 		parallel = flag.Int("parallel", 1, "route up to this many circuits concurrently across the batch (0 = GOMAXPROCS); interleaves per-run timings and any -trace stream")
 		timeout  = flag.Duration("timeout", 0, `per-circuit routing deadline for the Table-I sweep; timed-out circuits are reported with status "timeout" (0 = none)`)
 		jsonOut  = flag.String("json", "", "also write every result as a JSON report to this file (see EXPERIMENTS.md)")
@@ -132,6 +133,7 @@ func run() int {
 	bench.Tracer = obs.Multi(sinks...)
 	bench.Timeout = *timeout
 	bench.Workers = *workers
+	bench.Speculative = *specul
 	bench.Parallel = *parallel
 
 	rep := &bench.Report{Circuits: names}

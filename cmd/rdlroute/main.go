@@ -54,6 +54,7 @@ func run() int {
 		heat      = flag.Bool("congest", false, "print per-layer congestion heatmaps")
 		ripup     = flag.Int("ripup", 0, "rip-up-and-reroute rounds (extension beyond the paper; 0 = off)")
 		workers   = flag.Int("workers", 0, "worker-pool bound for the flow's parallel stages (0 = GOMAXPROCS, 1 = sequential); the routed result is identical at every value")
+		specul    = flag.Bool("speculative", false, "speculative stage-4 scheduler: route sequential-stage nets concurrently, commit only proof-identical results (byte-identical output either way)")
 		deltaIn   = flag.String("delta", "", `ECO delta file (rdl-design-delta/v1 JSON): route the base design recording a search memo, apply the delta, reroute incrementally (flow "ours" only)`)
 		hashOnly  = flag.Bool("hash", false, "print the design's content hash (sha256 of the canonical rdl-design/v1 bytes, the delta \"base\" field) and exit")
 
@@ -170,6 +171,7 @@ func run() int {
 		opts.GlobalCells = *cells
 		opts.RipUpRounds = *ripup
 		opts.Workers = *workers
+		opts.Speculative = *specul
 		opts.Tracer = tracer
 		var res *rdlroute.Result
 		if *deltaIn != "" {

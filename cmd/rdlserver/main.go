@@ -63,6 +63,7 @@ func run() int {
 		queue      = flag.Int("queue", 8, "job queue depth (excess submissions get 429)")
 		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-job routing deadline (0 = none)")
 		routeW     = flag.Int("route-workers", 1, "default Options.Workers for jobs that submit 0: the per-job worker-pool bound inside the flow (results identical at every value)")
+		routeSpec  = flag.Bool("route-speculative", false, "run every job's stage 4 through the speculative scheduler (byte-identical results, so cache keys are unaffected)")
 		drain      = flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
 		flight     = flag.Int("flight", 64, "flight-recorder capacity: post-mortem records of the last N terminal jobs (-1 disables)")
 		logFormat  = flag.String("log-format", "off", "structured logs on stderr: text, json, or off")
@@ -101,7 +102,7 @@ func run() int {
 
 	s := serve.New(serve.Config{
 		Workers: *workers, QueueDepth: *queue, JobTimeout: *jobTimeout,
-		RouteWorkers: *routeW, FlightSize: *flight, Logger: logger,
+		RouteWorkers: *routeW, RouteSpeculative: *routeSpec, FlightSize: *flight, Logger: logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 	ln, err := net.Listen("tcp", *addr)

@@ -26,6 +26,7 @@ type optionsDoc struct {
 	RipUpRounds    *int        `json:"ripup_rounds,omitempty"`
 	NetOrder       string      `json:"net_order,omitempty"` // "shortest" | "longest" | "congested"
 	Workers        *int        `json:"workers,omitempty"`   // 0 = GOMAXPROCS
+	Speculative    *bool       `json:"speculative,omitempty"`
 }
 
 type weightsDoc struct {
@@ -68,6 +69,7 @@ func EncodeOptions(w io.Writer, opts router.Options) error {
 		RipUpRounds:    &opts.RipUpRounds,
 		NetOrder:       netOrderName(opts.NetOrder),
 		Workers:        &opts.Workers,
+		Speculative:    &opts.Speculative,
 	}
 	return writeDoc(w, OptionsSchema, doc)
 }
@@ -125,6 +127,9 @@ func optionsFromDoc(doc optionsDoc) (router.Options, error) {
 			return opts, invalidf(OptionsSchema, "workers", "must be >= 0, got %d", *doc.Workers)
 		}
 		opts.Workers = *doc.Workers
+	}
+	if doc.Speculative != nil {
+		opts.Speculative = *doc.Speculative
 	}
 	switch doc.NetOrder {
 	case "", "shortest":

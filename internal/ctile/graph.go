@@ -270,22 +270,64 @@ func (m *Model) TileNear(layer int, p geom.Point) (TileRef, bool) {
 // corridor, which is exactly the global-routing signal the paper's tile
 // graph exists to provide.
 func (m *Model) FindCorridor(from geom.Point, fromLayer int, to geom.Point, toLayer int, sites []ViaSite, viaCost float64) ([]TileRef, bool) {
+	path, ok, _ := m.findCorridor(from, fromLayer, to, toLayer, sites, viaCost, false)
+	return path, ok
+}
+
+// CorridorProof is the footprint evidence of one corridor search: the
+// content hash of every (layer, cell) and via-site list the search read.
+// While ProofValid holds, a live FindCorridor with the same arguments
+// would re-derive the identical result bit for bit.
+type CorridorProof struct {
+	e *corEntry
+}
+
+// FindCorridorProof is FindCorridor plus a CorridorProof for speculative
+// callers. The model must have a journal attached (AttachMemo or
+// AttachJournal); without one the proof is nil.
+func (m *Model) FindCorridorProof(from geom.Point, fromLayer int, to geom.Point, toLayer int, sites []ViaSite, viaCost float64) ([]TileRef, bool, *CorridorProof) {
+	return m.findCorridor(from, fromLayer, to, toLayer, sites, viaCost, true)
+}
+
+// ProofValid reports whether the proof's entire footprint still matches
+// the journal — i.e. no blocker committed since the search ran touched
+// any cell content or via-site list it read.
+func (m *Model) ProofValid(p *CorridorProof, sites []ViaSite) bool {
+	if m.cj == nil || p == nil || p.e == nil {
+		return false
+	}
+	return p.e.valid(m.cj, m.cj.ensureSiteHashes(m, sites))
+}
+
+func (m *Model) findCorridor(from geom.Point, fromLayer int, to geom.Point, toLayer int, sites []ViaSite, viaCost float64, wantProof bool) ([]TileRef, bool, *CorridorProof) {
+	// Footprints are tracked for the memo and for proofs alike; a journal
+	// attached without a memo tracks only when a proof was asked for.
+	track := m.cj != nil && (m.cj.memo != nil || wantProof)
 	// Memo consult: a recorded corridor whose cell-content and via-site
 	// footprint still matches is re-derived bit for bit — serve it and skip
-	// the snapshot and the tile-graph A* entirely.
+	// the snapshot and the tile-graph A* entirely. The served entry is its
+	// own proof: lookup just revalidated its footprint against the journal.
 	var ckey corKey
 	var siteHash []uint64
-	if m.cj != nil {
+	if track {
 		siteHash = m.cj.ensureSiteHashes(m, sites)
+	}
+	if m.cj != nil && m.cj.memo != nil {
 		ckey = m.corKeyFor(from, fromLayer, to, toLayer, viaCost)
 		if e, hit := m.cj.memo.lookup(ckey, m.cj, siteHash); hit {
+			var proof *CorridorProof
+			if wantProof {
+				proof = &CorridorProof{e: e}
+			}
 			if !e.ok {
-				return nil, false
+				return nil, false, proof
 			}
 			out := make([]TileRef, len(e.path))
 			copy(out, e.path)
-			return out, true
+			return out, true, proof
 		}
+	}
+	if track {
 		m.cj.fpReset()
 		// TileNear reads the tiles of the ring around each endpoint's cell.
 		for _, c := range m.cellsTouching(geom.RectOf(from, from)) {
@@ -295,18 +337,25 @@ func (m *Model) FindCorridor(from geom.Point, fromLayer int, to geom.Point, toLa
 			m.fpMarkRing(toLayer, c)
 		}
 	}
-	corStore := func(ok bool, path []TileRef) {
-		if m.cj != nil {
-			m.cj.memo.store(ckey, m.cj.snapshotEntry(siteHash, ok, path))
+	corStore := func(ok bool, path []TileRef) *CorridorProof {
+		if !track {
+			return nil
 		}
+		e := m.cj.snapshotEntry(siteHash, ok, path)
+		if m.cj.memo != nil {
+			m.cj.memo.store(ckey, e)
+		}
+		if !wantProof {
+			return nil
+		}
+		return &CorridorProof{e: e}
 	}
 	startRef, ok1 := m.TileNear(fromLayer, from)
 	goalRef, ok2 := m.TileNear(toLayer, to)
 	if !ok1 || !ok2 {
-		corStore(false, nil)
-		return nil, false
+		return nil, false, corStore(false, nil)
 	}
-	if m.cj != nil {
+	if track {
 		// Endpoint component lookups read the rings of the resolved cells
 		// (which TileNear may have picked a ring away from the query point).
 		m.fpMarkRing(startRef.Layer, startRef.Cell)
@@ -344,7 +393,7 @@ func (m *Model) FindCorridor(from geom.Point, fromLayer int, to geom.Point, toLa
 	expand := func(u int, emit func(int, float64)) {
 		lc := u / maxComp
 		l, c, comp := lc/ncells, lc%ncells, u%maxComp
-		if m.cj != nil {
+		if track {
 			// Footprint: expanding here reads the ring's tiles (through the
 			// arc cache) on this layer and this cell's site list.
 			m.fpMarkRing(l, c)
@@ -396,7 +445,7 @@ func (m *Model) FindCorridor(from geom.Point, fromLayer int, to geom.Point, toLa
 				if nl < v.L0 || nl > v.L1 || nl < 0 || nl >= m.D.WireLayers {
 					continue
 				}
-				if m.cj != nil {
+				if track {
 					m.fpMarkRing(nl, c)
 				}
 				nref, ok := m.TileAt(nl, v.P)
@@ -425,8 +474,7 @@ func (m *Model) FindCorridor(from geom.Point, fromLayer int, to geom.Point, toLa
 		func(u int) bool { return u == goalID },
 		expand, h)
 	if !ok {
-		corStore(false, nil)
-		return nil, false
+		return nil, false, corStore(false, nil)
 	}
 	out := make([]TileRef, 0, len(path))
 	for i, id := range path {
@@ -440,6 +488,5 @@ func (m *Model) FindCorridor(from geom.Point, fromLayer int, to geom.Point, toLa
 		}
 		out = append(out, TileRef{Layer: l, Cell: c})
 	}
-	corStore(true, out)
-	return out, true
+	return out, true, corStore(true, out)
 }

@@ -77,28 +77,32 @@ func corEntrySize(e *corEntry) int64 {
 		int64(len(e.cells))*12 + int64(len(e.siteCells))*12
 }
 
-func (m *CorridorMemo) lookup(k corKey, cj *corJournal, siteHash []uint64) (*corEntry, bool) {
-	valid := func(e *corEntry) bool {
-		for n, ci := range e.cells {
-			if cj.cells[ci] != e.hashes[n] {
-				return false
-			}
+// valid reports whether every (layer, cell) content hash and via-site hash
+// the recorded search read still matches the journal — the proof that a
+// live search now would re-derive the identical result.
+func (e *corEntry) valid(cj *corJournal, siteHash []uint64) bool {
+	for n, ci := range e.cells {
+		if cj.cells[ci] != e.hashes[n] {
+			return false
 		}
-		for n, c := range e.siteCells {
-			if siteHash[c] != e.siteHashes[n] {
-				return false
-			}
-		}
-		return true
 	}
+	for n, c := range e.siteCells {
+		if siteHash[c] != e.siteHashes[n] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *CorridorMemo) lookup(k corKey, cj *corJournal, siteHash []uint64) (*corEntry, bool) {
 	for _, e := range m.cur[k] {
-		if valid(e) {
+		if e.valid(cj, siteHash) {
 			m.hits++
 			return e, true
 		}
 	}
 	for _, e := range m.prev[k] {
-		if valid(e) {
+		if e.valid(cj, siteHash) {
 			m.hits++
 			m.cur[k] = append(m.cur[k], e)
 			m.bytes += corEntrySize(e)
@@ -119,7 +123,9 @@ func (m *CorridorMemo) store(k corKey, e *corEntry) {
 
 // corJournal tracks per-(layer, cell) blocker content for the memo, plus
 // reusable scratch for one search's footprint (FindCorridor calls are
-// sequential within a run).
+// sequential within a run). memo may be nil (AttachJournal): content
+// hashing and footprints run for corridor-proof validation only, with
+// nothing recorded across runs.
 type corJournal struct {
 	memo  *CorridorMemo
 	cells []uint64 // [layer*ncells + cell] content hash
@@ -202,6 +208,16 @@ func (m *Model) AttachMemo(cm *CorridorMemo) {
 		m.cj = nil
 		return
 	}
+	m.attachJournal(cm)
+}
+
+// AttachJournal enables cell-content journaling without a memo: corridor
+// searches gain footprints and proofs (FindCorridorProof/ProofValid) but
+// nothing is recorded across runs. The speculative router uses this when
+// no corridor memo was supplied.
+func (m *Model) AttachJournal() { m.attachJournal(nil) }
+
+func (m *Model) attachJournal(cm *CorridorMemo) {
 	n := m.CellsX * m.CellsY
 	cj := &corJournal{memo: cm, cells: make([]uint64, m.D.WireLayers*n)}
 	for k := range cj.cells {

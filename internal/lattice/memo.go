@@ -163,23 +163,34 @@ func (j *journal) snapValid(snap []blockSnap) bool {
 	return true
 }
 
-// fpReset clears the footprint scratch for a new live search.
-func (j *journal) fpReset() {
-	if j.fpBits == nil {
-		j.fpBits = make([]uint64, (j.nbx*j.nby+63)/64)
-	}
-	for _, k := range j.fpList {
-		j.fpBits[k>>6] &^= 1 << (uint(k) & 63)
-	}
-	j.fpList = j.fpList[:0]
+// fpScratch is one search's footprint accumulator: the set of journal
+// blocks the search read. The journal embeds one for the sequential Route
+// path; every speculative Searcher owns a private one so concurrent
+// speculative searches can track footprints against the shared (frozen)
+// journal without racing.
+type fpScratch struct {
+	bits []uint64
+	list []int32
 }
 
-// fpMark adds the journal blocks covering node (i, jj) grown by two nodes:
+// reset clears the scratch for a new search over a journal with nblocks
+// blocks.
+func (fp *fpScratch) reset(nblocks int) {
+	if fp.bits == nil || len(fp.bits) < (nblocks+63)/64 {
+		fp.bits = make([]uint64, (nblocks+63)/64)
+	}
+	for _, k := range fp.list {
+		fp.bits[k>>6] &^= 1 << (uint(k) & 63)
+	}
+	fp.list = fp.list[:0]
+}
+
+// mark adds the journal blocks covering node (i, jj) grown by two nodes:
 // probed neighbors extend one node beyond popped nodes, and the edge-guard
 // probe reads the cell one further down-left. Tracking the exact popped
 // block set (instead of the popped bbox) is what keeps footprints of long
 // diagonal or L-shaped searches from swallowing the whole lattice.
-func (j *journal) fpMark(i, jj int) {
+func (fp *fpScratch) mark(j *journal, i, jj int) {
 	bx0 := clampInt((i-2)/journalBlock, 0, j.nbx-1)
 	bx1 := clampInt((i+2)/journalBlock, 0, j.nbx-1)
 	by0 := clampInt((jj-2)/journalBlock, 0, j.nby-1)
@@ -187,18 +198,18 @@ func (j *journal) fpMark(i, jj int) {
 	for by := by0; by <= by1; by++ {
 		for bx := bx0; bx <= bx1; bx++ {
 			k := int32(by*j.nbx + bx)
-			if j.fpBits[k>>6]&(1<<(uint(k)&63)) == 0 {
-				j.fpBits[k>>6] |= 1 << (uint(k) & 63)
-				j.fpList = append(j.fpList, k)
+			if fp.bits[k>>6]&(1<<(uint(k)&63)) == 0 {
+				fp.bits[k>>6] |= 1 << (uint(k) & 63)
+				fp.list = append(fp.list, k)
 			}
 		}
 	}
 }
 
-// fpSnapshot freezes the footprint scratch into a snapshot.
-func (j *journal) fpSnapshot() []blockSnap {
-	snap := make([]blockSnap, len(j.fpList))
-	for n, k := range j.fpList {
+// snapshot freezes the footprint scratch into a block-hash snapshot.
+func (fp *fpScratch) snapshot(j *journal) []blockSnap {
+	snap := make([]blockSnap, len(fp.list))
+	for n, k := range fp.list {
 		snap[n] = blockSnap{idx: k, hash: j.blocks[k]}
 	}
 	return snap
@@ -253,6 +264,9 @@ const hardOwnerKey = 0x8c97d7a0f5e1b3d9
 
 // journal tracks which regions of the lattice's occupancy state each
 // mutation may have written, at block granularity, for memo key footprints.
+// memo may be nil (AttachJournal): block hashes are still maintained so
+// speculative searches can be footprint-validated, but no search is ever
+// recorded or served.
 type journal struct {
 	memo     *Memo
 	nbx, nby int
@@ -262,8 +276,7 @@ type journal struct {
 
 	// Footprint scratch for the one live search in flight (Route calls are
 	// sequential within a run): the set of blocks its pops touched.
-	fpBits []uint64
-	fpList []int32
+	fp fpScratch
 }
 
 // AttachMemo enables search memoization on this lattice. It must be called
@@ -276,6 +289,17 @@ func (la *Lattice) AttachMemo(m *Memo) {
 		la.j = nil
 		return
 	}
+	la.attachJournal(m)
+}
+
+// AttachJournal attaches an occupancy journal with no memo: commits fold
+// into block hashes exactly as under AttachMemo, but searches are never
+// recorded or served. The speculative router uses this to footprint-
+// validate speculative searches on runs that carry no SearchMemo. Same
+// placement rule as AttachMemo: call right after construction.
+func (la *Lattice) AttachJournal() { la.attachJournal(nil) }
+
+func (la *Lattice) attachJournal(m *Memo) {
 	j := &journal{memo: m}
 	j.nbx = (la.NX + journalBlock - 1) / journalBlock
 	j.nby = (la.NY + journalBlock - 1) / journalBlock

@@ -1,0 +1,113 @@
+package lattice
+
+// Speculative search support for the router's stage-4 speculation scheduler.
+//
+// A lattice search never mutates occupancy, so speculation needs no
+// occupancy snapshot or rollback: N speculative searches may run
+// concurrently against the frozen lattice, each on a private Searcher
+// (its own A* buffers and footprint scratch), while the journal's block
+// hashes stand still. What speculation must prove at commit time is that
+// the state it searched is still the state a sequential run would have
+// searched — and that is exactly the footprint machinery the search memo
+// already uses: a SpecSearch records the block-hash snapshot of every
+// node its search popped (grown by the read reach), and FootprintValid
+// re-checks that snapshot against the live journal. If every block still
+// matches after the preceding nets committed, re-running the search would
+// re-derive the identical result bit for bit; any mismatch aborts the
+// speculation and the net replays live in its sequential position.
+//
+// The tracer and memo side effects a sequential Route performs are
+// deferred to CommitSpecSearch so an accepted speculation emits exactly
+// the counters, observations and memo entries of the sequential loop, in
+// commit order, and an aborted one emits nothing (its live replay emits
+// its own).
+
+// Searcher owns one worker's private A* state: reusable search buffers
+// plus a footprint scratch. Searches through different Searchers may run
+// concurrently on one lattice as long as nothing commits meanwhile; the
+// epoch-stamped buffers make each search independent of what previously
+// ran on the Searcher, so results never depend on which worker ran what.
+type Searcher struct {
+	ss searchState
+	fp fpScratch
+}
+
+// NewSearcher returns a Searcher for this lattice. Buffers are allocated
+// lazily on first use.
+func (la *Lattice) NewSearcher() *Searcher { return &Searcher{} }
+
+// SpecSearch is one speculative A* execution: the would-be result plus
+// the footprint evidence needed to prove at commit time that a sequential
+// run would re-derive it.
+type SpecSearch struct {
+	Path     []PathStep
+	Cost     float64
+	OK       bool
+	Expanded int
+	Visited  int
+	// Cancelled is set when the request's context fired mid-search; a
+	// cancelled speculation must never be accepted (its outcome reflects
+	// the deadline, not the lattice).
+	Cancelled bool
+	// Searched distinguishes a run search from a pre-search rejection
+	// (terminal off-lattice or on a disallowed layer): rejections have no
+	// effort to replay and no footprint, matching a sequential Route that
+	// returns before touching the tracer or memo.
+	Searched bool
+
+	snap []blockSnap
+}
+
+// SpecRoute runs the request speculatively on the given Searcher: a plain
+// read-only A* with no tracer or memo side effects, recording the
+// footprint of every popped node. The lattice must have a journal
+// attached (AttachMemo or AttachJournal) and must not be committed to
+// while speculative searches are in flight. req.Region must be nil
+// (speculative callers rasterize a RegionMask); the request's defaults
+// are applied exactly as Route applies them.
+func (la *Lattice) SpecRoute(req Request, sr *Searcher) SpecSearch {
+	if !la.routePrep(&req) {
+		return SpecSearch{}
+	}
+	sr.ss.ensure(la.Layers * la.NX * la.NY * 9)
+	r := la.routeCore(&req, &sr.ss, &sr.fp)
+	return SpecSearch{
+		Path: r.path, Cost: r.cost, OK: r.ok,
+		Expanded: r.expanded, Visited: r.visited,
+		Cancelled: r.cancelled, Searched: true,
+		snap: sr.fp.snapshot(la.j),
+	}
+}
+
+// FootprintValid reports whether every journal block the speculative
+// search read still holds the hash it held when the search ran — i.e.
+// whether a sequential run at this point would re-derive the identical
+// result. A pre-search rejection has an empty footprint and is always
+// valid (the sequential run rejects it identically).
+func (la *Lattice) FootprintValid(s *SpecSearch) bool {
+	return la.j != nil && la.j.snapValid(s.snap)
+}
+
+// CommitSpecSearch performs the sequential Route's deferred side effects
+// for an accepted speculation: the tracer effort replay (astar.* counters
+// and observations, plus req.Stats) and, when a memo is attached and the
+// request is hashable, the memo recording. Callers must pass the same
+// request the speculation ran (Stats may differ) and call in commit order
+// so tracer streams match a sequential run byte for byte.
+func (la *Lattice) CommitSpecSearch(req Request, s *SpecSearch) {
+	if !s.Searched {
+		return
+	}
+	la.routePrep(&req) // re-apply defaults so the memo key matches a live call
+	la.recordSearch(&req, s.Expanded, s.Visited, s.OK)
+	if la.j == nil || la.j.memo == nil || req.Region != nil || s.Cancelled {
+		return
+	}
+	e := &memoEntry{ok: s.OK, cost: s.Cost, expanded: s.Expanded, visited: s.Visited,
+		snap: s.snap}
+	if len(s.Path) > 0 {
+		e.path = make([]PathStep, len(s.Path))
+		copy(e.path, s.Path)
+	}
+	la.j.memo.store(la.memoKeyFor(&req), e)
+}

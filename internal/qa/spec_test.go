@@ -1,0 +1,131 @@
+package qa
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/obs"
+	"rdlroute/internal/router"
+)
+
+// Speculative-equivalence matrix: the speculative stage-4 scheduler must
+// commit results byte-identical to the plain sequential loop — fingerprint,
+// result metrics and canonical rdl-result/v1 bytes — at every worker
+// count, and its own spec.* counters must not depend on the worker count
+// either (round boundaries, prediction and validation are all defined in
+// commit order, never in schedule order).
+
+// routeSpeculative routes d with the speculative scheduler at the given
+// worker count, returning the fingerprint, stable result bytes, result,
+// and the full counter map of the run's obs stream.
+func routeSpeculative(t *testing.T, d *design.Design, workers int) (uint64, []byte, *router.Result, map[string]int64) {
+	t.Helper()
+	opts := flowOptions()
+	opts.Speculative = true
+	opts.Workers = workers
+	c := obs.NewCollector()
+	opts.Tracer = c
+	res, fp, err := router.RouteFingerprint(context.Background(), d, opts)
+	if err != nil {
+		t.Fatalf("speculative workers=%d: %v", workers, err)
+	}
+	enc, err := encodeResultStable(res)
+	if err != nil {
+		t.Fatalf("speculative workers=%d: encode: %v", workers, err)
+	}
+	return fp, enc, res, c.Snapshot().Counters
+}
+
+// assertSpeculativeInvariant proves the speculative scheduler equivalent
+// to the sequential loop on one design: a speculation-off workers=1 run
+// is the ground truth, and every speculative run at workers 1, 2 and 8
+// must match its fingerprint, routed-net count, wirelength and encoded
+// rdl-result/v1 bytes. The full counter maps of the speculative runs —
+// spec.* included — must also be identical across worker counts.
+func assertSpeculativeInvariant(t *testing.T, label string, d *design.Design) {
+	t.Helper()
+	fpSeq, encSeq, resSeq := routeStable(t, d, 1)
+	var counters1 map[string]int64
+	for _, w := range workerMatrix {
+		fp, enc, res, counters := routeSpeculative(t, d, w)
+		if fp != fpSeq {
+			t.Errorf("%s: speculative workers=%d fingerprint %x, sequential got %x", label, w, fp, fpSeq)
+		}
+		if res.RoutedNets != resSeq.RoutedNets || res.Wirelength != resSeq.Wirelength {
+			t.Errorf("%s: speculative workers=%d routed %d wl %.3f, sequential routed %d wl %.3f",
+				label, w, res.RoutedNets, res.Wirelength, resSeq.RoutedNets, resSeq.Wirelength)
+		}
+		if !bytes.Equal(enc, encSeq) {
+			t.Errorf("%s: speculative workers=%d rdl-result/v1 bytes differ from sequential (%d vs %d bytes)",
+				label, w, len(enc), len(encSeq))
+		}
+		if w == workerMatrix[0] {
+			counters1 = counters
+			continue
+		}
+		if !reflect.DeepEqual(counters, counters1) {
+			t.Errorf("%s: speculative workers=%d counter stream differs from workers=%d:\n%v\nvs\n%v",
+				label, w, workerMatrix[0], counters, counters1)
+		}
+	}
+}
+
+// TestSpeculativeEquivalenceDense runs the speculative matrix over the
+// paper's benchmark circuits (trimmed under -short and -race exactly like
+// the worker-determinism matrix).
+func TestSpeculativeEquivalenceDense(t *testing.T) {
+	for _, name := range denseMatrixNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := design.DenseSpec(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := design.Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSpeculativeInvariant(t, name, d)
+		})
+	}
+}
+
+// TestSpeculativeEquivalenceRandom runs the matrix over qa-generated
+// designs: irregular pad rings, area pads, obstacle clutter and
+// adversarial near-minimum-spacing packs reach corridor-less fallbacks,
+// rip-up rounds and degenerate fan-out regions the dense circuits never
+// produce.
+func TestSpeculativeEquivalenceRandom(t *testing.T) {
+	const seeds = 10
+	for seed := int64(1); seed <= seeds; seed++ {
+		d := Generate(seed)
+		assertSpeculativeInvariant(t, d.Name, d)
+	}
+}
+
+// TestRegressionSpeculativeReplay pins seed 20: a generated design whose
+// speculation round both accepts speculative nets (spec.hit > 0) and
+// aborts one whose mask-disjoint searches were nonetheless invalidated by
+// an earlier commit (spec.abort.stale > 0) — the rollback-replay path
+// where the arbiter discards a finished speculative search and replays
+// the net live. A scheduler that never replayed (or never speculated)
+// would pass a pure equivalence check trivially; this test fails loudly
+// if the pinned seed stops exercising both sides of the arbiter.
+func TestRegressionSpeculativeReplay(t *testing.T) {
+	d := Generate(20)
+	assertSpeculativeInvariant(t, d.Name, d)
+	_, _, _, counters := routeSpeculative(t, d, 2)
+	if counters["spec.hit"] == 0 {
+		t.Errorf("seed 20: spec.hit = 0, the pinned seed no longer accepts any speculation")
+	}
+	if counters["spec.abort.stale"] == 0 {
+		t.Errorf("seed 20: spec.abort.stale = 0, the pinned seed no longer forces a rollback-replay")
+	}
+	if counters["spec.abort"] != counters["spec.replay"] {
+		t.Errorf("seed 20: spec.abort = %d but spec.replay = %d; every abort must be replayed exactly once",
+			counters["spec.abort"], counters["spec.replay"])
+	}
+}

@@ -55,6 +55,20 @@ type Options struct {
 	// the qa determinism matrix holds the flow to that contract.
 	Workers int
 
+	// Speculative enables the speculative stage-4 scheduler: batches of
+	// sequential-stage nets are routed concurrently on the worker pool
+	// against a frozen lattice, and a serial commit arbiter accepts each
+	// net's speculative result only when footprint proofs show the
+	// sequential loop would have derived it bit for bit — everything else
+	// replays live in exact sequential position. Committed results are
+	// therefore byte-identical to the plain sequential loop at any worker
+	// count (the qa speculative-equivalence matrix enforces fingerprint,
+	// metrics and encoded-result equality); only the spec.* counters
+	// reveal speculation happened. With Workers == 1 speculation still
+	// runs (inline) and must still match — that is the cheapest
+	// equivalence check the harness has.
+	Speculative bool
+
 	// Tracer, when non-nil, receives stage spans (tagged with pprof
 	// labels), per-net route events, counters and distribution samples
 	// from the whole flow. Nil means the zero-overhead Nop tracer: no obs
@@ -189,6 +203,11 @@ func route(ctx context.Context, d *design.Design, opts Options) (*Result, *latti
 	}
 	la.SetTracer(tr)
 	la.AttachMemo(opts.SearchMemo)
+	if opts.Speculative && opts.SearchMemo == nil {
+		// Speculative commit validation needs the journal's footprint
+		// hashes even when no cross-run memo was supplied.
+		la.AttachJournal()
+	}
 	lay := layout.New(d)
 	res := &Result{Layout: lay, TotalNets: len(d.Nets)}
 
@@ -227,6 +246,9 @@ func route(ctx context.Context, d *design.Design, opts Options) (*Result, *latti
 	end = obs.Stage(tr, "graph")
 	model := ctile.NewModel(d, opts.GlobalCells)
 	model.AttachMemo(opts.CorridorMemo)
+	if opts.Speculative && opts.CorridorMemo == nil {
+		model.AttachJournal()
+	}
 	seedModel(model, lay)
 	// Warm every (layer, cell) tile decomposition on the worker pool. The
 	// per-cell builds are pure functions of the seeded blockers, and the
@@ -247,9 +269,16 @@ func route(ctx context.Context, d *design.Design, opts Options) (*Result, *latti
 	model.TraceStats(tr, sites)
 	end(obs.Int("tiles", res.TileCount), obs.Int("via_sites", len(sites)))
 
-	// Stage 4: Sequential A*-search routing on the tile graph.
+	// Stage 4: Sequential A*-search routing on the tile graph. The
+	// speculative scheduler commits byte-identical results, so the stage
+	// keeps its name and counters either way.
 	end = obs.Stage(tr, "sequential")
-	seqErr := sequentialRoute(ctx, d, model, sites, la, lay, opts, res, tr)
+	var seqErr error
+	if opts.Speculative {
+		seqErr = speculativeRoute(ctx, d, model, sites, la, lay, opts, res, tr)
+	} else {
+		seqErr = sequentialRoute(ctx, d, model, sites, la, lay, opts, res, tr)
+	}
 	end(obs.Int("routed", res.SequentialRouted),
 		obs.Int("corridor", res.CorridorRouted),
 		obs.Int("fallback", res.FallbackRouted))
@@ -497,24 +526,27 @@ func seedModel(m *ctile.Model, lay *layout.Layout) {
 	}
 }
 
-// sequentialRoute completes the remaining nets with tile-graph corridors
-// realized on the lattice, falling back to unrestricted multi-layer search.
-// It stops with ctx's error at the first cancelled per-net checkpoint.
-func sequentialRoute(ctx context.Context, d *design.Design, model *ctile.Model, sites []ctile.ViaSite, la *lattice.Lattice, lay *layout.Layout, opts Options, res *Result, tr obs.Tracer) error {
-	type job struct {
-		net     int
-		direct  float64
-		bbox    geom.Rect
-		overlap int
-	}
-	var jobs []job
+// seqJob is one stage-4 work item: a net awaiting sequential routing plus
+// the sort keys of the configured net order.
+type seqJob struct {
+	net     int
+	direct  float64
+	bbox    geom.Rect
+	overlap int
+}
+
+// buildSeqJobs collects the nets stage 4 must route and sorts them into
+// the configured commit order — the order both the sequential loop and
+// the speculative scheduler's arbiter are bound to.
+func buildSeqJobs(ctx context.Context, d *design.Design, lay *layout.Layout, opts Options) ([]seqJob, error) {
+	var jobs []seqJob
 	for ni := range d.Nets {
 		if lay.Routed(ni) {
 			continue
 		}
 		nn := d.Nets[ni]
 		p1, p2 := d.PadCenter(nn.P1), d.PadCenter(nn.P2)
-		jobs = append(jobs, job{net: ni, direct: geom.OctDist(p1, p2), bbox: geom.RectOf(p1, p2)})
+		jobs = append(jobs, seqJob{net: ni, direct: geom.OctDist(p1, p2), bbox: geom.RectOf(p1, p2)})
 	}
 	// Sort ties break on stable net identity (ID, then index): a pad edit
 	// changes one net's sort key, and without a total order the unstable
@@ -548,7 +580,7 @@ func sequentialRoute(ctx context.Context, d *design.Design, model *ctile.Model, 
 			}
 			return nil
 		}); err != nil {
-			return fmt.Errorf("router: %w", err)
+			return nil, fmt.Errorf("router: %w", err)
 		}
 		sort.Slice(jobs, func(i, j int) bool {
 			if jobs[i].overlap != jobs[j].overlap {
@@ -564,87 +596,116 @@ func sequentialRoute(ctx context.Context, d *design.Design, model *ctile.Model, 
 			return idLess(i, j)
 		})
 	}
+	return jobs, nil
+}
 
-	viaCost := opts.ViaCost
-	if viaCost == 0 {
-		viaCost = 3 * float64(opts.Pitch)
+// seqViaCost resolves the stage-4 corridor-search via cost.
+func seqViaCost(opts Options) float64 {
+	if opts.ViaCost != 0 {
+		return opts.ViaCost
 	}
-	traced := tr.Enabled()
+	return 3 * float64(opts.Pitch)
+}
+
+// sequentialRoute completes the remaining nets with tile-graph corridors
+// realized on the lattice, falling back to unrestricted multi-layer search.
+// It stops with ctx's error at the first cancelled per-net checkpoint.
+func sequentialRoute(ctx context.Context, d *design.Design, model *ctile.Model, sites []ctile.ViaSite, la *lattice.Lattice, lay *layout.Layout, opts Options, res *Result, tr obs.Tracer) error {
+	jobs, err := buildSeqJobs(ctx, d, lay, opts)
+	if err != nil {
+		return err
+	}
+	viaCost := seqViaCost(opts)
 	for _, jb := range jobs {
 		if err := ctxErr(ctx); err != nil {
 			return err
 		}
-		nn := d.Nets[jb.net]
-		from, fromLayer := terminal(d, nn.P1)
-		to, toLayer := terminal(d, nn.P2)
-
-		var path []lattice.PathStep
-		var ok bool
-		var corSt, fbSt lattice.SearchStats
-		mode := "fallback"
-		corridor, cok := model.FindCorridor(from, fromLayer, to, toLayer, sites, viaCost)
-		if cok {
-			region := corridorMask(la, model, corridor, opts.Pitch)
-			req := lattice.Request{
-				Net: jb.net, From: from, To: to,
-				FromLayer: fromLayer, ToLayer: toLayer,
-				RegionMask: region, ViaCost: opts.ViaCost,
-				Ctx: ctx,
-			}
-			if traced {
-				req.Stats = &corSt
-			}
-			path, _, ok = la.Route(req)
-			if ok {
-				mode = "corridor"
-				res.CorridorRouted++
-			}
-		}
-		if !ok {
-			req := lattice.Request{
-				Net: jb.net, From: from, To: to,
-				FromLayer: fromLayer, ToLayer: toLayer,
-				ViaCost: opts.ViaCost,
-				Ctx:     ctx,
-			}
-			if traced {
-				req.Stats = &fbSt
-			}
-			path, _, ok = la.Route(req)
-			if ok {
-				res.FallbackRouted++
-			}
-		}
-		if traced {
-			// Report the combined effort of both attempts.
-			corSt.NodesExpanded += fbSt.NodesExpanded
-			corSt.NodesVisited += fbSt.NodesVisited
-			emitNetEvent(tr, jb.net, "sequential", mode, fromLayer, path, &corSt, ok)
-		}
-		if !ok {
-			continue
-		}
-		la.Commit(path, jb.net)
-		lay.AddPath(jb.net, path)
-		lay.MarkRouted(jb.net)
-		res.SequentialRouted++
-		// Incremental update: re-partition the frames the new net crossed.
-		for k := 0; k+1 < len(path); k++ {
-			a, b := path[k], path[k+1]
-			if a.Layer == b.Layer {
-				if !a.Pt.Eq(b.Pt) {
-					model.AddWire(a.Layer, geom.Seg(a.Pt, b.Pt))
-				}
-			} else {
-				slab := a.Layer
-				if b.Layer < slab {
-					slab = b.Layer
-				}
-				model.AddVia(slab, a.Pt)
-			}
-		}
+		routeNetLive(ctx, d, model, sites, la, lay, opts, res, tr, jb.net, viaCost)
 	}
 	return nil
+}
+
+// routeNetLive is the sequential stage's per-net body: corridor search,
+// masked A*, unrestricted fallback, the route event, and on success the
+// commit. The speculative scheduler replays aborted nets through this
+// exact function, so it IS the definition of stage-4 behavior.
+func routeNetLive(ctx context.Context, d *design.Design, model *ctile.Model, sites []ctile.ViaSite, la *lattice.Lattice, lay *layout.Layout, opts Options, res *Result, tr obs.Tracer, net int, viaCost float64) {
+	traced := tr.Enabled()
+	nn := d.Nets[net]
+	from, fromLayer := terminal(d, nn.P1)
+	to, toLayer := terminal(d, nn.P2)
+
+	var path []lattice.PathStep
+	var ok bool
+	var corSt, fbSt lattice.SearchStats
+	mode := "fallback"
+	corridor, cok := model.FindCorridor(from, fromLayer, to, toLayer, sites, viaCost)
+	if cok {
+		region := corridorMask(la, model, corridor, opts.Pitch)
+		req := lattice.Request{
+			Net: net, From: from, To: to,
+			FromLayer: fromLayer, ToLayer: toLayer,
+			RegionMask: region, ViaCost: opts.ViaCost,
+			Ctx: ctx,
+		}
+		if traced {
+			req.Stats = &corSt
+		}
+		path, _, ok = la.Route(req)
+		if ok {
+			mode = "corridor"
+			res.CorridorRouted++
+		}
+	}
+	if !ok {
+		req := lattice.Request{
+			Net: net, From: from, To: to,
+			FromLayer: fromLayer, ToLayer: toLayer,
+			ViaCost: opts.ViaCost,
+			Ctx:     ctx,
+		}
+		if traced {
+			req.Stats = &fbSt
+		}
+		path, _, ok = la.Route(req)
+		if ok {
+			res.FallbackRouted++
+		}
+	}
+	if traced {
+		// Report the combined effort of both attempts.
+		corSt.NodesExpanded += fbSt.NodesExpanded
+		corSt.NodesVisited += fbSt.NodesVisited
+		emitNetEvent(tr, net, "sequential", mode, fromLayer, path, &corSt, ok)
+	}
+	if !ok {
+		return
+	}
+	commitSeqPath(model, la, lay, res, net, path)
+}
+
+// commitSeqPath applies one stage-4 net's committed path: lattice
+// occupancy, layout geometry, counters, and the incremental tile-model
+// update re-partitioning the frames the new net crossed.
+func commitSeqPath(model *ctile.Model, la *lattice.Lattice, lay *layout.Layout, res *Result, net int, path []lattice.PathStep) {
+	la.Commit(path, net)
+	lay.AddPath(net, path)
+	lay.MarkRouted(net)
+	res.SequentialRouted++
+	for k := 0; k+1 < len(path); k++ {
+		a, b := path[k], path[k+1]
+		if a.Layer == b.Layer {
+			if !a.Pt.Eq(b.Pt) {
+				model.AddWire(a.Layer, geom.Seg(a.Pt, b.Pt))
+			}
+		} else {
+			slab := a.Layer
+			if b.Layer < slab {
+				slab = b.Layer
+			}
+			model.AddVia(slab, a.Pt)
+		}
+	}
 }
 
 func terminal(d *design.Design, r design.PadRef) (geom.Point, int) {

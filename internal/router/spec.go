@@ -1,0 +1,272 @@
+package router
+
+import (
+	"context"
+	"fmt"
+
+	"rdlroute/internal/ctile"
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/lattice"
+	"rdlroute/internal/layout"
+	"rdlroute/internal/obs"
+	"rdlroute/internal/par"
+)
+
+// Speculative stage-4 scheduler.
+//
+// The sequential loop's outputs are fully determined by its commit order,
+// and an A* search never writes the lattice — so stage 4 parallelizes by
+// SPECULATING: route a batch of nets concurrently against the frozen
+// round-start state, then walk the batch in sequential order and let a
+// serial commit arbiter accept each speculative result only when proofs
+// show the live loop would have derived it bit for bit:
+//
+//   - the corridor proof (ctile journal footprint) shows the tile-graph
+//     search still re-derives the same corridor — hence the same mask;
+//   - the A* footprint (lattice journal blocks of every popped node,
+//     grown by the read reach) still matches, for the masked attempt and
+//     the fallback attempt alike — hence the same path, cost and effort.
+//
+// Anything else — stale footprint, predicted conflict, corridor-less
+// net, cancelled search — replays through routeNetLive in its exact
+// sequential position. Accepted nets perform their deferred tracer and
+// memo side effects at commit (CommitSpecSearch), so the observable
+// stream is the sequential loop's stream. There is no occupancy to roll
+// back: an aborted speculation is dropped buffers, nothing more, which
+// is why a cancelled or aborted round can never corrupt the lattice.
+//
+// Determinism at any worker count: batches are a fixed specBatch nets
+// (never worker-scaled), conflict prediction and the arbiter run
+// serially in job order, and validation compares worker-independent
+// snapshots against commit-order state — so even the spec.* counters
+// are identical at Workers 1, 2 and 8.
+
+// specBatch is the speculation round size. Fixed (not scaled by worker
+// count) so round boundaries — and with them every spec.* counter and
+// replay decision — are identical at any worker count.
+const specBatch = 32
+
+// specJob is one net's state through a speculation round.
+type specJob struct {
+	jb                 seqJob
+	from               geom.Point
+	to                 geom.Point
+	fromLayer, toLayer int
+
+	corridor []ctile.TileRef
+	hasCor   bool
+	proof    *ctile.CorridorProof
+	mask     *lattice.RegionMask
+
+	speculate bool // survived conflict prediction; searched in phase 4
+
+	corAttempt lattice.SpecSearch
+	fbAttempt  lattice.SpecSearch
+	fellBack   bool
+}
+
+// speculativeRoute is sequentialRoute's speculative twin: same jobs, same
+// commit order, byte-identical committed results.
+func speculativeRoute(ctx context.Context, d *design.Design, model *ctile.Model, sites []ctile.ViaSite, la *lattice.Lattice, lay *layout.Layout, opts Options, res *Result, tr obs.Tracer) error {
+	jobs, err := buildSeqJobs(ctx, d, lay, opts)
+	if err != nil {
+		return err
+	}
+	viaCost := seqViaCost(opts)
+	traced := tr.Enabled()
+	workers := par.Workers(opts.Workers)
+	// Per-worker private searchers, allocated lazily: concurrent
+	// speculative searches share nothing but the read-only lattice.
+	searchers := make([]*lattice.Searcher, workers)
+
+	for lo := 0; lo < len(jobs); lo += specBatch {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		hi := min(lo+specBatch, len(jobs))
+		batch := make([]specJob, hi-lo)
+		if traced {
+			tr.Count("spec.rounds", 1)
+		}
+
+		// Phase 1 (serial): corridor searches with proofs. The tile model
+		// mutates its caches lazily, so corridor searches stay serial; they
+		// run against round-start state and the proof carries the evidence
+		// the arbiter needs.
+		for k := range batch {
+			b := &batch[k]
+			b.jb = jobs[lo+k]
+			nn := d.Nets[b.jb.net]
+			b.from, b.fromLayer = terminal(d, nn.P1)
+			b.to, b.toLayer = terminal(d, nn.P2)
+			b.corridor, b.hasCor, b.proof = model.FindCorridorProof(b.from, b.fromLayer, b.to, b.toLayer, sites, viaCost)
+		}
+
+		// Phase 2 (parallel): rasterize corridor masks — a pure function of
+		// the corridor and the fixed cell geometry.
+		if err := par.ForEach(ctx, opts.Workers, len(batch), func(k int) error {
+			if batch[k].hasCor {
+				batch[k].mask = corridorMask(la, model, batch[k].corridor, opts.Pitch)
+			}
+			return nil
+		}); err != nil {
+			return fmt.Errorf("router: %w", err)
+		}
+
+		// Phase 3 (serial): conflict prediction in job order. A net
+		// speculates only when its mask avoids every earlier batch net's
+		// mask — an earlier commit inside this net's search region would
+		// almost surely stale its footprint, so don't burn the search.
+		// Prediction is purely an economy: acceptance safety rests on the
+		// footprint proofs, never on this walk. Corridor-less nets route
+		// live (their fallback search has no useful region bound) and,
+		// having no mask, don't block later nets.
+		for k := range batch {
+			b := &batch[k]
+			if !b.hasCor {
+				continue
+			}
+			conflict := false
+			for k2 := 0; k2 < k; k2++ {
+				if batch[k2].mask != nil && b.mask.Overlaps(batch[k2].mask) {
+					conflict = true
+					break
+				}
+			}
+			b.speculate = !conflict
+		}
+
+		// Phase 4 (parallel): speculative searches, silent on tracer and
+		// memo — those side effects happen at commit or not at all. A net
+		// whose masked attempt fails speculates the unrestricted fallback
+		// too, exactly as the live body would.
+		if err := par.ForEachW(ctx, opts.Workers, len(batch), func(w, k int) error {
+			b := &batch[k]
+			if !b.speculate {
+				return nil
+			}
+			sr := searchers[w]
+			if sr == nil {
+				sr = la.NewSearcher()
+				searchers[w] = sr
+			}
+			b.corAttempt = la.SpecRoute(lattice.Request{
+				Net: b.jb.net, From: b.from, To: b.to,
+				FromLayer: b.fromLayer, ToLayer: b.toLayer,
+				RegionMask: b.mask, ViaCost: opts.ViaCost,
+				Ctx: ctx,
+			}, sr)
+			if !b.corAttempt.OK {
+				b.fellBack = true
+				b.fbAttempt = la.SpecRoute(lattice.Request{
+					Net: b.jb.net, From: b.from, To: b.to,
+					FromLayer: b.fromLayer, ToLayer: b.toLayer,
+					ViaCost: opts.ViaCost,
+					Ctx:     ctx,
+				}, sr)
+			}
+			return nil
+		}); err != nil {
+			return fmt.Errorf("router: %w", err)
+		}
+
+		// Phase 5 (serial): commit arbiter in job order.
+		for k := range batch {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+			b := &batch[k]
+			if !b.hasCor {
+				if traced {
+					tr.Count("spec.skip", 1)
+				}
+				routeNetLive(ctx, d, model, sites, la, lay, opts, res, tr, b.jb.net, viaCost)
+				continue
+			}
+			accept, stale := b.speculate, false
+			if accept {
+				switch {
+				case b.corAttempt.Cancelled, b.fellBack && b.fbAttempt.Cancelled:
+					// Monotonic cancellation means ctxErr above fires first;
+					// this arm is insurance, not a path the tests can reach.
+					accept = false
+				case !model.ProofValid(b.proof, sites),
+					!la.FootprintValid(&b.corAttempt),
+					b.fellBack && !la.FootprintValid(&b.fbAttempt):
+					// An earlier commit touched state this net's searches
+					// read: the speculation may not match what the live loop
+					// would now derive, so it is worthless — replay.
+					accept, stale = false, true
+				}
+			}
+			if !accept {
+				if traced {
+					tr.Count("spec.abort", 1)
+					if stale {
+						tr.Count("spec.abort.stale", 1)
+					} else {
+						tr.Count("spec.abort.predicted", 1)
+					}
+					tr.Count("spec.replay", 1)
+				}
+				routeNetLive(ctx, d, model, sites, la, lay, opts, res, tr, b.jb.net, viaCost)
+				continue
+			}
+			commitSpecJob(ctx, model, la, lay, opts, res, tr, b)
+			if traced {
+				tr.Count("spec.hit", 1)
+			}
+		}
+	}
+	return nil
+}
+
+// commitSpecJob commits one accepted speculation with the live body's
+// exact observable side effects: the deferred per-search tracer effort
+// and memo recordings (in attempt order), the net.route event, counters,
+// and on success the path commit.
+func commitSpecJob(ctx context.Context, model *ctile.Model, la *lattice.Lattice, lay *layout.Layout, opts Options, res *Result, tr obs.Tracer, b *specJob) {
+	traced := tr.Enabled()
+	var corSt, fbSt lattice.SearchStats
+	req := lattice.Request{
+		Net: b.jb.net, From: b.from, To: b.to,
+		FromLayer: b.fromLayer, ToLayer: b.toLayer,
+		RegionMask: b.mask, ViaCost: opts.ViaCost,
+		Ctx: ctx,
+	}
+	if traced {
+		req.Stats = &corSt
+	}
+	la.CommitSpecSearch(req, &b.corAttempt)
+	path, ok := b.corAttempt.Path, b.corAttempt.OK
+	mode := "fallback"
+	if ok {
+		mode = "corridor"
+		res.CorridorRouted++
+	} else if b.fellBack {
+		fbReq := lattice.Request{
+			Net: b.jb.net, From: b.from, To: b.to,
+			FromLayer: b.fromLayer, ToLayer: b.toLayer,
+			ViaCost: opts.ViaCost,
+			Ctx:     ctx,
+		}
+		if traced {
+			fbReq.Stats = &fbSt
+		}
+		la.CommitSpecSearch(fbReq, &b.fbAttempt)
+		path, ok = b.fbAttempt.Path, b.fbAttempt.OK
+		if ok {
+			res.FallbackRouted++
+		}
+	}
+	if traced {
+		corSt.NodesExpanded += fbSt.NodesExpanded
+		corSt.NodesVisited += fbSt.NodesVisited
+		emitNetEvent(tr, b.jb.net, "sequential", mode, b.fromLayer, path, &corSt, ok)
+	}
+	if !ok {
+		return
+	}
+	commitSeqPath(model, la, lay, res, b.jb.net, path)
+}

@@ -1,0 +1,338 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"rdlroute/internal/ctile"
+	"rdlroute/internal/design"
+	"rdlroute/internal/geom"
+	"rdlroute/internal/lattice"
+	"rdlroute/internal/metrics"
+	"rdlroute/internal/obs"
+)
+
+// Conflict-injection suite: hand-built designs whose stage-4 corridors
+// overlap in exactly one known global cell, so the speculative arbiter's
+// decisions — which net speculates, which one aborts, which one replays —
+// are forced rather than observed. Every test pins the spec.* counter
+// values and checks them at several worker counts, because the counters
+// are part of the determinism contract, not just diagnostics.
+
+// specOptions routes everything through stage 4 speculatively on a 3x3
+// global-cell grid, where corridor cells are big enough to place by hand.
+func specOptions() Options {
+	opts := DefaultOptions()
+	opts.EnableStage2 = false // every net reaches the stage-4 queue
+	opts.EnableLP = false
+	opts.GlobalCells = 3
+	opts.Speculative = true
+	return opts
+}
+
+// conflictPad appends a chipless I/O pad and returns its net reference.
+func conflictPad(d *design.Design, x, y int64) design.PadRef {
+	id := len(d.IOPads)
+	d.IOPads = append(d.IOPads, design.IOPad{ID: id, Chip: -1, Center: geom.Pt(x, y), HalfW: 8})
+	return design.PadRef{Kind: design.IOKind, Index: id}
+}
+
+func conflictNet(d *design.Design, p1, p2 design.PadRef) {
+	d.Nets = append(d.Nets, design.Net{ID: len(d.Nets), P1: p1, P2: p2})
+}
+
+// crossDesign is the minimal two-net conflict: on a 960x960 outline with
+// 320-unit global cells, net 0 runs horizontally through cell row 1 and
+// net 1 vertically through cell column 1. Their corridors share exactly
+// the center cell (1,1), so net 1's region mask collides with net 0's and
+// the predictor must abort net 1 while net 0 speculates clean.
+func crossDesign() *design.Design {
+	d := &design.Design{
+		Name:       "spec-cross",
+		Outline:    geom.RectWH(0, 0, 960, 960),
+		WireLayers: 2,
+		Rules:      design.Rules{Spacing: 5, WireWidth: 4, ViaWidth: 16},
+	}
+	conflictNet(d, conflictPad(d, 60, 480), conflictPad(d, 900, 480))
+	conflictNet(d, conflictPad(d, 480, 60), conflictPad(d, 480, 900))
+	return d
+}
+
+// threeNetDesign adds a diagonal third net to crossDesign. Any monotone
+// corridor from cell (0,0) to cell (2,2) crosses row 1, which net 0's
+// corridor covers entirely, so net 2 conflicts with net 0 no matter which
+// staircase the tile search picks. Sorted shortest-first, the diagonal
+// commits last: one hit, two predicted aborts, two replays.
+func threeNetDesign() *design.Design {
+	d := crossDesign()
+	d.Name = "spec-three"
+	conflictNet(d, conflictPad(d, 60, 60), conflictPad(d, 900, 900))
+	return d
+}
+
+// countersFor routes d speculatively at the given worker count and
+// returns the result, lattice fingerprint and full counter map.
+func countersFor(t *testing.T, d *design.Design, workers int) (*Result, uint64, map[string]int64) {
+	t.Helper()
+	opts := specOptions()
+	opts.Workers = workers
+	c := obs.NewCollector()
+	opts.Tracer = c
+	res, la, err := route(context.Background(), d, opts)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return res, la.Fingerprint(), c.Snapshot().Counters
+}
+
+// assertSpecCounters pins the spec.* counter values of one design at
+// worker counts 1, 2 and 8, and checks the committed state matches a
+// non-speculative run byte for byte.
+func assertSpecCounters(t *testing.T, d *design.Design, want map[string]int64) {
+	t.Helper()
+	seqOpts := specOptions()
+	seqOpts.Speculative = false
+	_, seqLa, err := route(context.Background(), d, seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqFp := seqLa.Fingerprint()
+	for _, w := range []int{1, 2, 8} {
+		res, fp, counters := countersFor(t, d, w)
+		if fp != seqFp {
+			t.Errorf("workers=%d: speculative fingerprint %x, sequential %x", w, fp, seqFp)
+		}
+		if res.RoutedNets != len(d.Nets) {
+			t.Errorf("workers=%d: routed %d of %d nets", w, res.RoutedNets, len(d.Nets))
+		}
+		for name, v := range want {
+			if counters[name] != v {
+				t.Errorf("workers=%d: counter %s = %d, want %d", w, name, counters[name], v)
+			}
+		}
+	}
+}
+
+// TestSpecConflictMasksOverlapOneCell verifies the premise of the suite
+// against the real stage-3 machinery: the two corridors of crossDesign
+// share exactly one global cell, and their rasterized region masks
+// overlap.
+func TestSpecConflictMasksOverlapOneCell(t *testing.T) {
+	d := crossDesign()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opts := specOptions()
+	model := ctile.NewModel(d, opts.GlobalCells)
+	sites := model.InsertVias()
+	la, err := lattice.New(d, opts.Pitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCost := seqViaCost(opts)
+
+	corridors := make([][]ctile.TileRef, len(d.Nets))
+	masks := make([]*lattice.RegionMask, len(d.Nets))
+	for ni, nn := range d.Nets {
+		from, fl := terminal(d, nn.P1)
+		to, tl := terminal(d, nn.P2)
+		cor, ok := model.FindCorridor(from, fl, to, tl, sites, viaCost)
+		if !ok {
+			t.Fatalf("net %d: no corridor", ni)
+		}
+		corridors[ni] = cor
+		masks[ni] = corridorMask(la, model, cor, opts.Pitch)
+	}
+	shared := 0
+	in0 := map[ctile.TileRef]bool{}
+	for _, ref := range corridors[0] {
+		in0[ref] = true
+	}
+	for _, ref := range corridors[1] {
+		if in0[ref] {
+			shared++
+		}
+	}
+	if shared != 1 {
+		t.Errorf("corridors share %d cells, want exactly 1 (the center cell)", shared)
+	}
+	if !masks[0].Overlaps(masks[1]) {
+		t.Error("region masks of crossing corridors do not overlap")
+	}
+	if n := masks[0].OverlapCount(masks[1]); n == 0 {
+		t.Error("OverlapCount = 0 for overlapping masks")
+	}
+}
+
+// TestSpecConflictTwoNets: net 0 speculates and commits; net 1's mask
+// collides with net 0's, so the predictor holds it back and the arbiter
+// replays it live — one hit, one predicted abort, one replay, in one
+// round, at every worker count.
+func TestSpecConflictTwoNets(t *testing.T) {
+	assertSpecCounters(t, crossDesign(), map[string]int64{
+		"spec.rounds":          1,
+		"spec.hit":             1,
+		"spec.abort":           1,
+		"spec.abort.predicted": 1,
+		"spec.abort.stale":     0,
+		"spec.replay":          1,
+		"spec.skip":            0,
+	})
+}
+
+// TestSpecConflictThreeNets: the diagonal net conflicts with the
+// horizontal one just like the vertical does, so only the lowest-order
+// net speculates and both higher-index nets replay after its commit.
+func TestSpecConflictThreeNets(t *testing.T) {
+	assertSpecCounters(t, threeNetDesign(), map[string]int64{
+		"spec.rounds":          1,
+		"spec.hit":             1,
+		"spec.abort":           2,
+		"spec.abort.predicted": 2,
+		"spec.abort.stale":     0,
+		"spec.replay":          2,
+		"spec.skip":            0,
+	})
+}
+
+// TestSpecStaleFootprintAbort forces the OTHER abort arm: two nets along
+// the same x-row but on different wire layers (an I/O net on layer 0, a
+// bump net whose terminals sit on the top layer). Their per-layer region
+// masks are disjoint, so both speculate — but the lattice journal folds
+// all layers into one 2D block grid, so the first commit stales the
+// second net's A* footprint and the arbiter must discard a finished
+// speculative search and replay it.
+func TestSpecStaleFootprintAbort(t *testing.T) {
+	d := &design.Design{
+		Name:       "spec-stale",
+		Outline:    geom.RectWH(0, 0, 960, 960),
+		WireLayers: 3,
+		Rules:      design.Rules{Spacing: 5, WireWidth: 4, ViaWidth: 16},
+	}
+	conflictNet(d, conflictPad(d, 60, 480), conflictPad(d, 900, 480))
+	b1 := len(d.BumpPads)
+	d.BumpPads = append(d.BumpPads,
+		design.BumpPad{ID: b1, Center: geom.Pt(60, 480), W: 16},
+		design.BumpPad{ID: b1 + 1, Center: geom.Pt(900, 480), W: 16})
+	conflictNet(d,
+		design.PadRef{Kind: design.BumpKind, Index: b1},
+		design.PadRef{Kind: design.BumpKind, Index: b1 + 1})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	assertSpecCounters(t, d, map[string]int64{
+		"spec.rounds":          1,
+		"spec.hit":             1,
+		"spec.abort":           1,
+		"spec.abort.predicted": 0,
+		"spec.abort.stale":     1,
+		"spec.replay":          1,
+	})
+}
+
+// TestSpecAbortMetricsSeries checks the production wiring end to end:
+// spec.* counters emitted during a speculative run must surface in the
+// Prometheus exposition as rdl_spec_*_total series.
+func TestSpecAbortMetricsSeries(t *testing.T) {
+	reg := metrics.NewRegistry()
+	opts := specOptions()
+	opts.Workers = 2
+	opts.Tracer = metrics.NewBridge(reg)
+	if _, err := Route(crossDesign(), opts); err != nil {
+		t.Fatal(err)
+	}
+	expo := string(reg.Expose())
+	for _, line := range []string{
+		"rdl_spec_rounds_total 1",
+		"rdl_spec_hit_total 1",
+		"rdl_spec_abort_total 1",
+		"rdl_spec_abort_predicted_total 1",
+		"rdl_spec_replay_total 1",
+	} {
+		if !strings.Contains(expo, line) {
+			t.Errorf("exposition missing %q", line)
+		}
+	}
+}
+
+// TestSpecEventsCommitOrderOnce: aborted speculative searches are silent;
+// only the commit (or the live replay) emits the net.route event. The
+// event stream of a speculative run must therefore list each net exactly
+// once, in the sequential commit order.
+func TestSpecEventsCommitOrderOnce(t *testing.T) {
+	d := threeNetDesign()
+	opts := specOptions()
+	opts.Workers = 8
+	c := obs.NewCollector()
+	opts.Tracer = c
+	if _, err := Route(d, opts); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	for _, e := range c.Events("net.route") {
+		if e.Str("stage") == "sequential" {
+			order = append(order, int(e.Num("net")))
+		}
+	}
+	// Shortest-first: the two straight nets (0, 1) before the diagonal (2).
+	want := []int{0, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("%d sequential net.route events, want %d (one per net): %v", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("event order %v, want commit order %v", order, want)
+		}
+	}
+}
+
+// TestCancelMidSpeculation is TestCancelMidParallelStage with the
+// speculative scheduler engaged: the deadline sweep lands inside
+// speculation rounds — mid-batch, mid-search, between prediction and
+// commit — and an aborted round must leave nothing behind. Speculative
+// searches never write the lattice, so the fingerprint of a full run
+// after each cancelled run must be byte-identical.
+func TestCancelMidSpeculation(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = 8
+	opts.Speculative = true
+
+	res1, la1, err := route(context.Background(), genDense1(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1 := la1.Fingerprint()
+
+	for _, budget := range []time.Duration{
+		2 * time.Millisecond, 10 * time.Millisecond, 40 * time.Millisecond, 120 * time.Millisecond,
+	} {
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		res, _, err := route(ctx, genDense1(t), opts)
+		cancel()
+		if err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+				t.Fatalf("budget %v: err = %v, want a context error", budget, err)
+			}
+			if res != nil {
+				t.Fatalf("budget %v: cancelled speculative run returned a result", budget)
+			}
+		}
+		// A budget the flow beat completed normally; the full run below
+		// still proves the lattice state.
+
+		res2, la2, err := route(context.Background(), genDense1(t), opts)
+		if err != nil {
+			t.Fatalf("budget %v: re-route: %v", budget, err)
+		}
+		if fp2 := la2.Fingerprint(); fp2 != fp1 {
+			t.Fatalf("budget %v: lattice fingerprint changed after a cancelled speculative run: %x != %x", budget, fp2, fp1)
+		}
+		if res1.Routability != res2.Routability || res1.Wirelength != res2.Wirelength ||
+			res1.RoutedNets != res2.RoutedNets {
+			t.Fatalf("budget %v: results diverged after a cancelled speculative run", budget)
+		}
+	}
+}

@@ -79,6 +79,7 @@ func cacheKey(d *design.Design, opts router.Options) string {
 		return ""
 	}
 	opts.Workers = 0
+	opts.Speculative = false
 	opts.Tracer = nil
 	opts.SearchMemo = nil
 	opts.CorridorMemo = nil

@@ -49,6 +49,11 @@ type Config struct {
 	// fills the cores) is the usual choice; 0 keeps the router default
 	// of GOMAXPROCS. Results are identical at every value.
 	RouteWorkers int
+	// RouteSpeculative turns on Options.Speculative for every job that
+	// did not already request it. Results are byte-identical either way
+	// (the qa speculative-equivalence gate), so like Workers it never
+	// splits the result-cache key space.
+	RouteSpeculative bool
 	// Route substitutes the routing function (default router.RouteContext).
 	// Leaving it nil also enables eco search-memo recording on cache
 	// misses, so later delta jobs against the cached result reroute
@@ -453,6 +458,7 @@ func (s *Server) run(j *Job) {
 	if opts.Workers == 0 {
 		opts.Workers = s.cfg.RouteWorkers
 	}
+	opts.Speculative = opts.Speculative || s.cfg.RouteSpeculative
 	opts.Tracer = obs.Multi(s.collector, j.tracer, j.coll, s.met.bridge)
 	s.mu.Unlock()
 	defer cancel()

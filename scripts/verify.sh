@@ -39,6 +39,15 @@ echo "== determinism matrix: workers 1/2/8 at GOMAXPROCS=2 (-race) =="
 GOMAXPROCS=2 go test -race -count=1 -run \
   'TestWorkerDeterminism|TestRegressionParallelBatchBoundary|TestCancelMidParallelStage|TestConcurrentEmit' \
   ./internal/qa/ ./internal/router/ ./internal/obs/ ./internal/par/
+echo "== speculative gate: spec-on == sequential at GOMAXPROCS=2 (-race) =="
+# The speculative stage-4 contract: committed results byte-identical to
+# the plain sequential loop at every worker count, spec.* counters
+# worker-count-invariant, a pinned rollback-replay seed, the hand-built
+# conflict-injection designs, and cancellation mid-round leaving the
+# lattice untouched. Same interleaving discipline as the matrix above.
+GOMAXPROCS=2 go test -race -count=1 -run \
+  'TestSpeculativeEquivalence|TestRegressionSpeculativeReplay|TestSpecConflict|TestSpecStaleFootprintAbort|TestSpecAbortMetricsSeries|TestSpecEventsCommitOrderOnce|TestCancelMidSpeculation' \
+  ./internal/qa/ ./internal/router/
 echo "== eco gate: incremental reroute == cold route (-race) =="
 # The incremental-rerouting contract: for seeded random designs and
 # random deltas, rerouting through the base plan's recorded memo must be
