@@ -9,6 +9,7 @@
 //	rdlbench -table1 -quick     # dense1..dense3 only
 //	rdlbench -fig2 -fig5 -fig7
 //	rdlbench -ablation -lpiters
+//	rdlbench -portfolio -portfolio-k 6   # ordering-portfolio vs single-policy sweep
 //	rdlbench -all
 //	rdlbench -all -quick -json results.json   # machine-readable report
 //	rdlbench -table1 -trace t.jsonl -cpuprofile cpu.pprof
@@ -68,6 +69,8 @@ func run() int {
 		scalingW = flag.String("scaling-workers", "1,2,4,8", "comma-separated worker counts for -scaling (first is the speedup baseline)")
 		ecoRun   = flag.Bool("eco", false, "run the incremental-ECO sweep: cold route each circuit, then reroute seeded single-net edits against the recorded memo, with a byte-identity check")
 		ecoEdits = flag.Int("eco-edits", 3, "independent single-net edits per circuit for -eco")
+		portRun  = flag.Bool("portfolio", false, "run the ordering-portfolio sweep: each circuit routed single-policy and with -portfolio-k raced policies, with a winner-equals-solo byte-identity check")
+		portK    = flag.Int("portfolio-k", 6, "ordering-registry policies to race for -portfolio (max 16)")
 		quick    = flag.Bool("quick", false, "restrict circuit sweeps to dense1..dense3")
 		workers  = flag.Int("workers", 0, "worker-pool bound inside each routing run (0 = GOMAXPROCS, 1 = sequential); results are identical at every value")
 		specul   = flag.Bool("speculative", false, "speculative stage-4 scheduler for our flow's runs (byte-identical results; -scaling keeps its first worker count on the sequential loop as the identity baseline)")
@@ -83,7 +86,7 @@ func run() int {
 	if *all {
 		*table1, *fig2, *fig5, *fig7, *ablation, *lpiters, *gsize = true, true, true, true, true, true, true
 	}
-	if !*table1 && !*fig2 && !*fig5 && !*fig7 && !*ablation && !*lpiters && !*gsize && !*scaling && !*ecoRun {
+	if !*table1 && !*fig2 && !*fig5 && !*fig7 && !*ablation && !*lpiters && !*gsize && !*scaling && !*ecoRun && !*portRun {
 		flag.Usage()
 		return 2
 	}
@@ -283,6 +286,23 @@ func run() int {
 		for _, r := range rows {
 			if !r.Identical {
 				fmt.Printf("WARNING %s: incremental reroute diverges from the cold route\n", r.Name)
+				errCount++
+			}
+		}
+		fmt.Println()
+	}
+
+	if *portRun {
+		fmt.Printf("== Ordering portfolio (first %d registry policies vs single-policy flow) ==\n", *portK)
+		rows, err := bench.RunPortfolio(names, *portK)
+		if die(err) {
+			return 1
+		}
+		rep.Portfolio = rows
+		fmt.Print(bench.FormatPortfolio(rows))
+		for _, r := range rows {
+			if !r.Deterministic {
+				fmt.Printf("WARNING %s: portfolio run diverges from a solo run of its winner (%s)\n", r.Name, r.WinnerName)
 				errCount++
 			}
 		}

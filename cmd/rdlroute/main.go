@@ -55,6 +55,7 @@ func run() int {
 		ripup     = flag.Int("ripup", 0, "rip-up-and-reroute rounds (extension beyond the paper; 0 = off)")
 		workers   = flag.Int("workers", 0, "worker-pool bound for the flow's parallel stages (0 = GOMAXPROCS, 1 = sequential); the routed result is identical at every value")
 		specul    = flag.Bool("speculative", false, "speculative stage-4 scheduler: route sequential-stage nets concurrently, commit only proof-identical results (byte-identical output either way)")
+		portfolio = flag.Int("portfolio", 0, "race the first N ordering-registry policies through the sequential stage and keep the best result (0 = off, max 16); deterministic at any worker count")
 		deltaIn   = flag.String("delta", "", `ECO delta file (rdl-design-delta/v1 JSON): route the base design recording a search memo, apply the delta, reroute incrementally (flow "ours" only)`)
 		hashOnly  = flag.Bool("hash", false, "print the design's content hash (sha256 of the canonical rdl-design/v1 bytes, the delta \"base\" field) and exit")
 
@@ -172,6 +173,7 @@ func run() int {
 		opts.RipUpRounds = *ripup
 		opts.Workers = *workers
 		opts.Speculative = *specul
+		opts.OrderPortfolio = *portfolio
 		opts.Tracer = tracer
 		var res *rdlroute.Result
 		if *deltaIn != "" {
@@ -224,6 +226,10 @@ func run() int {
 		fmt.Printf("graph       %d octagonal tiles\n", res.TileCount)
 		fmt.Printf("lp          %d iterations, %d components\n", res.LPIterations, res.LPComponents)
 		fmt.Printf("vias        %d\n", res.Layout.ViaCount())
+		if p := res.Portfolio; p != nil {
+			fmt.Printf("portfolio   %d policies raced, winner %d (%s), +%d nets vs policy 0\n",
+				len(p.Candidates), p.Winner, p.WinnerName, p.Candidates[p.Winner].Routed-p.Candidates[0].Routed)
+		}
 		fmt.Printf("runtime     %v\n", res.Runtime)
 	case "linext":
 		opts := rdlroute.DefaultBaselineOptions()

@@ -64,6 +64,7 @@ func run() int {
 		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-job routing deadline (0 = none)")
 		routeW     = flag.Int("route-workers", 1, "default Options.Workers for jobs that submit 0: the per-job worker-pool bound inside the flow (results identical at every value)")
 		routeSpec  = flag.Bool("route-speculative", false, "run every job's stage 4 through the speculative scheduler (byte-identical results, so cache keys are unaffected)")
+		routePort  = flag.Int("route-portfolio", 0, "default Options.OrderPortfolio for jobs that submit 0: race the first N ordering-registry policies and keep the best result (changes results, so it is folded into the cache key; 0 = off, max 16)")
 		drain      = flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
 		flight     = flag.Int("flight", 64, "flight-recorder capacity: post-mortem records of the last N terminal jobs (-1 disables)")
 		logFormat  = flag.String("log-format", "off", "structured logs on stderr: text, json, or off")
@@ -102,7 +103,8 @@ func run() int {
 
 	s := serve.New(serve.Config{
 		Workers: *workers, QueueDepth: *queue, JobTimeout: *jobTimeout,
-		RouteWorkers: *routeW, RouteSpeculative: *routeSpec, FlightSize: *flight, Logger: logger,
+		RouteWorkers: *routeW, RouteSpeculative: *routeSpec, RoutePortfolio: *routePort,
+		FlightSize: *flight, Logger: logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 	ln, err := net.Listen("tcp", *addr)
@@ -291,12 +293,19 @@ func smokeMetrics(base string) ([]byte, error) {
 		"rdl_cache_hits_total",
 		"rdl_cache_misses_total",
 		"rdl_cache_evictions_total",
+		"rdl_portfolio_raced_total", // ordering-portfolio race telemetry
+		"rdl_portfolio_candidates_total",
+		"rdl_portfolio_winner_index_total", // may legitimately be 0 (policy 0 won)
+		"rdl_portfolio_routed_delta_total",
 	} {
 		if fams[name] == nil {
 			return nil, fmt.Errorf("smoke: family %s missing from /metrics", name)
 		}
 	}
-	for fam, min := range map[string]float64{"rdl_cache_hits_total": 1, "rdl_cache_misses_total": 1} {
+	for fam, min := range map[string]float64{
+		"rdl_cache_hits_total": 1, "rdl_cache_misses_total": 1,
+		"rdl_portfolio_raced_total": 1, "rdl_portfolio_candidates_total": 4,
+	} {
 		s, ok := fams[fam].Sample(nil)
 		if !ok || s.Value < min {
 			return nil, fmt.Errorf("smoke: %s = %v, want >= %v after the replay and delta jobs", fam, s.Value, min)
@@ -415,6 +424,36 @@ func runSmoke(workers, queue int, printMetrics bool) error {
 	}
 	fmt.Printf("smoke: delta job %s rerouted %d/%d nets, DRC clean\n",
 		dj.ID, dres.RoutedNets, dres.TotalNets)
+
+	// Portfolio job: the same circuit with an ordering portfolio raced
+	// through stage 4. The options differ, so this must be a cache MISS
+	// (the portfolio changes results and splits the cache key), and the
+	// race must populate the rdl_portfolio_* metric families.
+	pBody := fmt.Sprintf(`{"schema":%q,"benchmark":%q,"options":{"schema":%q,"order_portfolio":4}}`,
+		serve.JobSchema, "dense1", codec.OptionsSchema)
+	pj, err := submitJob(base, pBody, "")
+	if err != nil {
+		return fmt.Errorf("smoke: portfolio submit: %w", err)
+	}
+	if pj, err = pollDone(base, pj.ID, 5*time.Minute); err != nil {
+		return err
+	}
+	if err := smokeCacheTag(base, pj.ID, "miss"); err != nil {
+		return err
+	}
+	pres, err := codec.DecodeResult(bytes.NewReader(pj.Result), d)
+	if err != nil {
+		return fmt.Errorf("smoke: portfolio result: %w", err)
+	}
+	if v := drc.Check(pres.Layout); len(v) != 0 {
+		return fmt.Errorf("smoke: portfolio result has %d DRC violations; first: %v", len(v), v[0])
+	}
+	if pres.RoutedNets < res.RoutedNets {
+		return fmt.Errorf("smoke: portfolio job routed %d nets, single-policy job routed %d (the race must never lose)",
+			pres.RoutedNets, res.RoutedNets)
+	}
+	fmt.Printf("smoke: portfolio job %s raced 4 policies, routability %.1f%%, DRC clean\n",
+		pj.ID, pres.Routability)
 
 	expo, err := smokeMetrics(base)
 	if err != nil {

@@ -28,6 +28,7 @@ type Report struct {
 	Ablations []AblationRow  `json:"ablations,omitempty"`
 	Scaling   []ScalingRow   `json:"scaling,omitempty"`
 	ECO       []ECORow       `json:"eco,omitempty"`
+	Portfolio []PortfolioRow `json:"portfolio,omitempty"`
 }
 
 // Table1JSON is one Table-I comparison row flattened for serialization.

@@ -106,6 +106,7 @@ func TestOptionsRoundTrip(t *testing.T) {
 	opts.NetOrder = router.OrderCongested
 	opts.RipUpRounds = 3
 	opts.EnableLP = false
+	opts.OrderPortfolio = 6
 	var buf bytes.Buffer
 	if err := EncodeOptions(&buf, opts); err != nil {
 		t.Fatal(err)
@@ -212,6 +213,13 @@ func TestDecodeMalformed(t *testing.T) {
 	// Malformed options: unknown net order.
 	_, err = DecodeOptions(strings.NewReader(`{"schema":"rdl-options/v1","net_order":"random"}`))
 	wantErr(t, err, KindValidate, "net_order")
+
+	// Malformed options: portfolio size beyond the policy registry (a
+	// policy index the registry cannot produce) or negative.
+	_, err = DecodeOptions(strings.NewReader(`{"schema":"rdl-options/v1","order_portfolio":17}`))
+	wantErr(t, err, KindValidate, "order_portfolio")
+	_, err = DecodeOptions(strings.NewReader(`{"schema":"rdl-options/v1","order_portfolio":-1}`))
+	wantErr(t, err, KindValidate, "order_portfolio")
 
 	// Result against the wrong design.
 	d := genBench(t, "dense1")

@@ -27,6 +27,11 @@ type optionsDoc struct {
 	NetOrder       string      `json:"net_order,omitempty"` // "shortest" | "longest" | "congested"
 	Workers        *int        `json:"workers,omitempty"`   // 0 = GOMAXPROCS
 	Speculative    *bool       `json:"speculative,omitempty"`
+	// OrderPortfolio races the first N ordering-registry policies through
+	// the sequential stage (0 = off, max router.MaxPortfolio). Unlike the
+	// observational knobs above it changes results, so servers fold it
+	// into the result-cache key.
+	OrderPortfolio *int `json:"order_portfolio,omitempty"`
 }
 
 type weightsDoc struct {
@@ -70,6 +75,7 @@ func EncodeOptions(w io.Writer, opts router.Options) error {
 		NetOrder:       netOrderName(opts.NetOrder),
 		Workers:        &opts.Workers,
 		Speculative:    &opts.Speculative,
+		OrderPortfolio: &opts.OrderPortfolio,
 	}
 	return writeDoc(w, OptionsSchema, doc)
 }
@@ -130,6 +136,13 @@ func optionsFromDoc(doc optionsDoc) (router.Options, error) {
 	}
 	if doc.Speculative != nil {
 		opts.Speculative = *doc.Speculative
+	}
+	if doc.OrderPortfolio != nil {
+		if *doc.OrderPortfolio < 0 || *doc.OrderPortfolio > router.MaxPortfolio {
+			return opts, invalidf(OptionsSchema, "order_portfolio",
+				"must be in [0, %d], got %d", router.MaxPortfolio, *doc.OrderPortfolio)
+		}
+		opts.OrderPortfolio = *doc.OrderPortfolio
 	}
 	switch doc.NetOrder {
 	case "", "shortest":

@@ -75,6 +75,12 @@ func FullSuite() Suite { return Suite{Codec: true, Cancel: true, Metamorphic: tr
 // with or without one.
 var Tracer obs.Tracer
 
+// Portfolio, when positive, sets Options.OrderPortfolio on every routing
+// run the harness performs (rdlverify -portfolio feeds it), so the whole
+// oracle suite — codec round-trip, cancellation, metamorphic gates —
+// exercises the racing scheduler instead of a single fixed ordering.
+var Portfolio int
+
 // flowOptions is the five-stage configuration the harness routes with:
 // the paper defaults plus the rip-up-and-reroute extension, which the
 // differential gate needs — on adversarial near-minimum-spacing designs
@@ -85,6 +91,7 @@ func flowOptions() router.Options {
 	opts := router.DefaultOptions()
 	opts.RipUpRounds = 3
 	opts.Tracer = Tracer
+	opts.OrderPortfolio = Portfolio
 	return opts
 }
 
@@ -136,18 +143,18 @@ func CheckDesign(d *design.Design, seed int64, suite Suite) (CheckStats, []Failu
 	// Differential gate: the paper's flow should not route fewer nets than
 	// the baseline it claims to beat. Sequential ordering is a heuristic,
 	// so before declaring failure the flow gets its full toolbox — the
-	// escalation ladder re-routes with the other net orderings (still with
-	// rip-up); a deficit that survives every configuration may be at most
-	// diffRoutedSlack (see the constant for why strict dominance is false
-	// on adversarial instances).
+	// escalation ladder re-routes with every other named policy of the
+	// router's ordering registry (still with rip-up), the same list the
+	// production portfolio races; a deficit that survives every
+	// configuration may be at most diffRoutedSlack (see the constant for
+	// why strict dominance is false on adversarial instances).
 	if res.RoutedNets < base.RoutedNets {
 		best := res.RoutedNets
-		for _, order := range []router.NetOrder{router.OrderLongest, router.OrderCongested} {
-			opts := flowOptions()
-			opts.NetOrder = order
+		for policy := 1; policy < router.NamedPolicies; policy++ {
+			opts := router.WithOrderPolicy(flowOptions(), policy)
 			if r2, err := router.Route(d, opts); err == nil && r2.RoutedNets > best {
 				best = r2.RoutedNets
-				checkResultOracles(d, fmt.Sprintf("flow-order%d", order), r2.Layout, r2.Wirelength, r2.RoutedNets, failf)
+				checkResultOracles(d, "flow-order-"+router.PortfolioPolicyName(policy), r2.Layout, r2.Wirelength, r2.RoutedNets, failf)
 			}
 			if best >= base.RoutedNets {
 				break

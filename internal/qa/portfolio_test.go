@@ -1,0 +1,231 @@
+package qa
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/obs"
+	"rdlroute/internal/router"
+)
+
+// Ordering-portfolio matrix: racing K ordering policies must be a pure
+// quality upgrade — byte-identical at every worker count (fingerprint,
+// metrics, rdl-result/v1 bytes, and the portfolio.* counter stream),
+// byte-identical to a solo run pinned to the winning policy, and never
+// worse than any individual policy it raced.
+
+// portfolioK is the portfolio size the qa matrix races: all five named
+// heuristics plus one seeded shuffle, the smallest portfolio that
+// exercises every kind of registry entry.
+const portfolioK = 6
+
+// routePortfolio routes d with the ordering portfolio at the given
+// worker count, returning the fingerprint, stable result bytes, result,
+// and the full counter map of the run's obs stream (portfolio.*
+// included).
+func routePortfolio(t *testing.T, d *design.Design, workers int) (uint64, []byte, *router.Result, map[string]int64) {
+	t.Helper()
+	opts := flowOptions()
+	opts.OrderPortfolio = portfolioK
+	opts.Workers = workers
+	c := obs.NewCollector()
+	opts.Tracer = c
+	res, fp, err := router.RouteFingerprint(context.Background(), d, opts)
+	if err != nil {
+		t.Fatalf("portfolio workers=%d: %v", workers, err)
+	}
+	enc, err := encodeResultStable(res)
+	if err != nil {
+		t.Fatalf("portfolio workers=%d: encode: %v", workers, err)
+	}
+	return fp, enc, res, c.Snapshot().Counters
+}
+
+// assertPortfolioInvariant runs the three portfolio oracles on one
+// design:
+//
+//  1. Worker invariance — fingerprint, metrics, encoded bytes and the
+//     FULL counter map (so portfolio.* too) identical at workers 1/2/8.
+//  2. Winner-equals-solo — a fresh run pinned to the winning policy via
+//     WithOrderPolicy reproduces the portfolio run byte for byte.
+//  3. Monotonicity — the final result routes at least as many nets as
+//     every candidate scored, and exactly as many as the winner scored
+//     (the race's scores are real solo outcomes, not estimates).
+func assertPortfolioInvariant(t *testing.T, label string, d *design.Design) {
+	t.Helper()
+	fp1, enc1, res1, counters1 := routePortfolio(t, d, workerMatrix[0])
+	for _, w := range workerMatrix[1:] {
+		fp, enc, res, counters := routePortfolio(t, d, w)
+		if fp != fp1 {
+			t.Errorf("%s: portfolio workers=%d fingerprint %x, workers=1 got %x", label, w, fp, fp1)
+		}
+		if res.RoutedNets != res1.RoutedNets || res.Wirelength != res1.Wirelength {
+			t.Errorf("%s: portfolio workers=%d routed %d wl %.3f, workers=1 routed %d wl %.3f",
+				label, w, res.RoutedNets, res.Wirelength, res1.RoutedNets, res1.Wirelength)
+		}
+		if !bytes.Equal(enc, enc1) {
+			t.Errorf("%s: portfolio workers=%d rdl-result/v1 bytes differ from workers=1 (%d vs %d bytes)",
+				label, w, len(enc), len(enc1))
+		}
+		if !reflect.DeepEqual(counters, counters1) {
+			t.Errorf("%s: portfolio workers=%d counter stream differs from workers=%d:\n%v\nvs\n%v",
+				label, w, workerMatrix[0], counters, counters1)
+		}
+	}
+
+	if res1.Portfolio == nil {
+		t.Fatalf("%s: portfolio run returned no report", label)
+	}
+	win := res1.Portfolio.Winner
+	if counters1["portfolio.raced"] != 1 || counters1["portfolio.candidates"] != portfolioK ||
+		counters1["portfolio.winner_index"] != int64(win) {
+		t.Errorf("%s: portfolio counters inconsistent with report (winner %d): raced=%d candidates=%d winner_index=%d",
+			label, win, counters1["portfolio.raced"], counters1["portfolio.candidates"], counters1["portfolio.winner_index"])
+	}
+
+	for _, sc := range res1.Portfolio.Candidates {
+		if sc.Routed > res1.RoutedNets {
+			t.Errorf("%s: candidate %d (%s) scored %d routed nets, final result only %d",
+				label, sc.Policy, sc.Name, sc.Routed, res1.RoutedNets)
+		}
+	}
+	if ws := res1.Portfolio.Candidates[win]; ws.Routed != res1.RoutedNets {
+		t.Errorf("%s: winner scored %d routed nets in the race, replay achieved %d",
+			label, ws.Routed, res1.RoutedNets)
+	}
+
+	opts := router.WithOrderPolicy(flowOptions(), win)
+	solo, sfp, err := router.RouteFingerprint(context.Background(), d, opts)
+	if err != nil {
+		t.Fatalf("%s: solo replay of winner %d: %v", label, win, err)
+	}
+	senc, err := encodeResultStable(solo)
+	if err != nil {
+		t.Fatalf("%s: solo replay encode: %v", label, err)
+	}
+	if sfp != fp1 {
+		t.Errorf("%s: solo run of winner %d fingerprint %x, portfolio got %x", label, win, sfp, fp1)
+	}
+	if !bytes.Equal(senc, enc1) {
+		t.Errorf("%s: solo run of winner %d rdl-result/v1 bytes differ from portfolio (%d vs %d bytes)",
+			label, win, len(senc), len(enc1))
+	}
+}
+
+// portfolioDenseNames caps the portfolio matrix harder than
+// denseMatrixNames: one portfolio invariant run costs ~20 full stage-4
+// loops per circuit (3 worker counts × K candidates, plus replays), so
+// the larger circuits would blow the package's test budget. dense3..5
+// portfolio coverage comes from `rdlbench -portfolio`, whose rows carry
+// the same winner-equals-solo identity check.
+func portfolioDenseNames() []string {
+	names := denseMatrixNames()
+	cap := 2
+	if testing.Short() || raceEnabled {
+		cap = 1
+	}
+	if len(names) > cap {
+		names = names[:cap]
+	}
+	return names
+}
+
+// TestPortfolioDeterminismDense is the portfolio matrix over the paper's
+// benchmark circuits (the portfolio-off half of the on/off axis is
+// TestWorkerDeterminismDense).
+func TestPortfolioDeterminismDense(t *testing.T) {
+	for _, name := range portfolioDenseNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := design.DenseSpec(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := design.Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPortfolioInvariant(t, name, d)
+		})
+	}
+}
+
+// TestPortfolioDeterminismRandom runs the matrix over qa-generated
+// designs, whose irregular pad rings and adversarial spacing make the
+// policies genuinely disagree (the dense circuits mostly route 100%
+// under every ordering).
+func TestPortfolioDeterminismRandom(t *testing.T) {
+	const seeds = 10
+	for seed := int64(1); seed <= seeds; seed++ {
+		d := Generate(seed)
+		assertPortfolioInvariant(t, d.Name, d)
+	}
+}
+
+// TestRegressionPortfolioWinner pins seed 5: a design where the congested
+// policy routes two MORE nets than the default shortest-first ordering —
+// the exact situation the portfolio exists for. A racer that silently
+// stopped racing (or always declared policy 0 the winner) would still
+// pass the invariance checks above; this fails loudly if the pinned seed
+// stops exercising a non-trivial win.
+func TestRegressionPortfolioWinner(t *testing.T) {
+	d := Generate(5)
+	assertPortfolioInvariant(t, d.Name, d)
+	_, _, res, counters := routePortfolio(t, d, 2)
+	if res.Portfolio.Winner != 2 {
+		t.Errorf("seed 5: winner = %d (%s), want 2 (congested)", res.Portfolio.Winner, res.Portfolio.WinnerName)
+	}
+	if counters["portfolio.routed_delta"] != 2 {
+		t.Errorf("seed 5: portfolio.routed_delta = %d, want 2 (the pinned seed no longer shows a routability win)",
+			counters["portfolio.routed_delta"])
+	}
+}
+
+// TestRegressionPortfolioWirelengthTieBreak pins seed 11: shortest-first
+// and shuffle0 route the same net count but shuffle0 pays less wire, so
+// the winner rule's second key (wirelength asc) must decide. A winner
+// rule that compared routed nets only would pick policy 0 here.
+func TestRegressionPortfolioWirelengthTieBreak(t *testing.T) {
+	d := Generate(11)
+	_, _, res, counters := routePortfolio(t, d, 2)
+	if res.Portfolio.Winner != 5 {
+		t.Errorf("seed 11: winner = %d (%s), want 5 (shuffle0, on wirelength)",
+			res.Portfolio.Winner, res.Portfolio.WinnerName)
+	}
+	if counters["portfolio.routed_delta"] != 0 {
+		t.Errorf("seed 11: portfolio.routed_delta = %d, want 0 (a wirelength-only win)",
+			counters["portfolio.routed_delta"])
+	}
+	s := res.Portfolio.Candidates
+	if s[5].Routed != s[0].Routed || s[5].Wirelength >= s[0].Wirelength {
+		t.Errorf("seed 11: scores no longer pin the tie-break: policy0 %d/%.3f, policy5 %d/%.3f",
+			s[0].Routed, s[0].Wirelength, s[5].Routed, s[5].Wirelength)
+	}
+}
+
+// TestPortfolioMonotonicitySolo closes the loop the in-race scores leave
+// open: on seed 5 every candidate's race score must equal a genuine solo
+// run of that policy, so "portfolio ≥ every individual policy" is proved
+// against real solo outcomes, not the racer's own bookkeeping.
+func TestPortfolioMonotonicitySolo(t *testing.T) {
+	d := Generate(5)
+	_, _, res, _ := routePortfolio(t, d, 2)
+	for policy := 0; policy < portfolioK; policy++ {
+		solo, err := router.Route(d, router.WithOrderPolicy(flowOptions(), policy))
+		if err != nil {
+			t.Fatalf("solo policy %d: %v", policy, err)
+		}
+		sc := res.Portfolio.Candidates[policy]
+		if sc.Routed != solo.RoutedNets {
+			t.Errorf("policy %d (%s): race scored %d routed nets, solo run achieved %d",
+				policy, sc.Name, sc.Routed, solo.RoutedNets)
+		}
+		if solo.RoutedNets > res.RoutedNets {
+			t.Errorf("policy %d (%s) routed %d nets solo, portfolio only %d",
+				policy, sc.Name, solo.RoutedNets, res.RoutedNets)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package router
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"rdlroute/internal/design"
+	"rdlroute/internal/layout"
+)
+
+// orderedIDs builds the stage-4 job queue for d under registry policy p
+// and returns the committed net-ID sequence.
+func orderedIDs(t *testing.T, d *design.Design, policy, workers int) []int {
+	t.Helper()
+	opts := WithOrderPolicy(DefaultOptions(), policy)
+	opts.Workers = workers
+	jobs, err := buildSeqJobs(context.Background(), d, layout.New(d), opts)
+	if err != nil {
+		t.Fatalf("policy %d (%s): buildSeqJobs: %v", policy, PortfolioPolicyName(policy), err)
+	}
+	ids := make([]int, len(jobs))
+	for i, jb := range jobs {
+		ids[i] = d.Nets[jb.net].ID
+	}
+	return ids
+}
+
+// TestPoliciesArePermutations: every registry policy must order the job
+// queue without dropping or duplicating a net — each policy is a
+// permutation of the net set.
+func TestPoliciesArePermutations(t *testing.T) {
+	d := genDense1(t)
+	for policy := 0; policy < MaxPortfolio; policy++ {
+		ids := orderedIDs(t, d, policy, 1)
+		if len(ids) != len(d.Nets) {
+			t.Fatalf("policy %d (%s): %d jobs for %d nets",
+				policy, PortfolioPolicyName(policy), len(ids), len(d.Nets))
+		}
+		seen := make(map[int]bool, len(ids))
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("policy %d (%s): net ID %d appears twice",
+					policy, PortfolioPolicyName(policy), id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestPoliciesWorkerInvariant: the ordering a policy produces must not
+// depend on the worker count its (possibly parallel) feature computation
+// fans out on.
+func TestPoliciesWorkerInvariant(t *testing.T) {
+	d := genDense1(t)
+	for policy := 0; policy < MaxPortfolio; policy++ {
+		base := orderedIDs(t, d, policy, 1)
+		for _, workers := range []int{2, 8} {
+			got := orderedIDs(t, d, policy, workers)
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("policy %d (%s): order diverges at position %d with %d workers: net %d vs %d",
+						policy, PortfolioPolicyName(policy), i, workers, got[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPoliciesStableUnderRenumbering: permuting the Nets slice while each
+// net keeps its ID must not change the ID sequence a policy emits — every
+// sort key is a function of the net's geometry and ID, never its slice
+// position (the position tie-break is unreachable while IDs are unique).
+func TestPoliciesStableUnderRenumbering(t *testing.T) {
+	d := genDense1(t)
+	pd := *d
+	pd.Nets = append([]design.Net(nil), d.Nets...)
+	rng := rand.New(rand.NewSource(42))
+	rng.Shuffle(len(pd.Nets), func(i, j int) {
+		pd.Nets[i], pd.Nets[j] = pd.Nets[j], pd.Nets[i]
+	})
+	if err := pd.Validate(); err != nil {
+		t.Fatalf("shuffled design fails Validate: %v", err)
+	}
+	for policy := 0; policy < MaxPortfolio; policy++ {
+		base := orderedIDs(t, d, policy, 1)
+		got := orderedIDs(t, &pd, policy, 1)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("policy %d (%s): ID sequence changed under renumbering at position %d: %d vs %d",
+					policy, PortfolioPolicyName(policy), i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestCongestedTieBreakPinned is the pinned regression for the congested
+// ordering's tie rule: nets with equal overlap counts must commit in net
+// ID order — not map-iteration or sort-instability order — and the whole
+// sequence must be identical at workers 1, 2 and 8.
+func TestCongestedTieBreakPinned(t *testing.T) {
+	d := genDense1(t)
+	opts := WithOrderPolicy(DefaultOptions(), 2) // congested
+	jobsAt := func(workers int) []seqJob {
+		o := opts
+		o.Workers = workers
+		jobs, err := buildSeqJobs(context.Background(), d, layout.New(d), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jobs
+	}
+	base := jobsAt(1)
+	ties := 0
+	for i := 1; i < len(base); i++ {
+		if base[i].overlap == base[i-1].overlap {
+			ties++
+			if d.Nets[base[i].net].ID <= d.Nets[base[i-1].net].ID {
+				t.Fatalf("equal-overlap nets out of ID order at position %d: id %d then %d (overlap %d)",
+					i, d.Nets[base[i-1].net].ID, d.Nets[base[i].net].ID, base[i].overlap)
+			}
+		}
+	}
+	if ties == 0 {
+		t.Fatal("dense1 produced no equal-overlap ties; the regression pins nothing")
+	}
+	for _, workers := range []int{2, 8} {
+		got := jobsAt(workers)
+		for i := range base {
+			if got[i].net != base[i].net || got[i].overlap != base[i].overlap {
+				t.Fatalf("congested order diverges at position %d with %d workers", i, workers)
+			}
+		}
+	}
+}
+
+// TestShuffleSeedsDiffer: distinct shuffle seeds must produce distinct
+// orderings — identical shuffles would waste portfolio slots silently.
+func TestShuffleSeedsDiffer(t *testing.T) {
+	d := genDense1(t)
+	a := orderedIDs(t, d, NamedPolicies, 1)
+	b := orderedIDs(t, d, NamedPolicies+1, 1)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("shuffle0 and shuffle1 produced identical orderings")
+	}
+}
+
+// TestPolicyNames pins the registry's public naming, which reports and
+// bench tables embed.
+func TestPolicyNames(t *testing.T) {
+	want := map[int]string{
+		0: "shortest", 1: "longest", 2: "congested", 3: "detour", 4: "boundary",
+		5: "shuffle0", 15: "shuffle10",
+	}
+	for i, name := range want {
+		if got := PortfolioPolicyName(i); got != name {
+			t.Errorf("PortfolioPolicyName(%d) = %q, want %q", i, got, name)
+		}
+	}
+	if got := PortfolioPolicyName(-1); got != "invalid" {
+		t.Errorf("PortfolioPolicyName(-1) = %q, want invalid", got)
+	}
+	if got := PortfolioPolicyName(MaxPortfolio); got != "invalid" {
+		t.Errorf("PortfolioPolicyName(MaxPortfolio) = %q, want invalid", got)
+	}
+}

@@ -47,6 +47,27 @@ type Options struct {
 	// NetOrder selects the sequential-stage routing order.
 	NetOrder NetOrder
 
+	// OrderPortfolio, when positive, races the first OrderPortfolio
+	// policies of the ordering registry (policy.go) through stage 4: each
+	// candidate runs the full sequential loop (plus rip-up, when enabled)
+	// on its own scratch lattice/model clone across the worker pool, a
+	// fixed total rule picks the winner (routed nets desc, wirelength
+	// asc, lowest policy index), and only the winner is replayed on the
+	// real lattice with the real tracer/memo attached. The result is
+	// byte-identical at any worker count and equals a solo run of the
+	// winning policy. Values above MaxPortfolio are rejected; 0 disables
+	// racing and stage 4 uses NetOrder directly. When racing is on,
+	// NetOrder is ignored (policy 0, shortest-first, anchors the
+	// portfolio as the baseline candidate).
+	OrderPortfolio int
+
+	// soloPolicy pins stage 4 to one registry policy, bypassing both
+	// NetOrder and OrderPortfolio. Set via WithOrderPolicy; the portfolio
+	// racer uses it internally to run candidates and replay the winner,
+	// and qa uses it for the escalation ladder and the winner-equals-solo
+	// oracle.
+	soloPolicy *int
+
 	// Workers bounds the worker pool the flow's data-parallel stages fan
 	// out on: preprocessing's grid graph and candidate construction, the
 	// stage-2 region-mask prebuild, the stage-3 tile warm-up and the
@@ -153,6 +174,12 @@ type Result struct {
 	// Options.Tracer can produce one (the in-memory Collector, or a Multi
 	// containing one); nil otherwise.
 	Obs *obs.Snapshot
+
+	// Portfolio describes the ordering-portfolio race when
+	// Options.OrderPortfolio was positive; nil otherwise. Like Obs it is
+	// diagnostic output and is not part of the rdl-result/v1 wire format —
+	// encoded result bytes stay comparable across portfolio and solo runs.
+	Portfolio *PortfolioReport
 }
 
 // Route runs the full flow on the design.
@@ -194,6 +221,12 @@ func route(ctx context.Context, d *design.Design, opts Options) (*Result, *latti
 	}
 	if opts.GlobalCells == 0 {
 		opts.GlobalCells = 30
+	}
+	if opts.OrderPortfolio < 0 || opts.OrderPortfolio > MaxPortfolio {
+		return nil, nil, fmt.Errorf("router: order portfolio %d out of range [0, %d]", opts.OrderPortfolio, MaxPortfolio)
+	}
+	if opts.soloPolicy != nil && (*opts.soloPolicy < 0 || *opts.soloPolicy >= MaxPortfolio) {
+		return nil, nil, fmt.Errorf("router: solo ordering policy %d out of range [0, %d)", *opts.soloPolicy, MaxPortfolio)
 	}
 
 	tr := obs.Or(opts.Tracer)
@@ -274,9 +307,22 @@ func route(ctx context.Context, d *design.Design, opts Options) (*Result, *latti
 	// keeps its name and counters either way.
 	end = obs.Stage(tr, "sequential")
 	var seqErr error
-	if opts.Speculative {
+	switch {
+	case opts.OrderPortfolio > 0 && opts.soloPolicy == nil:
+		// Portfolio racing: candidates run silently on scratch clones,
+		// then the winner is replayed here on the real lattice. Pin the
+		// rest of the flow (the rip-up rounds below) to the winning
+		// policy so the whole run stays byte-identical to a solo run of
+		// that policy.
+		var win int
+		win, seqErr = portfolioRoute(ctx, d, model, sites, la, lay, opts, res, tr)
+		if seqErr == nil {
+			opts.soloPolicy = &win
+			opts.OrderPortfolio = 0
+		}
+	case opts.Speculative:
 		seqErr = speculativeRoute(ctx, d, model, sites, la, lay, opts, res, tr)
-	} else {
+	default:
 		seqErr = sequentialRoute(ctx, d, model, sites, la, lay, opts, res, tr)
 	}
 	end(obs.Int("routed", res.SequentialRouted),
@@ -537,7 +583,10 @@ type seqJob struct {
 
 // buildSeqJobs collects the nets stage 4 must route and sorts them into
 // the configured commit order — the order both the sequential loop and
-// the speculative scheduler's arbiter are bound to.
+// the speculative scheduler's arbiter are bound to. The ordering itself
+// comes from the policy registry (policy.go): an explicit solo pin set
+// by WithOrderPolicy wins, otherwise Options.NetOrder selects among the
+// registry's first three entries.
 func buildSeqJobs(ctx context.Context, d *design.Design, lay *layout.Layout, opts Options) ([]seqJob, error) {
 	var jobs []seqJob
 	for ni := range d.Nets {
@@ -548,53 +597,8 @@ func buildSeqJobs(ctx context.Context, d *design.Design, lay *layout.Layout, opt
 		p1, p2 := d.PadCenter(nn.P1), d.PadCenter(nn.P2)
 		jobs = append(jobs, seqJob{net: ni, direct: geom.OctDist(p1, p2), bbox: geom.RectOf(p1, p2)})
 	}
-	// Sort ties break on stable net identity (ID, then index): a pad edit
-	// changes one net's sort key, and without a total order the unstable
-	// sort could reshuffle equal-keyed nets, cascading order changes into
-	// every downstream commit — fatal for incremental (memoized) reroutes.
-	idLess := func(i, j int) bool {
-		idi, idj := d.Nets[jobs[i].net].ID, d.Nets[jobs[j].net].ID
-		if idi != idj {
-			return idi < idj
-		}
-		return jobs[i].net < jobs[j].net
-	}
-	switch opts.NetOrder {
-	case OrderLongest:
-		sort.Slice(jobs, func(i, j int) bool {
-			if jobs[i].direct != jobs[j].direct {
-				return jobs[i].direct > jobs[j].direct
-			}
-			return idLess(i, j)
-		})
-	case OrderCongested:
-		// Each net counts its bbox overlaps against every other net — the
-		// same totals the pairwise double-increment formulation produces,
-		// but index i writes only jobs[i].overlap, so the O(n²) count fans
-		// out on the worker pool without changing the resulting order.
-		if err := par.ForEach(ctx, opts.Workers, len(jobs), func(i int) error {
-			for j := range jobs {
-				if j != i && jobs[i].bbox.Intersects(jobs[j].bbox) {
-					jobs[i].overlap++
-				}
-			}
-			return nil
-		}); err != nil {
-			return nil, fmt.Errorf("router: %w", err)
-		}
-		sort.Slice(jobs, func(i, j int) bool {
-			if jobs[i].overlap != jobs[j].overlap {
-				return jobs[i].overlap > jobs[j].overlap
-			}
-			return idLess(i, j)
-		})
-	default:
-		sort.Slice(jobs, func(i, j int) bool {
-			if jobs[i].direct != jobs[j].direct {
-				return jobs[i].direct < jobs[j].direct
-			}
-			return idLess(i, j)
-		})
+	if err := policyForOptions(opts).order(ctx, d, jobs, opts.Workers); err != nil {
+		return nil, fmt.Errorf("router: %w", err)
 	}
 	return jobs, nil
 }

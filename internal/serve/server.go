@@ -54,6 +54,13 @@ type Config struct {
 	// (the qa speculative-equivalence gate), so like Workers it never
 	// splits the result-cache key space.
 	RouteSpeculative bool
+	// RoutePortfolio is the default Options.OrderPortfolio applied to
+	// jobs whose submitted options leave it 0. Unlike RouteWorkers and
+	// RouteSpeculative this default changes results (a different ordering
+	// policy may win), so the resolved value is part of the result-cache
+	// key: the same design routed with and without a portfolio occupies
+	// two cache slots.
+	RoutePortfolio int
 	// Route substitutes the routing function (default router.RouteContext).
 	// Leaving it nil also enables eco search-memo recording on cache
 	// misses, so later delta jobs against the cached result reroute
@@ -459,6 +466,9 @@ func (s *Server) run(j *Job) {
 		opts.Workers = s.cfg.RouteWorkers
 	}
 	opts.Speculative = opts.Speculative || s.cfg.RouteSpeculative
+	if opts.OrderPortfolio == 0 {
+		opts.OrderPortfolio = s.cfg.RoutePortfolio
+	}
 	opts.Tracer = obs.Multi(s.collector, j.tracer, j.coll, s.met.bridge)
 	s.mu.Unlock()
 	defer cancel()
@@ -477,7 +487,11 @@ func (s *Server) run(j *Job) {
 	cacheOutcome := ""
 	key := ""
 	if s.cache != nil {
-		key = cacheKey(j.d, j.opts)
+		// Key on the resolved options, not the submitted ones: the
+		// server-level portfolio default changes results, so two servers
+		// configured differently must not share keys for the same
+		// submitted document.
+		key = cacheKey(j.d, opts)
 		if cached, ok := s.cache.get(key); ok {
 			res, cacheOutcome = cached, "hit"
 		} else {

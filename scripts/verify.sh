@@ -48,6 +48,17 @@ echo "== speculative gate: spec-on == sequential at GOMAXPROCS=2 (-race) =="
 GOMAXPROCS=2 go test -race -count=1 -run \
   'TestSpeculativeEquivalence|TestRegressionSpeculativeReplay|TestSpecConflict|TestSpecStaleFootprintAbort|TestSpecAbortMetricsSeries|TestSpecEventsCommitOrderOnce|TestCancelMidSpeculation' \
   ./internal/qa/ ./internal/router/
+echo "== portfolio gate: ordering race == solo winner at GOMAXPROCS=2 (-race) =="
+# The ordering-portfolio contract: racing K policies is byte-identical to
+# a solo run of the winning policy at every worker count, every policy
+# orders the queue as a worker-invariant permutation keyed on net
+# geometry and ID, and the pinned seeds keep exercising a genuine
+# routability win (seed 5) and a wirelength-only tie-break (seed 11).
+# Race-capped subset; the dense portfolio matrix runs race-free in the
+# qa sweep below.
+GOMAXPROCS=2 go test -race -count=1 -run \
+  'TestPortfolioDeterminismRandom|TestRegressionPortfolio|TestPortfolioMonotonicitySolo|TestPolicies|TestCongestedTieBreakPinned|TestCancelMidPortfolio' \
+  ./internal/qa/ ./internal/router/
 echo "== eco gate: incremental reroute == cold route (-race) =="
 # The incremental-rerouting contract: for seeded random designs and
 # random deltas, rerouting through the base plan's recorded memo must be
